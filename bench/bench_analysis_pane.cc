@@ -1,0 +1,95 @@
+// E9 / F4 — the analysis pane (paper §4 "Analysis", Fig. 4): aggregation
+// of performance metrics over a running query network — elapsed time,
+// incoming data rate per basket, per-query and whole-network series.
+//
+// A threaded engine runs two streams and three standing queries for a few
+// seconds while the pane samples at 50 ms; the harness then prints the
+// trailing aggregates (the pane's table), a metric list, and the start of
+// the exportable CSV (the pane's data series).
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "monitor/analysis.h"
+#include "monitor/network.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace dc;
+  bench::Banner("E9", "analysis pane: metric aggregation over a run");
+
+  Engine engine(bench::Threaded(2));
+  DC_CHECK_OK(engine.Execute(workload::SensorDdl("sensors")));
+  DC_CHECK_OK(engine.Execute(workload::TradesDdl("trades")));
+
+  DC_CHECK_OK(engine
+                  .SubmitContinuous(
+                      "SELECT sensor, avg(temp) FROM sensors "
+                      "[RANGE 500 MILLISECONDS SLIDE 100 MILLISECONDS] "
+                      "GROUP BY sensor",
+                      bench::QueryOpts(ExecMode::kIncremental, "avg_temp",
+                                       bench::NullSink()))
+                  .status());
+  DC_CHECK_OK(engine
+                  .SubmitContinuous(
+                      "SELECT count(*) FROM sensors "
+                      "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] "
+                      "WHERE temp > 25.0",
+                      bench::QueryOpts(ExecMode::kIncremental, "hot_count",
+                                       bench::NullSink()))
+                  .status());
+  DC_CHECK_OK(engine
+                  .SubmitContinuous(
+                      "SELECT sym, min(px), max(px) FROM trades "
+                      "[RANGE 1 SECONDS SLIDE 500 MILLISECONDS] GROUP BY sym",
+                      bench::QueryOpts(ExecMode::kIncremental, "px_range",
+                                       bench::NullSink()))
+                  .status());
+
+  workload::SensorConfig scfg;
+  scfg.rows = 150000;
+  scfg.ts_step = 50;
+  Receptor::Options sropts;
+  sropts.rows_per_sec = 50000;
+  auto r1 = engine.AttachReceptor("sensors", workload::MakeSensorGen(scfg),
+                                  sropts);
+  DC_CHECK_OK(r1.status());
+  workload::TradesConfig tcfg;
+  tcfg.rows = 60000;
+  tcfg.ts_step = 100;
+  Receptor::Options tropts;
+  tropts.rows_per_sec = 20000;
+  auto r2 = engine.AttachReceptor("trades", workload::MakeTradesGen(tcfg),
+                                  tropts);
+  DC_CHECK_OK(r2.status());
+
+  monitor::AnalysisPane pane;
+  while (true) {
+    pane.Sample(engine);
+    const auto s1 = engine.StreamStats("sensors");
+    const auto s2 = engine.StreamStats("trades");
+    if (s1->appended_total >= scfg.rows && s2->appended_total >= tcfg.rows) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  engine.WaitIdle();
+  pane.Sample(engine);
+
+  printf("\n== trailing aggregates (whole run) ==\n%s\n",
+         pane.RenderSummary().c_str());
+  printf("== last-second aggregates ==\n%s\n",
+         pane.RenderSummary(kMicrosPerSecond).c_str());
+  printf("== query network during the run ==\n%s\n",
+         monitor::RenderNetworkTable(engine).c_str());
+  const std::string csv = pane.ToCsv();
+  printf("== exportable CSV (first 3 lines of %zu bytes) ==\n", csv.size());
+  size_t pos = 0;
+  for (int line = 0; line < 3 && pos != std::string::npos; ++line) {
+    const size_t next = csv.find('\n', pos);
+    printf("%.*s\n", static_cast<int>(next - pos), csv.c_str() + pos);
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E7 — basket mechanics (paper §3, "Baskets"): the cost of the stream
+// buffer vs ordinary persistent tables, and the append/consume cycle.
+// google-benchmark microbenches:
+//   * basket column-batch append (the receptor hot path)
+//   * basket row append
+//   * COW table append (why baskets exist: tables are read-optimized)
+//   * full append->read->advance->shrink cycle at steady state
+//   * indexed table lookup vs basket scan (the indexing trade)
+
+#include <benchmark/benchmark.h>
+
+#include "core/basket.h"
+#include "storage/table.h"
+#include "workload/generators.h"
+
+namespace dc {
+namespace {
+
+Schema SensorSchema() {
+  Schema s;
+  DC_CHECK_OK(s.AddColumn("ts", TypeId::kTs));
+  DC_CHECK_OK(s.AddColumn("sensor", TypeId::kI64));
+  DC_CHECK_OK(s.AddColumn("temp", TypeId::kF64));
+  return s;
+}
+
+void BM_BasketAppendBatch(benchmark::State& state) {
+  const uint64_t batch_rows = state.range(0);
+  workload::SensorConfig config;
+  auto batch = workload::SensorBatch(config, 0, batch_rows);
+  Basket basket("s", SensorSchema(), 0);
+  const int reader = basket.RegisterReader(true);
+  uint64_t consumed = 0;
+  for (auto _ : state) {
+    DC_CHECK_OK(basket.Append(batch));
+    // Consume immediately so the basket stays small (steady state).
+    consumed += batch_rows;
+    basket.AdvanceReader(reader, consumed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_rows));
+}
+BENCHMARK(BM_BasketAppendBatch)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BasketAppendRow(benchmark::State& state) {
+  Basket basket("s", SensorSchema(), 0);
+  const int reader = basket.RegisterReader(true);
+  int64_t i = 0;
+  for (auto _ : state) {
+    DC_CHECK_OK(basket.AppendRow(
+        {Value::Ts(i), Value::I64(i % 100), Value::F64(20.0)}));
+    ++i;
+    basket.AdvanceReader(reader, static_cast<uint64_t>(i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BasketAppendRow);
+
+void BM_TableAppendBatchCow(benchmark::State& state) {
+  const uint64_t batch_rows = state.range(0);
+  workload::SensorConfig config;
+  auto batch = workload::SensorBatch(config, 0, batch_rows);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh table per iteration so COW cost reflects the growing-table
+    // append the paper's design avoids on the hot path.
+    Table table("t", SensorSchema());
+    state.ResumeTiming();
+    for (int k = 0; k < 8; ++k) {
+      DC_CHECK_OK(table.AppendColumns(batch));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 *
+                          static_cast<int64_t>(batch_rows));
+}
+BENCHMARK(BM_TableAppendBatchCow)->Arg(1024);
+
+void BM_BasketWindowReadCycle(benchmark::State& state) {
+  const uint64_t window_rows = state.range(0);
+  workload::SensorConfig config;
+  auto batch = workload::SensorBatch(config, 0, window_rows);
+  Basket basket("s", SensorSchema(), 0);
+  const int reader = basket.RegisterReader(true);
+  uint64_t cursor = 0;
+  for (auto _ : state) {
+    DC_CHECK_OK(basket.Append(batch));
+    BasketView view = basket.Read(cursor, window_rows);
+    benchmark::DoNotOptimize(view.rows);
+    cursor += window_rows;
+    basket.AdvanceReader(reader, cursor);  // triggers shrink
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(window_rows));
+}
+BENCHMARK(BM_BasketWindowReadCycle)->Arg(1024)->Arg(8192);
+
+void BM_TableIndexedLookup(benchmark::State& state) {
+  Table table("t", SensorSchema());
+  workload::SensorConfig config;
+  DC_CHECK_OK(table.AppendColumns(workload::SensorBatch(config, 0, 100000)));
+  auto idx = table.GetHashIndex("sensor");
+  DC_CHECK_OK(idx.status());
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto hits = (*idx)->Lookup(Value::I64(key % 100));
+    benchmark::DoNotOptimize(hits->size());
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableIndexedLookup);
+
+}  // namespace
+}  // namespace dc
+
+BENCHMARK_MAIN();

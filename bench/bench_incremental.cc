@@ -1,0 +1,90 @@
+// E2 — "Simple Re-evaluation" vs "Incremental" (paper §4).
+//
+// One sliding-window aggregation query, fixed window size, slide swept so
+// the window spans 1..32 basic windows. Both execution modes process the
+// identical stream; we report per-emission execution time, the number of
+// input tuples each mode touched (re-scans vs fragments), and the cached
+// intermediate footprint.
+//
+// Expected shape (paper): at slide == window (tumbling) the modes match;
+// as window/slide grows, incremental wins increasingly because every
+// tuple's fragment is computed once and only merged thereafter, while full
+// re-evaluation re-scans the whole window every slide.
+
+#include "bench/bench_common.h"
+#include "workload/generators.h"
+
+namespace dc {
+namespace {
+
+using bench::Banner;
+using bench::Collect;
+using bench::FeedAndPump;
+using bench::QueryOpts;
+using bench::RunStats;
+using bench::Sync;
+
+constexpr Micros kWindow = 4 * kMicrosPerSecond;
+constexpr uint64_t kRows = 120000;
+constexpr Micros kTsStep = 100;  // 10k rows per simulated second
+constexpr uint64_t kBatch = 1000;
+
+RunStats RunOne(ExecMode mode, Micros slide,
+                const std::vector<std::vector<BatPtr>>& batches) {
+  Engine engine(Sync());
+  DC_CHECK_OK(engine.Execute(workload::SensorDdl("s")));
+  const std::string sql = StrFormat(
+      "SELECT count(*), sum(temp), avg(temp), min(temp), max(temp) "
+      "FROM s [RANGE %lld MICROSECONDS SLIDE %lld MICROSECONDS]",
+      static_cast<long long>(kWindow), static_cast<long long>(slide));
+  auto qid = engine.SubmitContinuous(
+      sql, QueryOpts(mode, "agg", bench::NullSink()));
+  DC_CHECK_OK(qid.status());
+  const Micros wall = FeedAndPump(engine, "s", batches);
+  return Collect(engine, *qid, wall);
+}
+
+}  // namespace
+}  // namespace dc
+
+int main() {
+  using namespace dc;
+  Banner("E2", "full re-evaluation vs incremental (sliding-window agg)");
+  printf("window = %s, stream = %llu rows (%.0f simulated seconds)\n",
+         FormatDuration(kWindow).c_str(),
+         static_cast<unsigned long long>(kRows),
+         static_cast<double>(kRows) * kTsStep / kMicrosPerSecond);
+
+  workload::SensorConfig config;
+  config.ts_step = kTsStep;
+  std::vector<std::vector<BatPtr>> batches;
+  for (uint64_t off = 0; off < kRows; off += kBatch) {
+    batches.push_back(workload::SensorBatch(config, off, kBatch));
+  }
+
+  printf("\n%8s %5s | %11s %14s %12s | %11s %14s %12s | %8s\n", "slide",
+         "n_bw", "full:emit", "full:us/emit", "full:tuples", "inc:emit",
+         "inc:us/emit", "inc:tuples", "speedup");
+  printf("%s\n", std::string(118, '-').c_str());
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const Micros slide = kWindow / n;
+    RunStats full = RunOne(ExecMode::kFullReeval, slide, batches);
+    RunStats inc = RunOne(ExecMode::kIncremental, slide, batches);
+    printf("%8s %5d | %11llu %14.1f %12llu | %11llu %14.1f %12llu | %7.2fx\n",
+           FormatDuration(slide).c_str(), n,
+           static_cast<unsigned long long>(full.emissions),
+           full.ExecPerEmissionUs(),
+           static_cast<unsigned long long>(full.tuples_in),
+           static_cast<unsigned long long>(inc.emissions),
+           inc.ExecPerEmissionUs(),
+           static_cast<unsigned long long>(inc.tuples_in),
+           inc.exec_micros == 0
+               ? 0.0
+               : static_cast<double>(full.exec_micros) /
+                     static_cast<double>(inc.exec_micros));
+  }
+  printf("\nnote: 'tuples' counts stream tuples read by the factory; in\n"
+         "incremental mode each tuple enters exactly one basic-window\n"
+         "fragment, independent of the slide.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E5 — "Query Network Characteristics" (paper §4, Fig. 3): many standing
+// queries sharing one stream basket.
+//
+// N queries (mixed shapes) register on one packet stream; the harness
+// feeds a fixed input and reports total processing time, per-query cost,
+// and the shared basket's drop behaviour (tuples leave only after the
+// slowest reader consumed them). With --dot, also emits the Graphviz
+// query network (Fig. 1/Fig. 3 reproduction).
+//
+// Expected shape: ingestion is shared (one basket append per batch
+// regardless of N); total execution grows ~linearly with N; resident
+// basket size is bounded by the largest window, not by N.
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "monitor/network.h"
+#include "workload/generators.h"
+
+namespace dc {
+namespace {
+
+using bench::Banner;
+using bench::QueryOpts;
+using bench::Sync;
+
+constexpr uint64_t kRows = 40000;
+constexpr Micros kTsStep = 100;
+
+std::string QuerySql(int i) {
+  switch (i % 4) {
+    case 0:
+      return StrFormat(
+          "SELECT count(*), sum(bytes) FROM pkts "
+          "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] WHERE port = %lld",
+          static_cast<long long>(i % 2 == 0 ? 80 : 443));
+    case 1:
+      return "SELECT port, count(*) FROM pkts "
+             "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] GROUP BY port";
+    case 2:
+      return StrFormat(
+          "SELECT src, sum(bytes) FROM pkts "
+          "[RANGE 1 SECONDS SLIDE 500 MILLISECONDS] WHERE bytes > %d "
+          "GROUP BY src ORDER BY sum(bytes) DESC LIMIT 10",
+          200 + (i * 37) % 400);
+    default:
+      return "SELECT avg(bytes), max(bytes) FROM pkts "
+             "[RANGE 2 SECONDS SLIDE 500 MILLISECONDS]";
+  }
+}
+
+}  // namespace
+}  // namespace dc
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const bool want_dot = argc > 1 && strcmp(argv[1], "--dot") == 0;
+  Banner("E5", "multi-query networks over one shared basket");
+
+  workload::PacketConfig config;
+  config.ts_step = kTsStep;
+  std::vector<std::vector<BatPtr>> batches;
+  for (uint64_t off = 0; off < kRows; off += 1000) {
+    batches.push_back(workload::PacketBatch(config, off, 1000));
+  }
+
+  printf("\n%4s | %12s %14s | %12s %12s %14s\n", "N", "wall ms",
+         "rows/s", "exec ms", "exec/query", "basket peak");
+  printf("%s\n", std::string(80, '-').c_str());
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    Engine engine(Sync());
+    DC_CHECK_OK(engine.Execute(workload::PacketDdl("pkts")));
+    std::vector<int> qids;
+    for (int i = 0; i < n; ++i) {
+      auto qid = engine.SubmitContinuous(
+          QuerySql(i), QueryOpts(ExecMode::kIncremental,
+                                 StrFormat("q%d", i), bench::NullSink()));
+      DC_CHECK_OK(qid.status());
+      qids.push_back(*qid);
+    }
+    uint64_t peak_resident = 0;
+    Stopwatch watch;
+    for (const auto& batch : batches) {
+      DC_CHECK_OK(engine.PushColumns("pkts", batch));
+      engine.Pump();
+      peak_resident =
+          std::max(peak_resident, engine.StreamStats("pkts")->resident_rows);
+    }
+    DC_CHECK_OK(engine.SealStream("pkts"));
+    engine.Pump();
+    const Micros wall = watch.ElapsedMicros();
+    Micros exec_total = 0;
+    for (int qid : qids) {
+      exec_total += engine.GetFactory(qid)->Stats().total_exec_micros;
+    }
+    printf("%4d | %12.1f %14.0f | %12.1f %12.1f %14llu\n", n,
+           static_cast<double>(wall) / 1000.0,
+           static_cast<double>(kRows) * kMicrosPerSecond /
+               static_cast<double>(wall),
+           static_cast<double>(exec_total) / 1000.0,
+           static_cast<double>(exec_total) / 1000.0 / n,
+           static_cast<unsigned long long>(peak_resident));
+    if (want_dot && n == 4) {
+      printf("\n-- query network DOT (N=4), Fig. 1/3 reproduction --\n%s\n",
+             monitor::ExportDot(engine).c_str());
+    }
+    // All readers consumed everything: bounded basket memory.
+    const auto stats = *engine.StreamStats("pkts");
+    if (stats.resident_rows > peak_resident) {
+      printf("  !! basket did not shrink\n");
+    }
+  }
+  printf("\nrun with --dot to also print the Graphviz query network.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// datacell_shell: a minimal interactive console over the engine — the
+// closest terminal equivalent of the demo's interactive GUI. Reads SQL and
+// backslash-commands from stdin:
+//
+//   CREATE STREAM/TABLE ... ;  INSERT ... ;       DDL/DML
+//   SELECT ... ;                                  one-time query
+//   \submit [full|inc] SELECT ... ;               register continuous query
+//   \push <stream> v1,v2,... ;                    append one event
+//   \seal <stream> ;                              end-of-stream flush
+//   \results <qid> ;                              drain buffered emissions
+//   \explain [onetime|full|inc] SELECT ... ;      plan pane
+//   \network ;   \tuples ;   \dot ;               monitoring panes
+//   \pause <qid> ;  \resume <qid> ;  \remove <qid> ;
+//   \quit ;
+//
+// Try:  printf 'CREATE STREAM s (ts timestamp, v int);\n
+//   \\submit inc SELECT sum(v) FROM s [RANGE 2 SECONDS];\n
+//   \\push s 0,5; \\push s 1500000,7; \\seal s; \\results 1; \\quit;'
+//   | ./build/examples/datacell_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "monitor/network.h"
+#include "util/string_util.h"
+
+namespace dc {
+namespace {
+
+// Splits "\push s 1,2,3" -> command, arg, rest.
+struct Command {
+  std::string verb;
+  std::string rest;
+};
+
+Command ParseCommand(const std::string& line) {
+  std::istringstream in(line);
+  Command c;
+  in >> c.verb;
+  std::getline(in, c.rest);
+  c.rest = std::string(StrTrim(c.rest));
+  return c;
+}
+
+void PrintStatus(const Status& s) {
+  if (!s.ok()) printf("error: %s\n", s.ToString().c_str());
+}
+
+class Shell {
+ public:
+  Shell() : engine_(EngineOptions{.scheduler_workers = 2}) {}
+
+  // Returns false when the session ends.
+  bool Handle(const std::string& raw) {
+    const std::string stmt = std::string(StrTrim(raw));
+    if (stmt.empty()) return true;
+    if (stmt[0] != '\\') {
+      if (EqualsIgnoreCase(stmt.substr(0, 6), "select")) {
+        auto result = engine_.Query(stmt);
+        if (result.ok()) {
+          printf("%s", result->ToString().c_str());
+        } else {
+          printf("error: %s\n", result.status().ToString().c_str());
+        }
+      } else {
+        PrintStatus(engine_.Execute(stmt));
+      }
+      return true;
+    }
+    const Command c = ParseCommand(stmt.substr(1));
+    if (c.verb == "quit" || c.verb == "q") return false;
+    if (c.verb == "submit") {
+      Command mode = ParseCommand(c.rest);
+      Engine::ContinuousOptions opts;
+      std::string sql = c.rest;
+      if (mode.verb == "full" || mode.verb == "inc") {
+        opts.mode = mode.verb == "full" ? ExecMode::kFullReeval
+                                        : ExecMode::kIncremental;
+        sql = mode.rest;
+      }
+      auto qid = engine_.SubmitContinuous(sql, opts);
+      if (qid.ok()) {
+        printf("registered continuous query %d (%s mode)\n", *qid,
+               ExecModeName(opts.mode));
+      } else {
+        printf("error: %s\n", qid.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (c.verb == "push") {
+      const Command target = ParseCommand(c.rest);
+      std::vector<Value> row;
+      for (const std::string& field : StrSplit(target.rest, ',')) {
+        row.push_back(Value::Str(std::string(StrTrim(field))));
+      }
+      PrintStatus(engine_.PushRow(target.verb, row));
+      return true;
+    }
+    if (c.verb == "seal") {
+      PrintStatus(engine_.SealStream(c.rest));
+      engine_.WaitIdle(2000);
+      return true;
+    }
+    if (c.verb == "results") {
+      engine_.WaitIdle(2000);
+      auto results = engine_.TakeResults(atoi(c.rest.c_str()));
+      if (!results.ok()) {
+        printf("error: %s\n", results.status().ToString().c_str());
+        return true;
+      }
+      printf("%zu emission(s):\n", results->size());
+      for (const ColumnSet& e : *results) printf("%s\n", e.ToString().c_str());
+      return true;
+    }
+    if (c.verb == "explain") {
+      Command mode = ParseCommand(c.rest);
+      plan::PlanMode pm = plan::PlanMode::kContinuousIncremental;
+      std::string sql = c.rest;
+      if (mode.verb == "onetime" || mode.verb == "full" ||
+          mode.verb == "inc") {
+        pm = mode.verb == "onetime" ? plan::PlanMode::kOneTime
+             : mode.verb == "full"  ? plan::PlanMode::kContinuousFull
+                                    : plan::PlanMode::kContinuousIncremental;
+        sql = mode.rest;
+      }
+      auto text = engine_.ExplainSql(sql, pm);
+      if (text.ok()) {
+        printf("%s", text->c_str());
+      } else {
+        printf("error: %s\n", text.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (c.verb == "network") {
+      printf("%s", monitor::RenderNetworkTable(engine_).c_str());
+      return true;
+    }
+    if (c.verb == "tuples") {
+      printf("%s", monitor::RenderTupleLocations(engine_).c_str());
+      return true;
+    }
+    if (c.verb == "dot") {
+      printf("%s", monitor::ExportDot(engine_).c_str());
+      return true;
+    }
+    if (c.verb == "pause") {
+      PrintStatus(engine_.PauseQuery(atoi(c.rest.c_str())));
+      return true;
+    }
+    if (c.verb == "resume") {
+      PrintStatus(engine_.ResumeQuery(atoi(c.rest.c_str())));
+      return true;
+    }
+    if (c.verb == "remove") {
+      PrintStatus(engine_.RemoveContinuous(atoi(c.rest.c_str())));
+      return true;
+    }
+    printf("unknown command \\%s\n", c.verb.c_str());
+    return true;
+  }
+
+  void Run() {
+    printf("DataCell shell — ';'-terminated SQL, \\submit, \\push, "
+           "\\results, \\network, \\quit\n");
+    std::string buffer;
+    std::string line;
+    while (true) {
+      printf(buffer.empty() ? "datacell> " : "      ...> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      buffer += line + "\n";
+      size_t pos;
+      bool keep_going = true;
+      while ((pos = buffer.find(';')) != std::string::npos) {
+        const std::string stmt = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        keep_going = Handle(stmt);
+        if (!keep_going) break;
+      }
+      if (!keep_going) break;
+    }
+  }
+
+ private:
+  Engine engine_;
+};
+
+}  // namespace
+}  // namespace dc
+
+int main() {
+  dc::Shell shell;
+  shell.Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "bat/candidates.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Candidates Candidates::FromVector(std::vector<Oid> oids) {
+  // Normalize a contiguous run back to the dense representation so that
+  // downstream operators keep their fast paths.
+  if (!oids.empty() && oids.back() - oids.front() + 1 == oids.size()) {
+    return Range(oids.front(), oids.size());
+  }
+  Candidates c;
+  c.dense_ = false;
+  c.oids_ = std::move(oids);
+  return c;
+}
+
+bool Candidates::Contains(Oid oid) const {
+  if (dense_) return oid >= first_ && oid < first_ + count_;
+  return std::binary_search(oids_.begin(), oids_.end(), oid);
+}
+
+Candidates Candidates::Intersect(const Candidates& a, const Candidates& b) {
+  if (a.dense_ && b.dense_) {
+    const Oid lo = std::max(a.first_, b.first_);
+    const Oid hi = std::min(a.first_ + a.count_, b.first_ + b.count_);
+    return hi > lo ? Range(lo, hi - lo) : Candidates();
+  }
+  std::vector<Oid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  uint64_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Oid x = a.At(i), y = b.At(j);
+    if (x == y) {
+      out.push_back(x);
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return FromVector(std::move(out));
+}
+
+Candidates Candidates::Union(const Candidates& a, const Candidates& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  std::vector<Oid> out;
+  out.reserve(a.size() + b.size());
+  uint64_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (i >= a.size()) {
+      out.push_back(b.At(j++));
+    } else if (j >= b.size()) {
+      out.push_back(a.At(i++));
+    } else {
+      const Oid x = a.At(i), y = b.At(j);
+      if (x == y) {
+        out.push_back(x);
+        ++i;
+        ++j;
+      } else if (x < y) {
+        out.push_back(x);
+        ++i;
+      } else {
+        out.push_back(y);
+        ++j;
+      }
+    }
+  }
+  return FromVector(std::move(out));
+}
+
+Candidates Candidates::Difference(const Candidates& domain,
+                                  const Candidates& a) {
+  std::vector<Oid> out;
+  out.reserve(domain.size());
+  uint64_t j = 0;
+  for (uint64_t i = 0; i < domain.size(); ++i) {
+    const Oid x = domain.At(i);
+    while (j < a.size() && a.At(j) < x) ++j;
+    if (j < a.size() && a.At(j) == x) continue;
+    out.push_back(x);
+  }
+  return FromVector(std::move(out));
+}
+
+std::vector<Oid> Candidates::ToVector() const {
+  std::vector<Oid> out;
+  out.reserve(size());
+  ForEach([&](Oid o) { out.push_back(o); });
+  return out;
+}
+
+std::string Candidates::ToString() const {
+  if (dense_) {
+    if (count_ == 0) return "[]";
+    return StrFormat("[%llu..%llu]", static_cast<unsigned long long>(first_),
+                     static_cast<unsigned long long>(first_ + count_ - 1));
+  }
+  std::string out = "[";
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (i > 0) out += ",";
+    if (i >= 16) {
+      out += StrFormat("...(%zu)", oids_.size());
+      break;
+    }
+    out += StrFormat("%llu", static_cast<unsigned long long>(oids_[i]));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dc

@@ -1,0 +1,84 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Candidates: the selection vector connecting kernel operators (MonetDB's
+// candidate lists). A select produces the sorted list of qualifying row ids;
+// downstream operators take an optional candidate list and touch only those
+// rows — this is what enables late tuple reconstruction.
+//
+// Two representations: a dense range [first, first+count) — the common case
+// for scans and window slices — and an explicit sorted oid vector.
+
+#ifndef DATACELL_BAT_CANDIDATES_H_
+#define DATACELL_BAT_CANDIDATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bat/types.h"
+
+namespace dc {
+
+/// Sorted set of row ids, dense-range optimized.
+class Candidates {
+ public:
+  /// Empty candidate list.
+  Candidates() : dense_(true), first_(0), count_(0) {}
+
+  /// Dense range [first, first+count).
+  static Candidates Range(Oid first, uint64_t count) {
+    Candidates c;
+    c.dense_ = true;
+    c.first_ = first;
+    c.count_ = count;
+    return c;
+  }
+
+  /// Explicit list; `oids` must be sorted ascending and duplicate-free.
+  static Candidates FromVector(std::vector<Oid> oids);
+
+  uint64_t size() const { return dense_ ? count_ : oids_.size(); }
+  bool empty() const { return size() == 0; }
+  bool is_dense() const { return dense_; }
+  Oid first() const { return dense_ ? first_ : (oids_.empty() ? 0 : oids_[0]); }
+
+  Oid At(uint64_t i) const { return dense_ ? first_ + i : oids_[i]; }
+
+  /// Applies `fn(oid)` to every candidate in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_) {
+      for (uint64_t i = 0; i < count_; ++i) fn(first_ + i);
+    } else {
+      for (Oid o : oids_) fn(o);
+    }
+  }
+
+  /// True if `oid` is a member (binary search for sparse lists).
+  bool Contains(Oid oid) const;
+
+  /// Set intersection (AND of two selections).
+  static Candidates Intersect(const Candidates& a, const Candidates& b);
+
+  /// Set union (OR of two selections).
+  static Candidates Union(const Candidates& a, const Candidates& b);
+
+  /// Members of `domain` not present in `a` (NOT of a selection).
+  static Candidates Difference(const Candidates& domain, const Candidates& a);
+
+  /// Materializes as a vector (tests / joins needing indexed access).
+  std::vector<Oid> ToVector() const;
+
+  /// Debug rendering: "[0..99]" or "[3,7,12]".
+  std::string ToString() const;
+
+ private:
+  bool dense_;
+  Oid first_;
+  uint64_t count_;
+  std::vector<Oid> oids_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_BAT_CANDIDATES_H_

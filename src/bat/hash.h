@@ -1,0 +1,49 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Hashing for join/group-by hash tables. 64-bit mix for integers and
+// FNV-1a for strings; combiner for multi-key grouping.
+
+#ifndef DATACELL_BAT_HASH_H_
+#define DATACELL_BAT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dc {
+
+/// Finalizer from MurmurHash3; good avalanche for integer keys.
+inline uint64_t HashU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashI64(int64_t x) { return HashU64(static_cast<uint64_t>(x)); }
+
+inline uint64_t HashDouble(double d) {
+  // Normalize -0.0 to +0.0 so equal doubles hash equally.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return HashU64(bits);
+}
+
+inline uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return HashU64(h);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashU64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace dc
+
+#endif  // DATACELL_BAT_HASH_H_

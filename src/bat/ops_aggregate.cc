@@ -1,0 +1,204 @@
+#include "bat/ops_aggregate.h"
+
+#include "util/string_util.h"
+
+namespace dc::ops {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Result<TypeId> AggResultType(AggKind kind, TypeId input) {
+  switch (kind) {
+    case AggKind::kCount:
+      return TypeId::kI64;
+    case AggKind::kAvg:
+      if (!IsNumeric(input)) return Status::TypeError("AVG needs numeric");
+      return TypeId::kF64;
+    case AggKind::kSum:
+      if (!IsNumeric(input)) return Status::TypeError("SUM needs numeric");
+      return input == TypeId::kF64 ? TypeId::kF64 : TypeId::kI64;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (input == TypeId::kBool) {
+        return Status::TypeError("MIN/MAX over bool");
+      }
+      return input;
+  }
+  return Status::Internal("AggResultType");
+}
+
+void AggState::Add(const Value& v) {
+  ++count;
+  switch (v.type()) {
+    case TypeId::kI64:
+    case TypeId::kTs:
+      isum += v.AsI64();
+      dsum += static_cast<double>(v.AsI64());
+      break;
+    case TypeId::kF64:
+      dsum += v.AsF64();
+      break;
+    default:
+      break;
+  }
+  if (!has_minmax) {
+    min = v;
+    max = v;
+    has_minmax = true;
+  } else {
+    if (v.Compare(min) < 0) min = v;
+    if (v.Compare(max) > 0) max = v;
+  }
+}
+
+void AggState::AddColumn(const Bat& col, const Candidates* cand) {
+  auto add_i64 = [&](int64_t x) {
+    ++count;
+    isum += x;
+    dsum += static_cast<double>(x);
+    if (!has_minmax) {
+      min = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+      max = min;
+      has_minmax = true;
+    } else {
+      if (x < min.AsI64()) {
+        min = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+      }
+      if (x > max.AsI64()) {
+        max = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+      }
+    }
+  };
+  switch (col.type()) {
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      auto data = col.I64Data();
+      if (cand) {
+        cand->ForEach([&](Oid o) { add_i64(data[o]); });
+      } else {
+        for (int64_t x : data) add_i64(x);
+      }
+      break;
+    }
+    case TypeId::kF64: {
+      auto data = col.F64Data();
+      auto add = [&](double x) {
+        ++count;
+        dsum += x;
+        if (!has_minmax) {
+          min = Value::F64(x);
+          max = Value::F64(x);
+          has_minmax = true;
+        } else {
+          if (x < min.AsF64()) min = Value::F64(x);
+          if (x > max.AsF64()) max = Value::F64(x);
+        }
+      };
+      if (cand) {
+        cand->ForEach([&](Oid o) { add(data[o]); });
+      } else {
+        for (double x : data) add(x);
+      }
+      break;
+    }
+    case TypeId::kStr: {
+      auto add = [&](Oid o) { Add(Value::Str(std::string(col.StrAt(o)))); };
+      if (cand) {
+        cand->ForEach(add);
+      } else {
+        for (Oid o = 0; o < col.size(); ++o) add(o);
+      }
+      break;
+    }
+    case TypeId::kBool: {
+      auto data = col.BoolData();
+      auto add = [&](Oid o) {
+        ++count;
+        isum += data[o] ? 1 : 0;
+        dsum += data[o] ? 1.0 : 0.0;
+      };
+      if (cand) {
+        cand->ForEach(add);
+      } else {
+        for (Oid o = 0; o < col.size(); ++o) add(o);
+      }
+      break;
+    }
+  }
+}
+
+void AggState::Merge(const AggState& other) {
+  count += other.count;
+  isum += other.isum;
+  dsum += other.dsum;
+  if (other.has_minmax) {
+    if (!has_minmax) {
+      min = other.min;
+      max = other.max;
+      has_minmax = true;
+    } else {
+      if (other.min.Compare(min) < 0) min = other.min;
+      if (other.max.Compare(max) > 0) max = other.max;
+    }
+  }
+}
+
+Value AggState::Finalize(AggKind kind, TypeId input_type) const {
+  switch (kind) {
+    case AggKind::kCount:
+      return Value::I64(static_cast<int64_t>(count));
+    case AggKind::kSum:
+      if (input_type == TypeId::kF64) return Value::F64(dsum);
+      return Value::I64(isum);
+    case AggKind::kAvg:
+      return Value::F64(count == 0 ? 0.0
+                                   : dsum / static_cast<double>(count));
+    case AggKind::kMin:
+      if (has_minmax) return min;
+      break;
+    case AggKind::kMax:
+      if (has_minmax) return max;
+      break;
+  }
+  // Empty-input MIN/MAX: zero of the input type (documented; no NULLs).
+  switch (input_type) {
+    case TypeId::kF64:
+      return Value::F64(0);
+    case TypeId::kStr:
+      return Value::Str("");
+    case TypeId::kTs:
+      return Value::Ts(0);
+    default:
+      return Value::I64(0);
+  }
+}
+
+Result<Value> ScalarAgg(AggKind kind, const Bat* col, const Candidates* cand,
+                        uint64_t domain_size) {
+  if (kind == AggKind::kCount) {
+    return Value::I64(
+        static_cast<int64_t>(cand ? cand->size() : domain_size));
+  }
+  if (col == nullptr) {
+    return Status::InvalidArgument("aggregate requires a value column");
+  }
+  DC_RETURN_NOT_OK(AggResultType(kind, col->type()).status());
+  AggState state;
+  state.AddColumn(*col, cand);
+  return state.Finalize(kind, col->type());
+}
+
+}  // namespace dc::ops

@@ -1,0 +1,58 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Aggregation: scalar (whole-input) and grouped, plus the mergeable partial
+// state that powers DataCell's incremental sliding-window mode (partial
+// aggregates per basic window, merged per emission — DESIGN.md §4.6).
+
+#ifndef DATACELL_BAT_OPS_AGGREGATE_H_
+#define DATACELL_BAT_OPS_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bat/bat.h"
+#include "bat/candidates.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+/// Supported aggregate functions.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggKindName(AggKind k);
+
+/// Result type of `kind` over a column of type `input` (COUNT->I64,
+/// AVG->F64, SUM over I64->I64, ...). `input` is ignored for COUNT.
+Result<TypeId> AggResultType(AggKind kind, TypeId input);
+
+/// Mergeable partial aggregate state. One AggState summarizes any subset of
+/// rows; Merge() combines disjoint subsets. This is the unit DataCell
+/// caches per basic window.
+struct AggState {
+  uint64_t count = 0;
+  int64_t isum = 0;   // running sum for int-like inputs
+  double dsum = 0;    // running sum for f64 inputs
+  bool has_minmax = false;
+  Value min;
+  Value max;
+
+  /// Folds one value in.
+  void Add(const Value& v);
+  /// Folds a whole column subset in (bulk path).
+  void AddColumn(const Bat& col, const Candidates* cand);
+  /// Combines another disjoint partial state.
+  void Merge(const AggState& other);
+  /// Extracts the final value for `kind` given the input column type.
+  /// Empty input yields COUNT=0, SUM=0, AVG=0, MIN/MAX=0/"" (no NULLs).
+  Value Finalize(AggKind kind, TypeId input_type) const;
+};
+
+/// Scalar aggregate of `kind` over `col` restricted to `cand`.
+/// For COUNT, `col` may be null (COUNT(*)): pass the row count via `cand`
+/// or `domain_size`.
+Result<Value> ScalarAgg(AggKind kind, const Bat* col, const Candidates* cand,
+                        uint64_t domain_size);
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_AGGREGATE_H_

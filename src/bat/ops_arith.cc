@@ -1,0 +1,230 @@
+#include "bat/ops_arith.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dc::ops {
+
+namespace {
+
+Result<double> NumAt(const Bat& b, uint64_t i) {
+  if (StoredAsI64(b.type())) return static_cast<double>(b.I64Data()[i]);
+  if (b.type() == TypeId::kF64) return b.F64Data()[i];
+  return Status::TypeError("arith on non-numeric column");
+}
+
+bool BothIntLike(TypeId a, TypeId b) { return StoredAsI64(a) && StoredAsI64(b); }
+
+int64_t IntArith(int64_t x, ArithOp op, int64_t y) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return x + y;
+    case ArithOp::kSub:
+      return x - y;
+    case ArithOp::kMul:
+      return x * y;
+    case ArithOp::kMod:
+      return y == 0 ? 0 : x % y;  // SQL would error; we saturate to 0.
+    case ArithOp::kDiv:
+      break;  // handled as f64
+  }
+  return 0;
+}
+
+double DblArith(double x, ArithOp op, double y) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return x + y;
+    case ArithOp::kSub:
+      return x - y;
+    case ArithOp::kMul:
+      return x * y;
+    case ArithOp::kDiv:
+      return y == 0.0 ? 0.0 : x / y;  // divide-by-zero saturates to 0
+    case ArithOp::kMod:
+      return std::fmod(x, y);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<BatPtr> MapArith(const Bat& a, ArithOp op, const Bat& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("MapArith: column size mismatch");
+  }
+  if (!IsNumeric(a.type()) || !IsNumeric(b.type())) {
+    return Status::TypeError(StrFormat("arith %s over %s and %s",
+                                       ArithOpName(op), TypeName(a.type()),
+                                       TypeName(b.type())));
+  }
+  const uint64_t n = a.size();
+  if (op != ArithOp::kDiv && BothIntLike(a.type(), b.type())) {
+    std::vector<int64_t> out(n);
+    auto da = a.I64Data();
+    auto db = b.I64Data();
+    for (uint64_t i = 0; i < n; ++i) out[i] = IntArith(da[i], op, db[i]);
+    return Bat::MakeI64(std::move(out));
+  }
+  std::vector<double> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DC_ASSIGN_OR_RETURN(double x, NumAt(a, i));
+    DC_ASSIGN_OR_RETURN(double y, NumAt(b, i));
+    out[i] = DblArith(x, op, y);
+  }
+  return Bat::MakeF64(std::move(out));
+}
+
+Result<BatPtr> MapArithConst(const Bat& a, ArithOp op, const Value& literal,
+                             bool literal_left) {
+  if (!IsNumeric(a.type()) || !IsNumeric(literal.type())) {
+    return Status::TypeError("arith-const over non-numeric operand");
+  }
+  const uint64_t n = a.size();
+  if (op != ArithOp::kDiv && StoredAsI64(a.type()) &&
+      StoredAsI64(literal.type())) {
+    const int64_t v = literal.AsI64();
+    std::vector<int64_t> out(n);
+    auto da = a.I64Data();
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = literal_left ? IntArith(v, op, da[i]) : IntArith(da[i], op, v);
+    }
+    return Bat::MakeI64(std::move(out));
+  }
+  const double v = literal.NumericAsDouble();
+  std::vector<double> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DC_ASSIGN_OR_RETURN(double x, NumAt(a, i));
+    out[i] = literal_left ? DblArith(v, op, x) : DblArith(x, op, v);
+  }
+  return Bat::MakeF64(std::move(out));
+}
+
+Result<BatPtr> MapCmpCol(const Bat& a, CmpOp op, const Bat& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("MapCmpCol: column size mismatch");
+  }
+  const uint64_t n = a.size();
+  std::vector<uint8_t> out(n);
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    for (uint64_t i = 0; i < n; ++i) {
+      DC_ASSIGN_OR_RETURN(double x, NumAt(a, i));
+      DC_ASSIGN_OR_RETURN(double y, NumAt(b, i));
+      out[i] = CmpHolds(op, x < y ? -1 : (x == y ? 0 : 1)) ? 1 : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  if (a.type() == TypeId::kStr && b.type() == TypeId::kStr) {
+    for (uint64_t i = 0; i < n; ++i) {
+      const std::string_view x = a.StrAt(i);
+      const std::string_view y = b.StrAt(i);
+      out[i] = CmpHolds(op, x < y ? -1 : (x == y ? 0 : 1)) ? 1 : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  if (a.type() == TypeId::kBool && b.type() == TypeId::kBool) {
+    auto da = a.BoolData();
+    auto db = b.BoolData();
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = CmpHolds(op, static_cast<int>(da[i]) - static_cast<int>(db[i]))
+                   ? 1
+                   : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  return Status::TypeError(StrFormat("cannot compare %s with %s",
+                                     TypeName(a.type()), TypeName(b.type())));
+}
+
+Result<BatPtr> MapCmpConst(const Bat& a, CmpOp op, const Value& literal) {
+  const uint64_t n = a.size();
+  std::vector<uint8_t> out(n);
+  if (IsNumeric(a.type()) && IsNumeric(literal.type())) {
+    const double v = literal.NumericAsDouble();
+    for (uint64_t i = 0; i < n; ++i) {
+      DC_ASSIGN_OR_RETURN(double x, NumAt(a, i));
+      out[i] = CmpHolds(op, x < v ? -1 : (x == v ? 0 : 1)) ? 1 : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  if (a.type() == TypeId::kStr && literal.type() == TypeId::kStr) {
+    const std::string& v = literal.AsStr();
+    for (uint64_t i = 0; i < n; ++i) {
+      const std::string_view x = a.StrAt(i);
+      out[i] = CmpHolds(op, x < v ? -1 : (x == v ? 0 : 1)) ? 1 : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  if (a.type() == TypeId::kBool && literal.type() == TypeId::kBool) {
+    auto da = a.BoolData();
+    const int v = literal.AsBool() ? 1 : 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = CmpHolds(op, static_cast<int>(da[i]) - v) ? 1 : 0;
+    }
+    return Bat::MakeBool(std::move(out));
+  }
+  return Status::TypeError(StrFormat("cannot compare %s with %s literal",
+                                     TypeName(a.type()),
+                                     TypeName(literal.type())));
+}
+
+Result<BatPtr> MapAnd(const Bat& a, const Bat& b) {
+  if (a.type() != TypeId::kBool || b.type() != TypeId::kBool) {
+    return Status::TypeError("AND expects bool columns");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("MapAnd: size mismatch");
+  }
+  std::vector<uint8_t> out(a.size());
+  auto da = a.BoolData();
+  auto db = b.BoolData();
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = (da[i] && db[i]) ? 1 : 0;
+  return Bat::MakeBool(std::move(out));
+}
+
+Result<BatPtr> MapOr(const Bat& a, const Bat& b) {
+  if (a.type() != TypeId::kBool || b.type() != TypeId::kBool) {
+    return Status::TypeError("OR expects bool columns");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("MapOr: size mismatch");
+  }
+  std::vector<uint8_t> out(a.size());
+  auto da = a.BoolData();
+  auto db = b.BoolData();
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = (da[i] || db[i]) ? 1 : 0;
+  return Bat::MakeBool(std::move(out));
+}
+
+Result<BatPtr> MapNot(const Bat& a) {
+  if (a.type() != TypeId::kBool) {
+    return Status::TypeError("NOT expects a bool column");
+  }
+  std::vector<uint8_t> out(a.size());
+  auto da = a.BoolData();
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = da[i] ? 0 : 1;
+  return Bat::MakeBool(std::move(out));
+}
+
+Result<BatPtr> MapCast(const Bat& a, TypeId target) {
+  if (a.type() == target) {
+    return std::make_shared<Bat>(a);
+  }
+  auto out = std::make_shared<Bat>(target);
+  out->Reserve(a.size());
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    DC_ASSIGN_OR_RETURN(Value v, a.GetValue(i).CastTo(target));
+    out->AppendValue(v);
+  }
+  return out;
+}
+
+BatPtr MakeConstColumn(const Value& literal, uint64_t n) {
+  auto out = std::make_shared<Bat>(literal.type());
+  out->Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out->AppendValue(literal);
+  return out;
+}
+
+}  // namespace dc::ops

@@ -1,0 +1,45 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Elementwise ("map") operators: arithmetic over columns and literals,
+// boolean comparison maps, and casts. All bulk: full result columns are
+// materialized.
+//
+// Type rules: I64 op I64 -> I64 (except '/', which is always F64, matching
+// the SQL layer's AVG-friendly semantics); any F64 operand promotes to F64;
+// TS behaves as I64. '%' requires integer operands.
+
+#ifndef DATACELL_BAT_OPS_ARITH_H_
+#define DATACELL_BAT_OPS_ARITH_H_
+
+#include "bat/bat.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+/// result[i] = a[i] op b[i]. Columns must have equal sizes.
+Result<BatPtr> MapArith(const Bat& a, ArithOp op, const Bat& b);
+
+/// result[i] = a[i] op literal (or literal op a[i] when `literal_left`).
+Result<BatPtr> MapArithConst(const Bat& a, ArithOp op, const Value& literal,
+                             bool literal_left = false);
+
+/// result[i] = (a[i] cmp b[i]) as a BOOL column.
+Result<BatPtr> MapCmpCol(const Bat& a, CmpOp op, const Bat& b);
+
+/// result[i] = (a[i] cmp literal) as a BOOL column.
+Result<BatPtr> MapCmpConst(const Bat& a, CmpOp op, const Value& literal);
+
+/// Elementwise logical ops over BOOL columns.
+Result<BatPtr> MapAnd(const Bat& a, const Bat& b);
+Result<BatPtr> MapOr(const Bat& a, const Bat& b);
+Result<BatPtr> MapNot(const Bat& a);
+
+/// Casts every element to `target` (I64<->F64<->TS, anything->STR).
+Result<BatPtr> MapCast(const Bat& a, TypeId target);
+
+/// Fills a column of `n` copies of `literal` (constant projection).
+BatPtr MakeConstColumn(const Value& literal, uint64_t n);
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_ARITH_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Multi-key grouping and grouped aggregation. GroupBy assigns a dense group
+// id to every input row; grouped aggregates then fold value columns per
+// group. Group descriptors are mergeable across basic windows via
+// GroupedAggMerger (the incremental GROUP BY path).
+
+#ifndef DATACELL_BAT_OPS_GROUP_H_
+#define DATACELL_BAT_OPS_GROUP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/candidates.h"
+#include "bat/ops_aggregate.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+/// Output of GroupBy over `n` candidate rows.
+struct GroupResult {
+  /// group_ids[i] = dense group id of the i-th candidate row.
+  std::vector<uint32_t> group_ids;
+  /// representatives[g] = oid of the first row of group g (for fetching
+  /// key values).
+  std::vector<Oid> representatives;
+  uint32_t num_groups = 0;
+};
+
+/// Groups the candidate rows of the key columns (all equal size).
+Result<GroupResult> GroupBy(const std::vector<const Bat*>& keys,
+                            const Candidates* cand = nullptr);
+
+/// Grouped aggregate: folds `values` (ordered like GroupBy's candidate
+/// iteration; i.e. values[i] belongs to group group_ids[i]) into one output
+/// row per group. For COUNT, `values` may be null.
+/// `values_cand` must be the same candidate list passed to GroupBy.
+Result<BatPtr> GroupedAgg(AggKind kind, const Bat* values,
+                          const Candidates* values_cand,
+                          const GroupResult& groups);
+
+/// Incremental grouped aggregation: accumulates (key-row, AggState) partial
+/// tables per basic window and merges them per emission.
+///
+/// Usage: for each basic window, AddPartial(keys of that window's rows,
+/// values, ...); at emission, Finalize() produces key columns + one value
+/// column per registered aggregate.
+class GroupedAggMerger {
+ public:
+  /// `key_types`: types of the group-by key columns.
+  /// `aggs`: (kind, value column type) per output aggregate.
+  GroupedAggMerger(std::vector<TypeId> key_types,
+                   std::vector<std::pair<AggKind, TypeId>> aggs);
+
+  /// Folds one basic window's rows: `keys[k]` is the k-th key column,
+  /// `values[a]` the a-th aggregate's value column (null for COUNT).
+  /// All columns are pre-sliced to the basic window (no candidates).
+  Status AddPartial(const std::vector<const Bat*>& keys,
+                    const std::vector<const Bat*>& values);
+
+  /// Merges another merger built with identical key/agg layout.
+  Status MergeFrom(const GroupedAggMerger& other);
+
+  /// Emits key columns followed by one column per aggregate, one row per
+  /// distinct key. Group order is first-appearance order.
+  Result<std::vector<BatPtr>> Finalize() const;
+
+  size_t num_groups() const { return group_keys_.size(); }
+
+ private:
+  struct GroupEntry {
+    std::vector<Value> key;
+    std::vector<AggState> states;
+  };
+
+  uint64_t HashKey(const std::vector<Value>& key) const;
+
+  std::vector<TypeId> key_types_;
+  std::vector<std::pair<AggKind, TypeId>> aggs_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;  // hash->ids
+  std::vector<GroupEntry> group_keys_;
+};
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_GROUP_H_

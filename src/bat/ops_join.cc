@@ -1,0 +1,110 @@
+#include "bat/ops_join.h"
+
+#include <string_view>
+#include <unordered_map>
+
+#include "bat/hash.h"
+#include "util/string_util.h"
+
+namespace dc::ops {
+
+namespace {
+
+struct SvHash {
+  size_t operator()(std::string_view s) const { return HashBytes(s); }
+};
+
+template <typename K, typename LKey, typename RKey>
+JoinResult JoinTyped(uint64_t left_size, uint64_t right_size,
+                     const Candidates* lcand, const Candidates* rcand,
+                     LKey&& lkey, RKey&& rkey) {
+  std::unordered_multimap<K, Oid,
+                          std::conditional_t<std::is_same_v<K, std::string_view>,
+                                             SvHash, std::hash<K>>>
+      table;
+  const uint64_t build_n = rcand ? rcand->size() : right_size;
+  table.reserve(build_n);
+  auto build = [&](Oid o) { table.emplace(rkey(o), o); };
+  if (rcand) {
+    rcand->ForEach(build);
+  } else {
+    for (Oid o = 0; o < right_size; ++o) build(o);
+  }
+
+  JoinResult out;
+  auto probe = [&](Oid o) {
+    auto [it, end] = table.equal_range(lkey(o));
+    for (; it != end; ++it) {
+      out.left.push_back(o);
+      out.right.push_back(it->second);
+    }
+  };
+  if (lcand) {
+    lcand->ForEach(probe);
+  } else {
+    for (Oid o = 0; o < left_size; ++o) probe(o);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
+                            const Candidates* lcand, const Candidates* rcand) {
+  const TypeId lt = left.type();
+  const TypeId rt = right.type();
+  if (StoredAsI64(lt) && StoredAsI64(rt)) {
+    auto dl = left.I64Data();
+    auto dr = right.I64Data();
+    return JoinTyped<int64_t>(
+        left.size(), right.size(), lcand, rcand,
+        [dl](Oid o) { return dl[o]; }, [dr](Oid o) { return dr[o]; });
+  }
+  if (IsNumeric(lt) && IsNumeric(rt)) {
+    auto get = [](const Bat& b) {
+      return [&b](Oid o) {
+        return StoredAsI64(b.type()) ? static_cast<double>(b.I64Data()[o])
+                                     : b.F64Data()[o];
+      };
+    };
+    return JoinTyped<double>(left.size(), right.size(), lcand, rcand,
+                             get(left), get(right));
+  }
+  if (lt == TypeId::kStr && rt == TypeId::kStr) {
+    return JoinTyped<std::string_view>(
+        left.size(), right.size(), lcand, rcand,
+        [&left](Oid o) { return left.StrAt(o); },
+        [&right](Oid o) { return right.StrAt(o); });
+  }
+  return Status::TypeError(StrFormat("cannot equi-join %s with %s",
+                                     TypeName(lt), TypeName(rt)));
+}
+
+BatPtr FetchOids(const Bat& col, const std::vector<Oid>& oids) {
+  auto out = std::make_shared<Bat>(col.type());
+  out->Reserve(oids.size());
+  switch (col.type()) {
+    case TypeId::kBool: {
+      auto data = col.BoolData();
+      for (Oid o : oids) out->AppendBool(data[o] != 0);
+      break;
+    }
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      auto data = col.I64Data();
+      for (Oid o : oids) out->AppendI64(data[o]);
+      break;
+    }
+    case TypeId::kF64: {
+      auto data = col.F64Data();
+      for (Oid o : oids) out->AppendF64(data[o]);
+      break;
+    }
+    case TypeId::kStr:
+      for (Oid o : oids) out->AppendStr(col.StrAt(o));
+      break;
+  }
+  return out;
+}
+
+}  // namespace dc::ops

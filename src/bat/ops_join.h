@@ -1,0 +1,40 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Equi-join over two columns. Returns matching oid pairs (the MonetDB
+// "join index"); callers fetch payload columns from either side with the
+// returned oid lists (late reconstruction).
+
+#ifndef DATACELL_BAT_OPS_JOIN_H_
+#define DATACELL_BAT_OPS_JOIN_H_
+
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/candidates.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+/// Pairs of matching row ids; left[i] matches right[i]. Output is ordered
+/// by left oid (probe order), ties in right build order.
+struct JoinResult {
+  std::vector<Oid> left;
+  std::vector<Oid> right;
+
+  uint64_t size() const { return left.size(); }
+};
+
+/// Inner hash equi-join: build on `right` (restricted to `rcand`), probe
+/// with `left` (restricted to `lcand`). Join key types must match
+/// (numeric types join via double promotion; STR joins STR).
+Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
+                            const Candidates* lcand = nullptr,
+                            const Candidates* rcand = nullptr);
+
+/// Materializes `col[oids[i]]` for every i — payload fetch through a join
+/// index (oids may repeat; unlike Candidates they need not be sorted).
+BatPtr FetchOids(const Bat& col, const std::vector<Oid>& oids);
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_JOIN_H_

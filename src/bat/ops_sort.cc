@@ -1,0 +1,67 @@
+#include "bat/ops_sort.h"
+
+#include <algorithm>
+
+namespace dc::ops {
+
+namespace {
+
+// Three-way comparison of two rows of one column without boxing.
+int CompareCell(const Bat& col, Oid a, Oid b) {
+  switch (col.type()) {
+    case TypeId::kBool: {
+      const int x = col.BoolData()[a];
+      const int y = col.BoolData()[b];
+      return x - y;
+    }
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      const int64_t x = col.I64Data()[a];
+      const int64_t y = col.I64Data()[b];
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    case TypeId::kF64: {
+      const double x = col.F64Data()[a];
+      const double y = col.F64Data()[b];
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    case TypeId::kStr: {
+      const std::string_view x = col.StrAt(a);
+      const std::string_view y = col.StrAt(b);
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<Oid>> SortOrder(const std::vector<SortKey>& keys,
+                                   const Candidates* cand) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("SortOrder requires at least one key");
+  }
+  const uint64_t domain = keys[0].col->size();
+  for (const SortKey& k : keys) {
+    if (k.col->size() != domain) {
+      return Status::InvalidArgument("SortOrder: key size mismatch");
+    }
+  }
+  std::vector<Oid> order;
+  if (cand) {
+    order = cand->ToVector();
+  } else {
+    order.resize(domain);
+    for (uint64_t i = 0; i < domain; ++i) order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](Oid a, Oid b) {
+    for (const SortKey& k : keys) {
+      const int c = CompareCell(*k.col, a, b);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return order;
+}
+
+}  // namespace dc::ops

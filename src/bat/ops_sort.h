@@ -1,0 +1,30 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Ordering: stable multi-key sort producing an oid permutation, consumed by
+// ORDER BY / top-n (LIMIT after sort).
+
+#ifndef DATACELL_BAT_OPS_SORT_H_
+#define DATACELL_BAT_OPS_SORT_H_
+
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/candidates.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+/// One ORDER BY key.
+struct SortKey {
+  const Bat* col;
+  bool ascending = true;
+};
+
+/// Returns the candidate oids permuted into sort order (stable; ties keep
+/// input order). `cand == nullptr` sorts the full column domain.
+Result<std::vector<Oid>> SortOrder(const std::vector<SortKey>& keys,
+                                   const Candidates* cand = nullptr);
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_SORT_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The DataCell Authors.
+//
+// StringHeap: the variable-length tail heap backing STR columns, as in
+// MonetDB. A string column stores fixed-width offsets into its heap; the
+// heap stores length-prefixed bytes. Appends are O(len); lookups are O(1)
+// and return views into the arena (no per-row allocation).
+
+#ifndef DATACELL_BAT_STRING_HEAP_H_
+#define DATACELL_BAT_STRING_HEAP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc {
+
+/// Append-only byte arena of length-prefixed strings.
+class StringHeap {
+ public:
+  /// Appends `s`, returning its heap offset (use with Get()).
+  uint64_t Add(std::string_view s) {
+    const uint64_t off = bytes_.size();
+    uint32_t len = static_cast<uint32_t>(s.size());
+    const size_t old = bytes_.size();
+    bytes_.resize(old + sizeof(len) + s.size());
+    std::memcpy(bytes_.data() + old, &len, sizeof(len));
+    if (!s.empty()) {
+      std::memcpy(bytes_.data() + old + sizeof(len), s.data(), s.size());
+    }
+    return off;
+  }
+
+  /// Returns the string at heap offset `off`. The view is valid until the
+  /// heap is destroyed (the arena never relocates logically deleted data;
+  /// growth may reallocate, so views must not be held across Add calls).
+  std::string_view Get(uint64_t off) const {
+    uint32_t len;
+    std::memcpy(&len, bytes_.data() + off, sizeof(len));
+    return std::string_view(
+        reinterpret_cast<const char*>(bytes_.data()) + off + sizeof(len),
+        len);
+  }
+
+  size_t ByteSize() const { return bytes_.size(); }
+  void Reserve(size_t bytes) { bytes_.reserve(bytes); }
+  void Clear() { bytes_.clear(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_BAT_STRING_HEAP_H_

@@ -1,0 +1,182 @@
+#include "bat/types.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dc {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kI64:
+      return "i64";
+    case TypeId::kF64:
+      return "f64";
+    case TypeId::kStr:
+      return "str";
+    case TypeId::kTs:
+      return "ts";
+  }
+  return "?";
+}
+
+Result<TypeId> TypeFromName(std::string_view name) {
+  const std::string n = ToLower(name);
+  if (n == "bool" || n == "boolean") return TypeId::kBool;
+  if (n == "int" || n == "integer" || n == "bigint" || n == "i64" ||
+      n == "long") {
+    return TypeId::kI64;
+  }
+  if (n == "double" || n == "float" || n == "real" || n == "f64") {
+    return TypeId::kF64;
+  }
+  if (n == "string" || n == "varchar" || n == "text" || n == "str") {
+    return TypeId::kStr;
+  }
+  if (n == "timestamp" || n == "ts") return TypeId::kTs;
+  return Status::TypeError(StrFormat("unknown type name '%s'", n.c_str()));
+}
+
+double Value::NumericAsDouble() const {
+  switch (type_) {
+    case TypeId::kI64:
+    case TypeId::kTs:
+      return static_cast<double>(AsI64());
+    case TypeId::kF64:
+      return AsF64();
+    case TypeId::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case TypeId::kStr:
+      break;
+  }
+  abort();
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (type_ == target) return *this;
+  switch (target) {
+    case TypeId::kF64:
+      if (StoredAsI64(type_)) return Value::F64(static_cast<double>(AsI64()));
+      if (type_ == TypeId::kStr) {
+        char* end = nullptr;
+        const double d = strtod(AsStr().c_str(), &end);
+        if (end == AsStr().c_str() || *end != '\0') {
+          return Status::TypeError(
+              StrFormat("cannot parse '%s' as f64", AsStr().c_str()));
+        }
+        return Value::F64(d);
+      }
+      break;
+    case TypeId::kI64:
+      if (type_ == TypeId::kTs) return Value::I64(AsI64());
+      if (type_ == TypeId::kF64) {
+        return Value::I64(static_cast<int64_t>(AsF64()));
+      }
+      if (type_ == TypeId::kBool) return Value::I64(AsBool() ? 1 : 0);
+      if (type_ == TypeId::kStr) {
+        char* end = nullptr;
+        const long long v = strtoll(AsStr().c_str(), &end, 10);
+        if (end == AsStr().c_str() || *end != '\0') {
+          return Status::TypeError(
+              StrFormat("cannot parse '%s' as i64", AsStr().c_str()));
+        }
+        return Value::I64(v);
+      }
+      break;
+    case TypeId::kTs:
+      if (type_ == TypeId::kI64) return Value::Ts(AsI64());
+      if (type_ == TypeId::kF64) {
+        return Value::Ts(static_cast<int64_t>(AsF64()));
+      }
+      if (type_ == TypeId::kStr) {
+        char* end = nullptr;
+        const long long v = strtoll(AsStr().c_str(), &end, 10);
+        if (end == AsStr().c_str() || *end != '\0') {
+          return Status::TypeError(
+              StrFormat("cannot parse '%s' as ts", AsStr().c_str()));
+        }
+        return Value::Ts(v);
+      }
+      break;
+    case TypeId::kStr:
+      return Value::Str(ToString());
+    case TypeId::kBool:
+      if (StoredAsI64(type_)) return Value::Bool(AsI64() != 0);
+      break;
+  }
+  return Status::TypeError(StrFormat("cannot cast %s to %s", TypeName(type_),
+                                     TypeName(target)));
+}
+
+int Value::Compare(const Value& other) const {
+  if (type_ == TypeId::kStr || other.type_ == TypeId::kStr) {
+    const std::string& a = AsStr();
+    const std::string& b = other.AsStr();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  if (type_ == TypeId::kBool && other.type_ == TypeId::kBool) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  if (type_ == TypeId::kF64 || other.type_ == TypeId::kF64) {
+    const double a = NumericAsDouble();
+    const double b = other.NumericAsDouble();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  const int64_t a = AsI64();
+  const int64_t b = other.AsI64();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kBool:
+      return AsBool() ? "true" : "false";
+    case TypeId::kI64:
+    case TypeId::kTs:
+      return StrFormat("%lld", static_cast<long long>(AsI64()));
+    case TypeId::kF64:
+      return FormatDouble(AsF64());
+    case TypeId::kStr:
+      return AsStr();
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+}  // namespace dc

@@ -1,0 +1,238 @@
+#include "core/basket.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Basket::Basket(std::string name, Schema schema, size_t ts_col)
+    : name_(std::move(name)), schema_(std::move(schema)), ts_col_(ts_col) {
+  for (const ColumnDef& c : schema_.columns()) {
+    cols_.push_back(Bat::MakeEmpty(c.type));
+  }
+}
+
+Status Basket::Append(const std::vector<BatPtr>& cols) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DC_RETURN_NOT_OK(AppendLocked(cols));
+  }
+  NotifyAll();
+  return Status::OK();
+}
+
+Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
+  if (cols.size() != cols_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("basket %s: expected %zu columns, got %zu", name_.c_str(),
+                  cols_.size(), cols.size()));
+  }
+  const uint64_t n = cols.empty() ? 0 : cols[0]->size();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i]->type() != schema_.column(i).type) {
+      return Status::TypeError(
+          StrFormat("basket %s column %zu: expected %s, got %s",
+                    name_.c_str(), i, TypeName(schema_.column(i).type),
+                    TypeName(cols[i]->type())));
+    }
+    if (cols[i]->size() != n) {
+      return Status::InvalidArgument("ragged basket append");
+    }
+  }
+  if (n == 0) return Status::OK();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i == ts_col_) {
+      // Clamp event time to be non-decreasing (documented simplification).
+      auto ts = cols[i]->I64Data();
+      Micros prev = watermark_;
+      bool monotone = true;
+      for (int64_t t : ts) {
+        if (t < prev) {
+          monotone = false;
+          break;
+        }
+        prev = t;
+      }
+      if (monotone) {
+        cols_[i]->AppendRange(*cols[i], 0, n);
+        watermark_ = std::max(watermark_, ts[n - 1]);
+      } else {
+        Micros clamp = watermark_;
+        for (int64_t t : ts) {
+          clamp = std::max<Micros>(clamp, t);
+          cols_[i]->AppendI64(clamp);
+        }
+        watermark_ = clamp;
+      }
+    } else {
+      cols_[i]->AppendRange(*cols[i], 0, n);
+    }
+  }
+  high_ += n;
+  batch_ends_.push_back(high_);
+  ++append_batches_;
+  return Status::OK();
+}
+
+Status Basket::AppendRow(const std::vector<Value>& row) {
+  std::vector<BatPtr> cols;
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("basket %s: expected %zu values, got %zu", name_.c_str(),
+                  schema_.NumColumns(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    DC_ASSIGN_OR_RETURN(Value v, row[i].CastTo(schema_.column(i).type));
+    auto col = Bat::MakeEmpty(schema_.column(i).type);
+    col->AppendValue(v);
+    cols.push_back(std::move(col));
+  }
+  return Append(cols);
+}
+
+void Basket::Heartbeat(Micros event_ts) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watermark_ = std::max(watermark_, event_ts);
+  }
+  NotifyAll();
+}
+
+void Basket::Seal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed_ = true;
+  }
+  NotifyAll();
+}
+
+bool Basket::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+void Basket::AddListener(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(fn));
+}
+
+void Basket::NotifyAll() {
+  // Listener list is append-only; copy under lock, call outside it.
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns = listeners_;
+  }
+  for (auto& fn : fns) fn();
+}
+
+int Basket::RegisterReader(bool from_start) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_reader_++;
+  readers_[id] = from_start ? base_ : high_;
+  return id;
+}
+
+uint64_t Basket::ReaderCursor(int reader_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = readers_.find(reader_id);
+  return it == readers_.end() ? 0 : it->second;
+}
+
+void Basket::UnregisterReader(int reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  readers_.erase(reader_id);
+  ShrinkLocked();
+}
+
+BasketView Basket::Read(uint64_t from_seq, uint64_t max_rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BasketView view;
+  const uint64_t lo = std::max(from_seq, base_);
+  const uint64_t hi =
+      std::min(high_, max_rows == UINT64_MAX ? high_ : lo + max_rows);
+  view.first_seq = lo;
+  view.rows = hi > lo ? hi - lo : 0;
+  for (const BatPtr& c : cols_) {
+    view.cols.push_back(view.rows == 0
+                            ? Bat::MakeEmpty(c->type())
+                            : c->Slice(lo - base_, hi - base_));
+  }
+  return view;
+}
+
+Result<std::pair<uint64_t, uint64_t>> Basket::SeqRangeForTs(
+    Micros ts_lo, Micros ts_hi) const {
+  if (!HasEventTime()) {
+    return Status::InvalidArgument(
+        StrFormat("basket %s has no event-time column", name_.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ts = cols_[ts_col_]->I64Data();
+  auto lo_it = std::lower_bound(ts.begin(), ts.end(), ts_lo);
+  auto hi_it = std::lower_bound(ts.begin(), ts.end(), ts_hi);
+  return std::make_pair(base_ + (lo_it - ts.begin()),
+                        base_ + (hi_it - ts.begin()));
+}
+
+void Basket::AdvanceReader(int reader_id, uint64_t upto_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = readers_.find(reader_id);
+  if (it == readers_.end()) return;
+  it->second = std::max(it->second, std::min(upto_seq, high_));
+  ShrinkLocked();
+}
+
+void Basket::ShrinkLocked() {
+  // Drop the prefix consumed by all readers. With no readers, nothing is
+  // dropped (one-time queries may still want to peek).
+  if (readers_.empty()) return;
+  uint64_t min_cursor = high_;
+  for (const auto& [id, cur] : readers_) min_cursor = std::min(min_cursor, cur);
+  if (min_cursor <= base_) return;
+  const uint64_t drop = min_cursor - base_;
+  for (BatPtr& c : cols_) c->DropHead(drop);
+  base_ = min_cursor;
+  while (!batch_ends_.empty() && batch_ends_.front() <= base_) {
+    batch_ends_.pop_front();
+  }
+}
+
+uint64_t Basket::HighSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_;
+}
+
+uint64_t Basket::DropHorizon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_;
+}
+
+Micros Basket::EventWatermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+std::vector<uint64_t> Basket::BatchBoundariesAfter(uint64_t from_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  for (uint64_t end : batch_ends_) {
+    if (end > from_seq) out.push_back(end);
+  }
+  return out;
+}
+
+BasketStats Basket::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BasketStats s;
+  s.appended_total = high_;
+  s.dropped_total = base_;
+  s.resident_rows = high_ - base_;
+  s.append_batches = append_batches_;
+  for (const BatPtr& c : cols_) s.memory_bytes += c->MemoryBytes();
+  s.event_watermark = watermark_ == INT64_MIN ? 0 : watermark_;
+  return s;
+}
+
+}  // namespace dc

@@ -1,0 +1,158 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Basket: the lightweight columnar table that buffers stream tuples between
+// receptors and factories (paper §3, "Baskets/Columns"). The key DataCell
+// idea: stream data lands in ordinary columns, so continuous queries
+// evaluate over baskets exactly like one-time queries over tables.
+//
+// Responsibilities:
+//  * columnar append (receptor side), with monotone per-tuple sequence
+//    numbers surviving physical shrinks,
+//  * multi-reader consumption cursors: a tuple is dropped only after every
+//    registered reader (factory/emitter) has consumed it,
+//  * event-time watermark (max event ts seen; heartbeats advance it
+//    without data) used by RANGE-window firing,
+//  * batch boundaries so emitters can deliver exactly the emissions the
+//    factory produced,
+//  * occupancy/throughput statistics for the monitor pane.
+//
+// Event timestamps are required to be non-decreasing per stream; receptors
+// clamp out-of-order input (documented simplification).
+
+#ifndef DATACELL_CORE_BASKET_H_
+#define DATACELL_CORE_BASKET_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "storage/schema.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// Statistics snapshot of one basket (monitor pane / Fig. 4).
+struct BasketStats {
+  uint64_t appended_total = 0;
+  uint64_t dropped_total = 0;
+  uint64_t resident_rows = 0;
+  uint64_t append_batches = 0;
+  size_t memory_bytes = 0;
+  Micros event_watermark = 0;
+};
+
+/// A contiguous, copied-out view of basket rows (factories never hold
+/// references into the live basket; windows are materialized slices).
+struct BasketView {
+  uint64_t first_seq = 0;
+  uint64_t rows = 0;
+  std::vector<BatPtr> cols;
+};
+
+/// Thread-safe columnar stream buffer.
+class Basket {
+ public:
+  /// `ts_col` designates the event-time column, or SIZE_MAX.
+  Basket(std::string name, Schema schema, size_t ts_col = SIZE_MAX);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t ts_col() const { return ts_col_; }
+  bool HasEventTime() const { return ts_col_ != SIZE_MAX; }
+
+  // --- Producer side ---------------------------------------------------------
+
+  /// Appends a batch of typed columns (one append = one batch boundary).
+  /// Event timestamps are clamped to be non-decreasing.
+  Status Append(const std::vector<BatPtr>& cols);
+
+  /// Appends one row of values (type-coerced to the schema).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Advances the event watermark without data (stream keep-alive).
+  void Heartbeat(Micros event_ts);
+
+  /// Marks the stream as ended: no further appends will come. Factories
+  /// use this to flush windows that can never be completed by watermark
+  /// alone and then go dormant.
+  void Seal();
+  bool sealed() const;
+
+  /// Registers a callback pulsed after every append/heartbeat (the
+  /// scheduler's Petri-net arc: place -> transition enablement check).
+  void AddListener(std::function<void()> fn);
+
+  // --- Consumer side ---------------------------------------------------------
+
+  /// Registers a reader; its cursor starts at the current high sequence
+  /// (readers only see tuples that arrive after registration) unless
+  /// `from_start` is true.
+  int RegisterReader(bool from_start = false);
+  void UnregisterReader(int reader_id);
+
+  /// Current consumed-up-to cursor of a reader (its registration origin
+  /// until the first AdvanceReader).
+  uint64_t ReaderCursor(int reader_id) const;
+
+  /// Copies rows [from_seq, min(high, from_seq + max_rows)). Rows below the
+  /// drop horizon are gone; from_seq is clamped up (callers track their own
+  /// cursors and only ask for rows they have not released).
+  BasketView Read(uint64_t from_seq,
+                  uint64_t max_rows = UINT64_MAX) const;
+
+  /// Sequence range [lo_seq, hi_seq) of resident rows with event ts in
+  /// [ts_lo, ts_hi). Requires an event-time column (binary search; event
+  /// timestamps are non-decreasing).
+  Result<std::pair<uint64_t, uint64_t>> SeqRangeForTs(Micros ts_lo,
+                                                      Micros ts_hi) const;
+
+  /// Marks rows below `upto_seq` as consumed by `reader_id`; physically
+  /// drops any prefix consumed by all readers.
+  void AdvanceReader(int reader_id, uint64_t upto_seq);
+
+  /// Total appended so far; row sequence numbers are [0, HighSeq).
+  uint64_t HighSeq() const;
+
+  /// First resident (not yet dropped) sequence number.
+  uint64_t DropHorizon() const;
+
+  /// Event-time watermark (max event ts observed, or heartbeat).
+  Micros EventWatermark() const;
+
+  /// Batch end-sequences in (from_seq, high] — lets emitters deliver whole
+  /// emissions. Boundaries below the drop horizon are trimmed.
+  std::vector<uint64_t> BatchBoundariesAfter(uint64_t from_seq) const;
+
+  BasketStats Stats() const;
+
+ private:
+  Status AppendLocked(const std::vector<BatPtr>& cols);
+  void ShrinkLocked();
+  void NotifyAll();
+
+  const std::string name_;
+  const Schema schema_;
+  const size_t ts_col_;
+
+  mutable std::mutex mu_;
+  std::vector<BatPtr> cols_;         // resident rows, seq [base_, high_)
+  uint64_t base_ = 0;                // dropped prefix length
+  uint64_t high_ = 0;                // total appended
+  Micros watermark_ = INT64_MIN;
+  std::map<int, uint64_t> readers_;  // reader id -> consumed-up-to seq
+  int next_reader_ = 0;
+  std::deque<uint64_t> batch_ends_;
+  uint64_t append_batches_ = 0;
+  bool sealed_ = false;
+
+  std::vector<std::function<void()>> listeners_;  // append-only
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_BASKET_H_

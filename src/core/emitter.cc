@@ -1,0 +1,105 @@
+#include "core/emitter.h"
+
+#include <chrono>
+
+namespace dc {
+
+Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
+                 std::vector<std::string> column_names, Sink sink)
+    : name_(std::move(name)),
+      basket_(std::move(basket)),
+      column_names_(std::move(column_names)),
+      sink_(std::move(sink)) {
+  reader_id_ = basket_->RegisterReader(/*from_start=*/true);
+  cursor_ = basket_->ReaderCursor(reader_id_);
+  basket_->AddListener([this] {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      wake_ = true;
+    }
+    wake_cv_.notify_one();
+  });
+}
+
+Emitter::~Emitter() {
+  Stop();
+  basket_->UnregisterReader(reader_id_);
+}
+
+int Emitter::Drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  int delivered = 0;
+  for (uint64_t end : basket_->BatchBoundariesAfter(cursor_)) {
+    BasketView view = basket_->Read(cursor_, end - cursor_);
+    ColumnSet emission;
+    emission.names = column_names_;
+    emission.cols = std::move(view.cols);
+    if (sink_) sink_(emission);
+    rows_.fetch_add(view.rows);
+    emissions_.fetch_add(1);
+    cursor_ = end;
+    basket_->AdvanceReader(reader_id_, cursor_);
+    ++delivered;
+  }
+  return delivered;
+}
+
+void Emitter::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Emitter::Stop() {
+  stop_.store(true);
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Emitter::Run() {
+  while (!stop_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(20),
+                        [this] { return wake_ || stop_.load(); });
+      wake_ = false;
+    }
+    if (stop_.load()) break;
+    Drain();
+  }
+  Drain();  // final flush
+}
+
+EmitterStats Emitter::Stats() const {
+  EmitterStats s;
+  s.emissions = emissions_.load();
+  s.rows = rows_.load();
+  return s;
+}
+
+Emitter::Sink ResultCollector::AsSink() {
+  return [this](const ColumnSet& emission) {
+    std::lock_guard<std::mutex> lock(mu_);
+    emissions_.push_back(emission);
+    rows_ += emission.NumRows();
+  };
+}
+
+std::vector<ColumnSet> ResultCollector::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ColumnSet> out(emissions_.begin(), emissions_.end());
+  emissions_.clear();
+  return out;
+}
+
+size_t ResultCollector::EmissionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emissions_.size();
+}
+
+uint64_t ResultCollector::RowCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+}  // namespace dc

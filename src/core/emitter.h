@@ -1,0 +1,91 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Emitter: the per-client delivery process (paper §3) draining a query's
+// output basket and handing complete emissions to a result sink. Emission
+// boundaries are preserved through the basket's batch boundaries, so a
+// sink sees exactly the result sets the factory produced.
+
+#ifndef DATACELL_CORE_EMITTER_H_
+#define DATACELL_CORE_EMITTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/basket.h"
+
+namespace dc {
+
+/// Emitter statistics.
+struct EmitterStats {
+  uint64_t emissions = 0;
+  uint64_t rows = 0;
+};
+
+/// Drains one output basket to one sink. Passive by default (call Drain());
+/// Start() attaches a delivery thread woken by basket appends.
+class Emitter {
+ public:
+  using Sink = std::function<void(const ColumnSet& emission)>;
+
+  Emitter(std::string name, std::shared_ptr<Basket> basket,
+          std::vector<std::string> column_names, Sink sink);
+  ~Emitter();
+
+  const std::string& name() const { return name_; }
+
+  /// Delivers all complete emissions currently buffered; returns how many.
+  int Drain();
+
+  void Start();
+  void Stop();
+
+  EmitterStats Stats() const;
+
+ private:
+  void Run();
+
+  const std::string name_;
+  std::shared_ptr<Basket> basket_;
+  const std::vector<std::string> column_names_;
+  Sink sink_;
+  int reader_id_;
+  uint64_t cursor_;
+
+  std::mutex drain_mu_;  // serializes Drain callers
+  std::atomic<uint64_t> emissions_{0};
+  std::atomic<uint64_t> rows_{0};
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool wake_ = false;
+  std::atomic<bool> stop_{false};
+};
+
+/// Convenience sink buffering emissions for polling (tests, benches).
+class ResultCollector {
+ public:
+  Emitter::Sink AsSink();
+
+  /// Removes and returns all buffered emissions.
+  std::vector<ColumnSet> TakeAll();
+
+  size_t EmissionCount() const;
+  uint64_t RowCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<ColumnSet> emissions_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_EMITTER_H_

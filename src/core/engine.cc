@@ -1,0 +1,429 @@
+#include "core/engine.h"
+
+#include "plan/binder.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dc {
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      scheduler_(Scheduler::Options{options.scheduler_workers}) {
+  if (options_.scheduler_workers > 0) scheduler_.Start();
+}
+
+Engine::~Engine() {
+  scheduler_.Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, r] : receptors_) r->Stop();
+  for (auto& [id, q] : queries_) {
+    if (q.emitter) q.emitter->Stop();
+  }
+}
+
+Status Engine::Execute(std::string_view sql) {
+  DC_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
+                      sql::ParseScript(sql));
+  for (const sql::Statement& stmt : stmts) {
+    DC_RETURN_NOT_OK(ExecuteOne(stmt));
+  }
+  return Status::OK();
+}
+
+Status Engine::ExecuteOne(const sql::Statement& stmt) {
+  if (std::holds_alternative<sql::CreateStmt>(stmt)) {
+    const auto& create = std::get<sql::CreateStmt>(stmt);
+    Schema schema;
+    for (const auto& [name, type] : create.columns) {
+      DC_RETURN_NOT_OK(schema.AddColumn(name, type));
+    }
+    if (!create.is_stream) {
+      DC_RETURN_NOT_OK(catalog_.RegisterTable(
+          std::make_shared<Table>(create.name, schema)));
+      return Status::OK();
+    }
+    StreamDef def;
+    def.name = create.name;
+    def.schema = schema;
+    for (size_t i = 0; i < schema.NumColumns(); ++i) {
+      if (schema.column(i).type == TypeId::kTs) {
+        def.ts_column = i;
+        break;  // first TS column is the event time
+      }
+    }
+    DC_RETURN_NOT_OK(catalog_.RegisterStream(def));
+    auto basket =
+        std::make_shared<Basket>(create.name, schema, def.ts_column);
+    basket->AddListener([this] { scheduler_.Notify(); });
+    std::lock_guard<std::mutex> lock(mu_);
+    baskets_[create.name] = std::move(basket);
+    return Status::OK();
+  }
+  if (std::holds_alternative<sql::InsertStmt>(stmt)) {
+    const auto& insert = std::get<sql::InsertStmt>(stmt);
+    if (catalog_.IsStream(insert.table)) {
+      for (const auto& row : insert.rows) {
+        DC_RETURN_NOT_OK(PushRow(insert.table, row));
+      }
+      return Status::OK();
+    }
+    DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(insert.table));
+    for (const auto& row : insert.rows) {
+      DC_RETURN_NOT_OK(table->AppendRow(row));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "Execute() handles DDL/DML; use Query() or SubmitContinuous() for "
+      "SELECT");
+}
+
+Result<ColumnSet> Engine::RunSelect(const sql::SelectStmt& stmt) {
+  DC_ASSIGN_OR_RETURN(plan::BoundQuery bound, plan::Bind(stmt, catalog_));
+  for (const plan::BoundRelation& rel : bound.rels) {
+    if (rel.window.has_value()) {
+      return Status::InvalidArgument(
+          "window clauses require SubmitContinuous()");
+    }
+  }
+  plan::Optimize(&bound);
+  DC_ASSIGN_OR_RETURN(plan::CompiledQuery cq,
+                      plan::Compile(std::move(bound)));
+  exec::QueryExecutor executor(std::move(cq));
+  const plan::BoundQuery& q = executor.compiled().bound;
+  std::vector<exec::StageInput> raw(q.rels.size());
+  for (size_t r = 0; r < q.rels.size(); ++r) {
+    if (q.rels[r].is_stream) {
+      // One-time over a stream: peek at current basket contents.
+      Basket* basket = GetBasket(q.rels[r].name);
+      if (basket == nullptr) {
+        return Status::Internal("stream basket missing");
+      }
+      BasketView view = basket->Read(0);
+      raw[r] = exec::StageInput{std::move(view.cols), view.rows};
+    } else {
+      DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(q.rels[r].name));
+      const TableVersionPtr snap = table->Snapshot();
+      raw[r] = exec::StageInput{snap->cols, snap->NumRows()};
+    }
+  }
+  return executor.ExecuteFull(raw);
+}
+
+Result<ColumnSet> Engine::Query(std::string_view sql) {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (!std::holds_alternative<sql::SelectStmt>(stmt)) {
+    return Status::InvalidArgument("Query() expects a SELECT");
+  }
+  return RunSelect(std::get<sql::SelectStmt>(stmt));
+}
+
+Result<std::string> Engine::ExplainSql(std::string_view sql,
+                                       plan::PlanMode mode) {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (!std::holds_alternative<sql::SelectStmt>(stmt)) {
+    return Status::InvalidArgument("EXPLAIN expects a SELECT");
+  }
+  DC_ASSIGN_OR_RETURN(
+      plan::BoundQuery bound,
+      plan::Bind(std::get<sql::SelectStmt>(stmt), catalog_));
+  plan::OptimizerReport report = plan::Optimize(&bound);
+  DC_ASSIGN_OR_RETURN(plan::CompiledQuery cq,
+                      plan::Compile(std::move(bound)));
+  return plan::Explain(cq, mode, &report);
+}
+
+Result<int> Engine::SubmitContinuous(std::string_view sql) {
+  return SubmitContinuous(sql, ContinuousOptions{});
+}
+
+Result<int> Engine::SubmitContinuous(std::string_view sql,
+                                     ContinuousOptions options) {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (!std::holds_alternative<sql::SelectStmt>(stmt)) {
+    return Status::InvalidArgument("SubmitContinuous() expects a SELECT");
+  }
+  DC_ASSIGN_OR_RETURN(
+      plan::BoundQuery bound,
+      plan::Bind(std::get<sql::SelectStmt>(stmt), catalog_));
+  if (!bound.is_continuous) {
+    return Status::InvalidArgument(
+        "query reads no stream; use Query() for one-time queries");
+  }
+  plan::Optimize(&bound);
+  DC_ASSIGN_OR_RETURN(plan::CompiledQuery cq,
+                      plan::Compile(std::move(bound)));
+  auto executor = std::make_shared<exec::QueryExecutor>(std::move(cq));
+  const plan::BoundQuery& q = executor->compiled().bound;
+
+  QueryEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry.id = next_query_id_++;
+  }
+  entry.sql = std::string(sql);
+  entry.mode = options.mode;
+  const std::string name =
+      options.name.empty() ? StrFormat("q%d", entry.id) : options.name;
+
+  // Wire the factory inputs.
+  std::vector<FactoryInput> inputs(q.rels.size());
+  for (size_t r = 0; r < q.rels.size(); ++r) {
+    if (q.rels[r].is_stream) {
+      Basket* basket = GetBasket(q.rels[r].name);
+      if (basket == nullptr) return Status::Internal("basket missing");
+      FactoryInput in;
+      in.is_stream = true;
+      in.basket = basket;
+      in.reader_id = basket->RegisterReader(/*from_start=*/true);
+      in.window = q.rels[r].window;
+      inputs[r] = std::move(in);
+    } else {
+      DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(q.rels[r].name));
+      FactoryInput in;
+      in.table = std::move(table);
+      inputs[r] = std::move(in);
+    }
+  }
+
+  // Output basket: result schema.
+  Schema out_schema;
+  const std::vector<TypeId> out_types = exec::OutputTypes(executor->compiled());
+  const std::vector<std::string>& out_names =
+      executor->compiled().finish.out_names;
+  for (size_t i = 0; i < out_types.size(); ++i) {
+    // Result columns may repeat names; make them unique for the schema.
+    std::string col = out_names[i];
+    while (out_schema.Has(col)) col += "_";
+    DC_RETURN_NOT_OK(out_schema.AddColumn(col, out_types[i]));
+  }
+  entry.out_basket =
+      std::make_shared<Basket>(name + ".out", out_schema);
+
+  DC_ASSIGN_OR_RETURN(
+      entry.factory,
+      Factory::Create(entry.id, name, executor, options.mode,
+                      std::move(inputs), entry.out_basket));
+
+  Emitter::Sink sink = options.sink;
+  if (!sink) {
+    entry.collector = std::make_shared<ResultCollector>();
+    sink = entry.collector->AsSink();
+  }
+  entry.emitter = std::make_unique<Emitter>(name + ".emit", entry.out_basket,
+                                            out_names, std::move(sink));
+  if (options_.scheduler_workers > 0) entry.emitter->Start();
+
+  scheduler_.AddFactory(entry.factory);
+  const int id = entry.id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queries_.emplace(id, std::move(entry));
+  }
+  scheduler_.Notify();
+  return id;
+}
+
+Status Engine::RemoveContinuous(int query_id) {
+  QueryEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) return Status::NotFound("no such query");
+    entry = std::move(it->second);
+    queries_.erase(it);
+  }
+  scheduler_.RemoveFactory(query_id);
+  if (entry.emitter) entry.emitter->Stop();
+  return Status::OK();
+}
+
+Status Engine::PauseQuery(int query_id) {
+  FactoryPtr f = GetFactory(query_id);
+  if (f == nullptr) return Status::NotFound("no such query");
+  f->Pause();
+  return Status::OK();
+}
+
+Status Engine::ResumeQuery(int query_id) {
+  FactoryPtr f = GetFactory(query_id);
+  if (f == nullptr) return Status::NotFound("no such query");
+  f->Resume();
+  scheduler_.Notify();
+  return Status::OK();
+}
+
+Result<std::vector<ColumnSet>> Engine::TakeResults(int query_id) {
+  std::shared_ptr<ResultCollector> collector;
+  Emitter* emitter = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) return Status::NotFound("no such query");
+    collector = it->second.collector;
+    emitter = it->second.emitter.get();
+  }
+  if (collector == nullptr) {
+    return Status::InvalidArgument(
+        "query was submitted with a custom sink; results go there");
+  }
+  if (emitter != nullptr) emitter->Drain();
+  return collector->TakeAll();
+}
+
+Status Engine::PushRow(std::string_view stream,
+                       const std::vector<Value>& row) {
+  Basket* basket = GetBasket(stream);
+  if (basket == nullptr) {
+    return Status::NotFound(StrFormat("no stream named '%.*s'",
+                                      static_cast<int>(stream.size()),
+                                      stream.data()));
+  }
+  return basket->AppendRow(row);
+}
+
+Status Engine::PushColumns(std::string_view stream,
+                           const std::vector<BatPtr>& cols) {
+  Basket* basket = GetBasket(stream);
+  if (basket == nullptr) return Status::NotFound("no such stream");
+  return basket->Append(cols);
+}
+
+Status Engine::Heartbeat(std::string_view stream, Micros event_ts) {
+  Basket* basket = GetBasket(stream);
+  if (basket == nullptr) return Status::NotFound("no such stream");
+  basket->Heartbeat(event_ts);
+  return Status::OK();
+}
+
+Status Engine::SealStream(std::string_view stream) {
+  Basket* basket = GetBasket(stream);
+  if (basket == nullptr) return Status::NotFound("no such stream");
+  basket->Seal();
+  return Status::OK();
+}
+
+Result<int> Engine::AttachReceptor(std::string_view stream,
+                                   Receptor::RowGen gen,
+                                   Receptor::Options options) {
+  Basket* basket = GetBasket(stream);
+  if (basket == nullptr) return Status::NotFound("no such stream");
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_receptor_id_++;
+  auto receptor = std::make_unique<Receptor>(
+      StrFormat("%.*s.recv%d", static_cast<int>(stream.size()),
+                stream.data(), id),
+      basket, std::move(gen), options);
+  receptor->Start();
+  receptors_.emplace(id, std::move(receptor));
+  return id;
+}
+
+Status Engine::PauseReceptor(int receptor_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = receptors_.find(receptor_id);
+  if (it == receptors_.end()) return Status::NotFound("no such receptor");
+  it->second->Pause();
+  return Status::OK();
+}
+
+Status Engine::ResumeReceptor(int receptor_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = receptors_.find(receptor_id);
+  if (it == receptors_.end()) return Status::NotFound("no such receptor");
+  it->second->Resume();
+  return Status::OK();
+}
+
+Status Engine::WaitReceptor(int receptor_id) {
+  Receptor* r = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = receptors_.find(receptor_id);
+    if (it == receptors_.end()) return Status::NotFound("no such receptor");
+    r = it->second.get();
+  }
+  r->WaitFinished();
+  return Status::OK();
+}
+
+int Engine::Pump() {
+  int total = 0;
+  while (true) {
+    const int fires = scheduler_.DrainReady();
+    int drained = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, q] : queries_) {
+        if (q.emitter) drained += q.emitter->Drain();
+      }
+    }
+    total += fires;
+    if (fires == 0 && drained == 0) break;
+  }
+  return total;
+}
+
+bool Engine::WaitIdle(int timeout_ms) {
+  const Micros deadline = SteadyMicros() + timeout_ms * kMicrosPerMilli;
+  while (SteadyMicros() < deadline) {
+    if (!scheduler_.AnyBusyOrReady()) {
+      // Flush emitters, then double-check quiescence.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [id, q] : queries_) {
+          if (q.emitter) q.emitter->Drain();
+        }
+      }
+      if (!scheduler_.AnyBusyOrReady()) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+std::vector<ContinuousQueryInfo> Engine::Queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ContinuousQueryInfo> out;
+  for (const auto& [id, q] : queries_) {
+    ContinuousQueryInfo info;
+    info.id = id;
+    info.name = q.factory->name();
+    info.sql = q.sql;
+    info.mode = q.mode;
+    info.factory = q.factory->Stats();
+    if (q.emitter) info.emitter = q.emitter->Stats();
+    for (const FactoryInput& in : q.factory->inputs()) {
+      if (in.is_stream) {
+        info.input_streams.push_back(in.basket->name());
+      } else {
+        info.input_tables.push_back(in.table->name());
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<BasketStats> Engine::StreamStats(std::string_view stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = baskets_.find(std::string(stream));
+  if (it == baskets_.end()) return Status::NotFound("no such stream");
+  return it->second->Stats();
+}
+
+Basket* Engine::GetBasket(std::string_view stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = baskets_.find(std::string(stream));
+  return it == baskets_.end() ? nullptr : it->second.get();
+}
+
+FactoryPtr Engine::GetFactory(int query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second.factory;
+}
+
+}  // namespace dc

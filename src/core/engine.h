@@ -1,0 +1,170 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Engine: the public facade of MonetDB/DataCell (Fig. 1). Owns the catalog,
+// the stream baskets, the scheduler, and the receptor/emitter fleets, and
+// drives the SQL stack:
+//
+//   Engine dc;
+//   dc.Execute("CREATE STREAM trades (ts timestamp, sym string, px double)");
+//   dc.Execute("CREATE TABLE limits (sym string, cap double)");
+//   auto q = dc.SubmitContinuous(
+//       "SELECT sym, avg(px) FROM trades [RANGE 60 SECONDS SLIDE 10 SECONDS] "
+//       "GROUP BY sym", {.mode = ExecMode::kIncremental});
+//   dc.PushRow("trades", {...});
+//   ... results arrive via the query's emitter sink (or TakeResults()).
+//
+// One-time queries (`Query`) run through the identical binder/optimizer/
+// compiler/executor stack — the paper's "two query paradigms in one
+// processing fabric".
+
+#ifndef DATACELL_CORE_ENGINE_H_
+#define DATACELL_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/emitter.h"
+#include "core/factory.h"
+#include "core/receptor.h"
+#include "core/scheduler.h"
+#include "plan/explain.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+
+namespace dc {
+
+struct EngineOptions {
+  /// Scheduler worker threads. 0 = synchronous mode: no threads anywhere;
+  /// the caller drives execution with Pump() (deterministic, for tests).
+  int scheduler_workers = 2;
+};
+
+/// One registered continuous query (introspection snapshot).
+struct ContinuousQueryInfo {
+  int id = 0;
+  std::string name;
+  std::string sql;
+  ExecMode mode = ExecMode::kFullReeval;
+  FactoryStats factory;
+  EmitterStats emitter;
+  std::vector<std::string> input_streams;
+  std::vector<std::string> input_tables;
+};
+
+/// The DataCell engine.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Catalog& catalog() { return catalog_; }
+
+  // --- DDL / DML / one-time queries ----------------------------------------
+
+  /// Executes CREATE TABLE / CREATE STREAM / INSERT (or a ';' script of
+  /// them).
+  Status Execute(std::string_view sql);
+
+  /// Runs a one-time SELECT over tables and/or current basket contents
+  /// (streams read as-of-now without consuming; window clauses are not
+  /// allowed in one-time queries).
+  Result<ColumnSet> Query(std::string_view sql);
+
+  /// EXPLAIN: the compiled plan in the given mode, with optimizer report.
+  Result<std::string> ExplainSql(std::string_view sql, plan::PlanMode mode);
+
+  // --- Continuous queries -----------------------------------------------------
+
+  struct ContinuousOptions {
+    ExecMode mode = ExecMode::kIncremental;
+    std::string name;      // defaults to "q<id>"
+    Emitter::Sink sink;    // null: results buffered for TakeResults()
+  };
+
+  /// Registers a continuous query; returns its id.
+  Result<int> SubmitContinuous(std::string_view sql,
+                               ContinuousOptions options);
+  /// Default options: incremental mode, buffered results.
+  Result<int> SubmitContinuous(std::string_view sql);
+
+  Status RemoveContinuous(int query_id);
+  Status PauseQuery(int query_id);
+  Status ResumeQuery(int query_id);
+
+  /// Buffered emissions of a query submitted without a sink.
+  Result<std::vector<ColumnSet>> TakeResults(int query_id);
+
+  // --- Stream input -----------------------------------------------------------
+
+  Status PushRow(std::string_view stream, const std::vector<Value>& row);
+  Status PushColumns(std::string_view stream,
+                     const std::vector<BatPtr>& cols);
+  Status Heartbeat(std::string_view stream, Micros event_ts);
+  /// Declares end-of-stream (flushes pending windows).
+  Status SealStream(std::string_view stream);
+
+  /// Attaches a rate-controlled receptor thread feeding `stream`.
+  Result<int> AttachReceptor(std::string_view stream, Receptor::RowGen gen,
+                             Receptor::Options options = {});
+  Status PauseReceptor(int receptor_id);
+  Status ResumeReceptor(int receptor_id);
+  /// Blocks until the receptor's source is exhausted.
+  Status WaitReceptor(int receptor_id);
+
+  // --- Driving / introspection -------------------------------------------------
+
+  /// Synchronous mode: fires ready factories and drains emitters until
+  /// quiescent. Returns number of factory firings.
+  int Pump();
+
+  /// Threaded mode: blocks until no factory is ready/firing and all
+  /// emitters drained (bounded by `timeout_ms`). Returns false on timeout.
+  bool WaitIdle(int timeout_ms = 10000);
+
+  /// Introspection for the monitor (S8).
+  std::vector<ContinuousQueryInfo> Queries() const;
+  Result<BasketStats> StreamStats(std::string_view stream) const;
+  SchedulerStats SchedStats() const { return scheduler_.Stats(); }
+  Basket* GetBasket(std::string_view stream);
+  FactoryPtr GetFactory(int query_id) const;
+  std::vector<std::string> StreamNames() const {
+    return catalog_.StreamNames();
+  }
+
+ private:
+  struct QueryEntry {
+    int id;
+    std::string sql;
+    ExecMode mode;
+    FactoryPtr factory;
+    std::shared_ptr<Basket> out_basket;
+    std::unique_ptr<Emitter> emitter;
+    std::shared_ptr<ResultCollector> collector;  // when no sink given
+  };
+
+  Status ExecuteOne(const sql::Statement& stmt);
+  Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
+
+  const EngineOptions options_;
+  Catalog catalog_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Basket>> baskets_;
+  std::map<int, QueryEntry> queries_;
+  std::map<int, std::unique_ptr<Receptor>> receptors_;
+  int next_query_id_ = 1;
+  int next_receptor_id_ = 1;
+
+  // Declared last so it is destroyed first: scheduler entries hold factory
+  // references whose destructors unregister basket readers — the baskets
+  // (and query entries) must still be alive at that point.
+  Scheduler scheduler_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_ENGINE_H_

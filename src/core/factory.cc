@@ -1,0 +1,483 @@
+#include "core/factory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dc {
+
+const char* ExecModeName(ExecMode m) {
+  return m == ExecMode::kFullReeval ? "full" : "incremental";
+}
+
+Factory::Factory(int id, std::string name,
+                 std::shared_ptr<exec::QueryExecutor> executor, ExecMode mode,
+                 std::vector<FactoryInput> inputs,
+                 std::shared_ptr<Basket> output)
+    : id_(id),
+      name_(std::move(name)),
+      executor_(std::move(executor)),
+      mode_(mode),
+      inputs_(std::move(inputs)),
+      output_(std::move(output)) {}
+
+Factory::~Factory() {
+  for (const FactoryInput& in : inputs_) {
+    if (in.is_stream && in.basket != nullptr && in.reader_id >= 0) {
+      in.basket->UnregisterReader(in.reader_id);
+    }
+  }
+}
+
+Result<std::shared_ptr<Factory>> Factory::Create(
+    int id, std::string name, std::shared_ptr<exec::QueryExecutor> executor,
+    ExecMode mode, std::vector<FactoryInput> inputs,
+    std::shared_ptr<Basket> output) {
+  auto f = std::shared_ptr<Factory>(
+      new Factory(id, std::move(name), std::move(executor), mode,
+                  std::move(inputs), std::move(output)));
+  DC_RETURN_NOT_OK(f->Validate());
+  return f;
+}
+
+Status Factory::Validate() {
+  const plan::CompiledQuery& cq = executor_->compiled();
+  if (inputs_.size() != cq.bound.rels.size()) {
+    return Status::InvalidArgument("factory inputs do not match plan");
+  }
+  origin_seq_.assign(inputs_.size(), 0);
+  int num_streams = 0;
+  int num_windowed = 0;
+  for (size_t r = 0; r < inputs_.size(); ++r) {
+    FactoryInput& in = inputs_[r];
+    if (in.is_stream) {
+      if (in.basket == nullptr || in.reader_id < 0) {
+        return Status::InvalidArgument("stream input missing basket/reader");
+      }
+      if (num_streams >= 2) {
+        return Status::NotImplemented("more than two stream inputs");
+      }
+      stream_rels_[num_streams++] = static_cast<int>(r);
+      origin_seq_[r] = in.basket->ReaderCursor(in.reader_id);
+      if (in.window.has_value()) ++num_windowed;
+    } else {
+      if (in.table == nullptr) {
+        return Status::InvalidArgument("table input missing table");
+      }
+      if (table_rel_ >= 0) {
+        return Status::NotImplemented("more than one table input");
+      }
+      table_rel_ = static_cast<int>(r);
+    }
+  }
+  if (num_streams == 0) {
+    return Status::InvalidArgument(
+        "continuous query requires at least one stream input");
+  }
+  if (num_streams == 2) {
+    const auto& wl = inputs_[stream_rels_[0]].window;
+    const auto& wr = inputs_[stream_rels_[1]].window;
+    if (!wl.has_value() || !wr.has_value() || wl->rows || wr->rows) {
+      return Status::NotImplemented(
+          "stream-stream joins require RANGE windows on both streams");
+    }
+    if (wl->slide != wr->slide) {
+      return Status::NotImplemented(
+          "stream-stream joins require equal window slides");
+    }
+    shape_ = Shape::kDualWindow;
+  } else if (num_windowed == 1) {
+    shape_ = Shape::kSingleWindow;
+  } else {
+    shape_ = Shape::kPerBatch;
+    batch_cursor_ = origin_seq_[stream_rels_[0]];
+  }
+
+  // Decide whether incremental processing is applicable.
+  incremental_active_ = false;
+  if (mode_ == ExecMode::kIncremental && shape_ != Shape::kPerBatch) {
+    bool divisible = true;
+    for (int s = 0; s < 2; ++s) {
+      const int rel = stream_rels_[s];
+      if (rel < 0) continue;
+      if (inputs_[rel].window.has_value()) {
+        divisible = divisible && WindowMath(*inputs_[rel].window).Divisible();
+      }
+    }
+    incremental_active_ = divisible;
+    stats_.fell_back_to_full = !divisible;
+  }
+  return Status::OK();
+}
+
+void Factory::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+  stats_.paused = true;
+}
+
+void Factory::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  stats_.paused = false;
+}
+
+bool Factory::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+FactoryStats Factory::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FactoryStats s = stats_;
+  s.cached_partials = partials_.size();
+  size_t bytes = 0;
+  for (const auto& [k, p] : partials_) bytes += p.MemoryBytes();
+  for (const auto& [k, c] : compact_) {
+    for (const BatPtr& col : c.cols) bytes += col->MemoryBytes();
+  }
+  s.cached_bytes = bytes;
+  return s;
+}
+
+bool Factory::CheckReady() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckReadyLocked();
+}
+
+bool Factory::EnsureRangeOrigin(int rel, int64_t* m) const {
+  if (next_emission_.has_value()) {
+    *m = *next_emission_;
+    return true;
+  }
+  const FactoryInput& in = inputs_[rel];
+  const BasketView view = in.basket->Read(origin_seq_[rel], 1);
+  if (view.rows == 0) return false;
+  const WindowMath wm(*in.window);
+  const int64_t ts0 =
+      view.cols[in.basket->ts_col()]->I64Data()[0];
+  *m = wm.FirstRangeEmission(ts0);
+  return true;
+}
+
+bool Factory::CheckReadyLocked() const {
+  if (paused_ || failed_) return false;
+  switch (shape_) {
+    case Shape::kPerBatch: {
+      const int rel = stream_rels_[0];
+      return inputs_[rel].basket->HighSeq() > batch_cursor_;
+    }
+    case Shape::kSingleWindow: {
+      const int rel = stream_rels_[0];
+      const FactoryInput& in = inputs_[rel];
+      const WindowMath wm(*in.window);
+      if (in.window->rows) {
+        // A sealed stream can never complete another ROWS window; the
+        // factory goes dormant on the trailing partial window.
+        const int64_t k = next_emission_.value_or(0);
+        const uint64_t high = in.basket->HighSeq();
+        return high >= origin_seq_[rel] &&
+               wm.RowsReady(k, high - origin_seq_[rel]);
+      }
+      int64_t m = 0;
+      if (!EnsureRangeOrigin(rel, &m)) return false;
+      next_emission_ = m;
+      return RangeSideReady(rel, wm, m);
+    }
+    case Shape::kDualWindow: {
+      const int l = stream_rels_[0];
+      const int r = stream_rels_[1];
+      if (!next_emission_.has_value()) {
+        // Boundaries are shared (equal slide); start at the later of the
+        // two streams' first windows so both sides have coverage.
+        int64_t ml = 0, mr = 0;
+        if (!EnsureRangeOrigin(l, &ml)) return false;
+        if (!EnsureRangeOrigin(r, &mr)) return false;
+        next_emission_ = std::max(ml, mr);
+      }
+      const int64_t m = *next_emission_;
+      return RangeSideReady(l, WindowMath(*inputs_[l].window), m) &&
+             RangeSideReady(r, WindowMath(*inputs_[r].window), m);
+    }
+  }
+  return false;
+}
+
+bool Factory::RangeSideReady(int rel, const WindowMath& wm, int64_t m) const {
+  const Basket* b = inputs_[rel].basket;
+  const Micros watermark = b->EventWatermark();
+  if (wm.RangeReady(m, watermark)) return true;
+  // A sealed stream flushes every window that could still contain data,
+  // then the factory goes dormant for that side.
+  return b->sealed() && wm.RangeExtent(m).first <= watermark;
+}
+
+Result<exec::StageInput> Factory::ReadStreamExtent(int rel, bool rows_mode,
+                                                   int64_t lo,
+                                                   int64_t hi) const {
+  const FactoryInput& in = inputs_[rel];
+  BasketView view;
+  if (rows_mode) {
+    const int64_t origin = static_cast<int64_t>(origin_seq_[rel]);
+    const int64_t abs_lo = std::max<int64_t>(origin + lo, origin);
+    const int64_t abs_hi = std::max<int64_t>(origin + hi, abs_lo);
+    view = in.basket->Read(static_cast<uint64_t>(abs_lo),
+                           static_cast<uint64_t>(abs_hi - abs_lo));
+  } else {
+    DC_ASSIGN_OR_RETURN(auto range, in.basket->SeqRangeForTs(lo, hi));
+    uint64_t seq_lo = std::max(range.first, origin_seq_[rel]);
+    uint64_t seq_hi = std::max(range.second, seq_lo);
+    view = in.basket->Read(seq_lo, seq_hi - seq_lo);
+  }
+  return exec::StageInput{std::move(view.cols), view.rows};
+}
+
+exec::StageInput Factory::TableInput(int rel) const {
+  const TableVersionPtr snap = inputs_[rel].table->Snapshot();
+  return exec::StageInput{snap->cols, snap->NumRows()};
+}
+
+Status Factory::EmitResult(const ColumnSet& result) {
+  DC_RETURN_NOT_OK(output_->Append(result.cols));
+  stats_.tuples_out += result.NumRows();
+  stats_.emissions++;
+  return Status::OK();
+}
+
+Status Factory::Fire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!CheckReadyLocked()) return Status::OK();
+  Stopwatch watch;
+  Status st = FireLocked();
+  const Micros elapsed = watch.ElapsedMicros();
+  stats_.invocations++;
+  stats_.total_exec_micros += elapsed;
+  stats_.last_exec_micros = elapsed;
+  if (!st.ok()) {
+    failed_ = true;
+    last_error_ = st.ToString();
+    stats_.last_error = last_error_;
+    DC_LOG(kError) << "factory " << name_ << " failed: " << st.ToString();
+  }
+  return st;
+}
+
+Status Factory::FireLocked() {
+  switch (shape_) {
+    case Shape::kPerBatch:
+      return FirePerBatch();
+    case Shape::kSingleWindow:
+      return FireSingleWindow();
+    case Shape::kDualWindow:
+      return FireDualWindow();
+  }
+  return Status::Internal("bad shape");
+}
+
+Status Factory::FirePerBatch() {
+  const int rel = stream_rels_[0];
+  const FactoryInput& in = inputs_[rel];
+  const uint64_t high = in.basket->HighSeq();
+  if (high <= batch_cursor_) return Status::OK();
+  BasketView view = in.basket->Read(batch_cursor_, high - batch_cursor_);
+  std::vector<exec::StageInput> raw(inputs_.size());
+  raw[rel] = exec::StageInput{std::move(view.cols), view.rows};
+  if (table_rel_ >= 0) raw[table_rel_] = TableInput(table_rel_);
+  stats_.tuples_in += raw[rel].rows;
+  DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
+  DC_RETURN_NOT_OK(EmitResult(result));
+  batch_cursor_ = view.first_seq + view.rows;
+  in.basket->AdvanceReader(in.reader_id, batch_cursor_);
+  return Status::OK();
+}
+
+Result<const exec::StageInput*> Factory::EnsureCompact(int rel,
+                                                       bool rows_mode,
+                                                       int64_t bw) {
+  const auto key = std::make_pair(rel, bw);
+  auto it = compact_.find(key);
+  if (it != compact_.end()) return &it->second;
+  const WindowMath wm(*inputs_[rel].window);
+  const auto [lo, hi] = wm.BasicWindowExtent(bw);
+  DC_ASSIGN_OR_RETURN(exec::StageInput raw,
+                      ReadStreamExtent(rel, rows_mode, lo, hi));
+  stats_.tuples_in += raw.rows;
+  DC_ASSIGN_OR_RETURN(exec::StageOutput pre, executor_->RunPrejoin(rel, raw));
+  auto [pos, inserted] = compact_.emplace(
+      key, exec::StageInput{std::move(pre.cols), pre.rows});
+  return &pos->second;
+}
+
+Result<const exec::Partial*> Factory::EnsureSinglePartial(
+    int64_t bw, bool rows_mode, uint64_t table_version) {
+  const int rel = stream_rels_[0];
+  const PartialKey key{bw, 0};
+  auto it = partials_.find(key);
+  if (it != partials_.end() &&
+      (table_rel_ < 0 || partial_versions_[key] == table_version)) {
+    return &it->second;
+  }
+  stats_.fragments_computed++;
+  if (table_rel_ < 0) {
+    // No second relation: run the whole fragment pipeline directly.
+    const WindowMath wm(*inputs_[rel].window);
+    const auto [lo, hi] = wm.BasicWindowExtent(bw);
+    std::vector<exec::StageInput> raw(inputs_.size());
+    DC_ASSIGN_OR_RETURN(raw[rel], ReadStreamExtent(rel, rows_mode, lo, hi));
+    stats_.tuples_in += raw[rel].rows;
+    DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->ComputePartial(raw));
+    auto [pos, ignored] = partials_.insert_or_assign(key, std::move(p));
+    return &pos->second;
+  }
+  // Stream-table: reuse the cached stream-side prejoin fragment; re-run the
+  // (cheap) postjoin against the current table version.
+  DC_ASSIGN_OR_RETURN(const exec::StageInput* sc,
+                      EnsureCompact(rel, rows_mode, bw));
+  if (!table_compact_.has_value() ||
+      table_compact_version_ != table_version) {
+    DC_ASSIGN_OR_RETURN(exec::StageOutput pre,
+                        executor_->RunPrejoin(table_rel_,
+                                              TableInput(table_rel_)));
+    table_compact_ = exec::StageInput{std::move(pre.cols), pre.rows};
+    table_compact_version_ = table_version;
+  }
+  std::vector<exec::StageInput> compact(inputs_.size());
+  compact[rel] = *sc;
+  compact[table_rel_] = *table_compact_;
+  DC_ASSIGN_OR_RETURN(exec::StageOutput frag,
+                      executor_->RunPostjoin(compact));
+  DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(frag));
+  auto [pos, ignored] = partials_.insert_or_assign(key, std::move(p));
+  partial_versions_[key] = table_version;
+  return &pos->second;
+}
+
+Status Factory::FireSingleWindow() {
+  const int rel = stream_rels_[0];
+  const FactoryInput& in = inputs_[rel];
+  const WindowMath wm(*in.window);
+  const bool rows_mode = in.window->rows;
+  const int64_t k = next_emission_.value_or(0);
+
+  int64_t ext_lo, ext_hi;  // window extent in window coordinates
+  if (rows_mode) {
+    ext_lo = wm.RowsWindowStart(k);
+    ext_hi = wm.RowsWindowEnd(k);
+  } else {
+    std::tie(ext_lo, ext_hi) = wm.RangeExtent(k);
+  }
+
+  if (!incremental_active_) {
+    std::vector<exec::StageInput> raw(inputs_.size());
+    DC_ASSIGN_OR_RETURN(raw[rel],
+                        ReadStreamExtent(rel, rows_mode, ext_lo, ext_hi));
+    if (table_rel_ >= 0) raw[table_rel_] = TableInput(table_rel_);
+    stats_.tuples_in += raw[rel].rows;
+    DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
+    DC_RETURN_NOT_OK(EmitResult(result));
+  } else {
+    const uint64_t version =
+        table_rel_ >= 0 ? inputs_[table_rel_].table->Snapshot()->version : 0;
+    const auto [first, last] = rows_mode ? wm.BasicWindowsForRows(k)
+                                         : wm.BasicWindowsForRange(k);
+    std::vector<const exec::Partial*> ps;
+    for (int64_t j = first; j < last; ++j) {
+      DC_ASSIGN_OR_RETURN(const exec::Partial* p,
+                          EnsureSinglePartial(j, rows_mode, version));
+      ps.push_back(p);
+    }
+    DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
+    DC_RETURN_NOT_OK(EmitResult(result));
+    // Evict state that the next emission can no longer use.
+    const int64_t keep_from = first + 1;
+    std::erase_if(partials_,
+                  [&](const auto& kv) { return kv.first.a < keep_from; });
+    std::erase_if(partial_versions_,
+                  [&](const auto& kv) { return kv.first.a < keep_from; });
+    std::erase_if(compact_,
+                  [&](const auto& kv) { return kv.first.second < keep_from; });
+  }
+
+  // Release consumed tuples: everything before the next window's start.
+  if (rows_mode) {
+    const uint64_t next_start =
+        origin_seq_[rel] + static_cast<uint64_t>(wm.RowsWindowStart(k + 1));
+    in.basket->AdvanceReader(in.reader_id, next_start);
+  } else {
+    const auto [next_lo, next_hi] = wm.RangeExtent(k + 1);
+    DC_ASSIGN_OR_RETURN(auto range,
+                        in.basket->SeqRangeForTs(next_lo, next_lo + 1));
+    in.basket->AdvanceReader(in.reader_id, range.first);
+  }
+  next_emission_ = k + 1;
+  return Status::OK();
+}
+
+Status Factory::FireDualWindow() {
+  const int l = stream_rels_[0];
+  const int r = stream_rels_[1];
+  const WindowMath wl(*inputs_[l].window);
+  const WindowMath wr(*inputs_[r].window);
+  const int64_t m = *next_emission_;
+
+  if (!incremental_active_) {
+    std::vector<exec::StageInput> raw(inputs_.size());
+    const auto [llo, lhi] = wl.RangeExtent(m);
+    const auto [rlo, rhi] = wr.RangeExtent(m);
+    DC_ASSIGN_OR_RETURN(raw[l], ReadStreamExtent(l, false, llo, lhi));
+    DC_ASSIGN_OR_RETURN(raw[r], ReadStreamExtent(r, false, rlo, rhi));
+    stats_.tuples_in += raw[l].rows + raw[r].rows;
+    DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
+    DC_RETURN_NOT_OK(EmitResult(result));
+  } else {
+    const auto [lfirst, llast] = wl.BasicWindowsForRange(m);
+    const auto [rfirst, rlast] = wr.BasicWindowsForRange(m);
+    std::vector<const exec::Partial*> ps;
+    for (int64_t jl = lfirst; jl < llast; ++jl) {
+      DC_ASSIGN_OR_RETURN(const exec::StageInput* cl,
+                          EnsureCompact(l, false, jl));
+      for (int64_t jr = rfirst; jr < rlast; ++jr) {
+        const PartialKey key{jl, jr};
+        auto it = partials_.find(key);
+        if (it == partials_.end()) {
+          DC_ASSIGN_OR_RETURN(const exec::StageInput* cr,
+                              EnsureCompact(r, false, jr));
+          std::vector<exec::StageInput> compact(inputs_.size());
+          compact[l] = *cl;
+          compact[r] = *cr;
+          DC_ASSIGN_OR_RETURN(exec::StageOutput frag,
+                              executor_->RunPostjoin(compact));
+          DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(frag));
+          it = partials_.insert_or_assign(key, std::move(p)).first;
+          stats_.fragments_computed++;
+        }
+        ps.push_back(&it->second);
+      }
+    }
+    DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
+    DC_RETURN_NOT_OK(EmitResult(result));
+    const int64_t lkeep = lfirst + 1;
+    const int64_t rkeep = rfirst + 1;
+    std::erase_if(partials_, [&](const auto& kv) {
+      return kv.first.a < lkeep || kv.first.b < rkeep;
+    });
+    std::erase_if(compact_, [&](const auto& kv) {
+      return kv.first.first == l ? kv.first.second < lkeep
+                                 : kv.first.second < rkeep;
+    });
+  }
+
+  for (int s = 0; s < 2; ++s) {
+    const int rel = stream_rels_[s];
+    const WindowMath& wm = s == 0 ? wl : wr;
+    const auto [next_lo, next_hi] = wm.RangeExtent(m + 1);
+    DC_ASSIGN_OR_RETURN(
+        auto range, inputs_[rel].basket->SeqRangeForTs(next_lo, next_lo + 1));
+    inputs_[rel].basket->AdvanceReader(inputs_[rel].reader_id, range.first);
+  }
+  next_emission_ = m + 1;
+  return Status::OK();
+}
+
+}  // namespace dc

@@ -1,0 +1,189 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Factory: a continuous query instance (paper §3, "Factories/Queries") —
+// the co-routine-like unit the scheduler fires. Each factory encloses a
+// compiled (partial) query plan; every Fire() consumes available input from
+// its input baskets (and persistent tables), evaluates one emission, and
+// appends the result to its output basket.
+//
+// Execution modes (paper §4):
+//   kFullReeval   re-run the whole plan over the full window every slide —
+//                 the mode for non-windowed and tumbling-window queries.
+//   kIncremental  per-basic-window partial caching + merge (DESIGN.md
+//                 §4.6). Requires slide | size; falls back to full
+//                 re-evaluation otherwise (recorded in stats).
+
+#ifndef DATACELL_CORE_FACTORY_H_
+#define DATACELL_CORE_FACTORY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/window.h"
+#include "exec/executor.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// Continuous execution mode (paper §4: the two re-evaluation scenarios).
+enum class ExecMode { kFullReeval, kIncremental };
+
+const char* ExecModeName(ExecMode m);
+
+/// One input arc of the factory (a Petri-net place): a basket or a table.
+struct FactoryInput {
+  bool is_stream = false;
+  // Stream inputs:
+  Basket* basket = nullptr;
+  int reader_id = -1;
+  std::optional<plan::WindowSpec> window;
+  // Table inputs:
+  TablePtr table;
+};
+
+/// Monitoring snapshot (demo's per-query analysis pane).
+struct FactoryStats {
+  uint64_t invocations = 0;
+  uint64_t emissions = 0;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  Micros total_exec_micros = 0;
+  Micros last_exec_micros = 0;
+  uint64_t cached_partials = 0;
+  size_t cached_bytes = 0;
+  uint64_t fragments_computed = 0;  // basic-window fragments evaluated
+  bool fell_back_to_full = false;   // incremental requested, not divisible
+  bool paused = false;
+  std::string last_error;
+};
+
+/// A continuous query plan instance driven by the scheduler.
+class Factory {
+ public:
+  /// `inputs` must be ordered like the compiled query's relations.
+  /// Supported shapes (validated): one non-windowed stream (+ optional
+  /// table), one windowed stream (+ optional table), or two RANGE-windowed
+  /// streams with equal slide.
+  static Result<std::shared_ptr<Factory>> Create(
+      int id, std::string name, std::shared_ptr<exec::QueryExecutor> executor,
+      ExecMode mode, std::vector<FactoryInput> inputs,
+      std::shared_ptr<Basket> output);
+
+  ~Factory();
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ExecMode mode() const { return mode_; }
+  const exec::QueryExecutor& executor() const { return *executor_; }
+  Basket* output() const { return output_.get(); }
+  const std::vector<FactoryInput>& inputs() const { return inputs_; }
+
+  /// Petri-net firing probe: true when Fire() would make progress.
+  bool CheckReady() const;
+
+  /// Performs one emission (or one per-batch evaluation). Errors are
+  /// stored (visible in Stats) and disable the factory.
+  Status Fire();
+
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  FactoryStats Stats() const;
+
+ private:
+  enum class Shape { kPerBatch, kSingleWindow, kDualWindow };
+
+  Factory(int id, std::string name,
+          std::shared_ptr<exec::QueryExecutor> executor, ExecMode mode,
+          std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output);
+
+  Status Validate();
+
+  bool CheckReadyLocked() const;
+  Status FireLocked();
+  Status FirePerBatch();
+  Status FireSingleWindow();
+  Status FireDualWindow();
+
+  /// Initializes the first RANGE emission boundary from the earliest
+  /// resident event; returns false if no data yet.
+  bool EnsureRangeOrigin(int rel, int64_t* m) const;
+
+  /// RANGE-window readiness of one stream side at boundary m, including
+  /// the sealed-stream flush rule.
+  bool RangeSideReady(int rel, const WindowMath& wm, int64_t m) const;
+
+  /// Reads the stream rows of stream input `rel` covering [lo, hi) in the
+  /// window coordinate space (seqs for ROWS, event ts for RANGE).
+  Result<exec::StageInput> ReadStreamExtent(int rel, bool rows_mode,
+                                            int64_t lo, int64_t hi) const;
+
+  exec::StageInput TableInput(int rel) const;
+
+  Status EmitResult(const ColumnSet& result);
+
+  /// Incremental caches. `compact_` holds per-(rel, basic-window) prejoin
+  /// outputs (kept when a second relation needs re-joining); `partials_`
+  /// holds mergeable partials keyed by basic window (single windowed
+  /// stream) or by (left bw, right bw) pair (stream-stream join).
+  struct PartialKey {
+    int64_t a = 0;
+    int64_t b = 0;
+    bool operator<(const PartialKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+
+  Result<const exec::StageInput*> EnsureCompact(int rel, bool rows_mode,
+                                                int64_t bw);
+  Result<const exec::Partial*> EnsureSinglePartial(int64_t bw, bool rows_mode,
+                                                   uint64_t table_version);
+
+  const int id_;
+  const std::string name_;
+  std::shared_ptr<exec::QueryExecutor> executor_;
+  const ExecMode mode_;
+  std::vector<FactoryInput> inputs_;
+  std::shared_ptr<Basket> output_;
+
+  Shape shape_ = Shape::kPerBatch;
+  int stream_rels_[2] = {-1, -1};  // relation indices of stream inputs
+  int table_rel_ = -1;             // relation index of the table input
+  bool incremental_active_ = false;
+
+  mutable std::mutex mu_;
+  bool paused_ = false;
+  bool failed_ = false;
+  std::string last_error_;
+
+  // Per-batch cursor (kPerBatch).
+  uint64_t batch_cursor_ = 0;
+
+  // Window progression (kSingleWindow / kDualWindow).
+  mutable std::optional<int64_t> next_emission_;  // k (ROWS) or m (RANGE)
+
+  // Registration-time cursor per relation slot (window coordinates for
+  // ROWS windows are relative to this origin).
+  std::vector<uint64_t> origin_seq_;
+
+  std::map<std::pair<int, int64_t>, exec::StageInput> compact_;
+  std::map<PartialKey, exec::Partial> partials_;
+  std::map<PartialKey, uint64_t> partial_versions_;
+  std::optional<exec::StageInput> table_compact_;
+  uint64_t table_compact_version_ = 0;
+
+  FactoryStats stats_;
+};
+
+using FactoryPtr = std::shared_ptr<Factory>;
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_FACTORY_H_

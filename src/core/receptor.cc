@@ -1,0 +1,144 @@
+#include "core/receptor.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dc {
+
+Receptor::Receptor(std::string name, Basket* basket, RowGen gen,
+                   Options options)
+    : name_(std::move(name)),
+      basket_(basket),
+      gen_(std::move(gen)),
+      options_(options) {}
+
+Receptor::~Receptor() { Stop(); }
+
+void Receptor::Start() {
+  if (thread_.joinable()) return;
+  start_time_ = SteadyMicros();
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Receptor::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Receptor::WaitFinished() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Receptor::Pause() { paused_.store(true); }
+void Receptor::Resume() { paused_.store(false); }
+
+ReceptorStats Receptor::Stats() const {
+  ReceptorStats s;
+  s.rows = rows_.load();
+  s.batches = batches_.load();
+  s.finished = finished_.load();
+  s.paused = paused_.load();
+  s.running_micros = start_time_ == 0 ? 0 : SteadyMicros() - start_time_;
+  return s;
+}
+
+void Receptor::Run() {
+  const Schema& schema = basket_->schema();
+  std::vector<Value> row(schema.NumColumns());
+  std::vector<BatPtr> batch;
+  auto reset_batch = [&] {
+    batch.clear();
+    for (const ColumnDef& c : schema.columns()) {
+      batch.push_back(Bat::MakeEmpty(c.type));
+      batch.back()->Reserve(options_.batch_rows);
+    }
+  };
+  reset_batch();
+
+  // Token-based pacing: next_deadline advances by batch_rows/rate per
+  // append so bursts average out to the target rate.
+  const double rate = options_.rows_per_sec;
+  Micros next_deadline = SteadyMicros();
+  uint64_t in_batch = 0;
+  bool source_done = false;
+
+  auto flush = [&]() {
+    if (in_batch == 0) return;
+    const Status st = basket_->Append(batch);
+    if (!st.ok()) {
+      DC_LOG(kError) << "receptor " << name_
+                     << " append failed: " << st.ToString();
+    }
+    rows_.fetch_add(in_batch);
+    batches_.fetch_add(1);
+    in_batch = 0;
+    reset_batch();
+  };
+
+  while (!stop_.load() && !source_done) {
+    if (paused_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    // Fill one batch.
+    while (in_batch < options_.batch_rows) {
+      if (!gen_(&row)) {
+        source_done = true;
+        break;
+      }
+      for (size_t c = 0; c < batch.size(); ++c) {
+        auto cast = row[c].CastTo(schema.column(c).type);
+        if (!cast.ok()) {
+          DC_LOG(kError) << "receptor " << name_ << ": "
+                         << cast.status().ToString();
+          source_done = true;
+          break;
+        }
+        batch[c]->AppendValue(*cast);
+      }
+      ++in_batch;
+    }
+    flush();
+    if (rate > 0 && !source_done) {
+      next_deadline += static_cast<Micros>(
+          options_.batch_rows / rate * kMicrosPerSecond);
+      const Micros now = SteadyMicros();
+      if (next_deadline > now) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(next_deadline - now));
+      } else if (now - next_deadline > kMicrosPerSecond) {
+        next_deadline = now;  // fell behind badly; do not burst-catch-up
+      }
+    }
+  }
+  flush();
+  finished_.store(true);
+  if (options_.seal_on_finish && !stop_.load()) basket_->Seal();
+}
+
+Result<Receptor::RowGen> CsvRowGen(const std::string& path,
+                                   const Schema& schema) {
+  auto file = std::make_shared<std::ifstream>(path);
+  if (!file->is_open()) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const size_t ncols = schema.NumColumns();
+  return Receptor::RowGen([file, ncols](std::vector<Value>* row) {
+    std::string line;
+    while (std::getline(*file, line)) {
+      if (line.empty()) continue;
+      auto fields = ParseCsvLine(line);
+      if (!fields.ok() || fields->size() != ncols) continue;  // skip bad rows
+      for (size_t i = 0; i < ncols; ++i) {
+        (*row)[i] = Value::Str(std::move((*fields)[i]));
+      }
+      return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace dc

@@ -1,0 +1,91 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Receptor: the per-stream ingestion process (paper §3) — "a separate
+// process per stream to listen for new data". Here a receptor is a thread
+// pulling rows from an EventSource (generator function or CSV file) at a
+// configurable rate and batch-appending them into the stream's basket —
+// the same code path a socket-fed receptor would exercise (DESIGN.md §2
+// substitutions).
+
+#ifndef DATACELL_CORE_RECEPTOR_H_
+#define DATACELL_CORE_RECEPTOR_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/basket.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// Receptor statistics (monitor pane: "incoming data rate").
+struct ReceptorStats {
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  bool finished = false;
+  bool paused = false;
+  Micros running_micros = 0;
+};
+
+/// A rate-controlled ingestion thread for one stream.
+class Receptor {
+ public:
+  /// Produces the next row into `*row` (sized for the basket schema);
+  /// returns false when the source is exhausted.
+  using RowGen = std::function<bool(std::vector<Value>* row)>;
+
+  struct Options {
+    /// Target ingest rate in rows/second; 0 = as fast as possible.
+    double rows_per_sec = 0;
+    /// Rows per basket append (amortizes locking, like MonetDB's DataCell).
+    uint64_t batch_rows = 64;
+    /// Seal the basket when the source is exhausted (flushes windows).
+    bool seal_on_finish = true;
+  };
+
+  Receptor(std::string name, Basket* basket, RowGen gen, Options options);
+  ~Receptor();
+
+  const std::string& name() const { return name_; }
+
+  void Start();
+  /// Signals the thread to finish and joins it.
+  void Stop();
+  /// Blocks until the source is exhausted and everything is appended.
+  void WaitFinished();
+
+  void Pause();
+  void Resume();
+
+  ReceptorStats Stats() const;
+
+ private:
+  void Run();
+
+  const std::string name_;
+  Basket* const basket_;
+  RowGen gen_;
+  const Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> batches_{0};
+  Micros start_time_ = 0;
+};
+
+/// Builds a RowGen replaying a CSV file against the basket schema.
+/// Each line must have one field per column.
+Result<Receptor::RowGen> CsvRowGen(const std::string& path,
+                                   const Schema& schema);
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_RECEPTOR_H_

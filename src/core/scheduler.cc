@@ -1,0 +1,147 @@
+#include "core/scheduler.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace dc {
+
+Scheduler::Scheduler() : Scheduler(Options{}) {}
+
+Scheduler::Scheduler(Options options) : options_(options) {}
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::AddFactory(FactoryPtr factory) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(Entry{std::move(factory), false});
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::RemoveFactory(int factory_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait until the factory is not firing, then unlink it.
+  cv_.wait(lock, [&] {
+    for (const Entry& e : entries_) {
+      if (e.factory->id() == factory_id && e.busy) return false;
+    }
+    return true;
+  });
+  std::erase_if(entries_, [&](const Entry& e) {
+    return e.factory->id() == factory_id;
+  });
+}
+
+std::vector<FactoryPtr> Scheduler::Factories() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FactoryPtr> out;
+  for (const Entry& e : entries_) out.push_back(e.factory);
+  return out;
+}
+
+void Scheduler::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.notifications;
+  }
+  cv_.notify_all();
+}
+
+FactoryPtr Scheduler::ClaimReadyLocked() {
+  const size_t n = entries_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Entry& e = entries_[(rr_cursor_ + i) % n];
+    if (e.busy) continue;
+    if (e.factory->CheckReady()) {
+      e.busy = true;
+      rr_cursor_ = (rr_cursor_ + i + 1) % n;
+      return e.factory;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    FactoryPtr f = ClaimReadyLocked();
+    if (f == nullptr) {
+      // Event-driven wait with a fallback tick (guards against missed
+      // pulses from exotic listener orderings).
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      continue;
+    }
+    lock.unlock();
+    const Status st = f->Fire();
+    lock.lock();
+    ++stats_.fires;
+    if (!st.ok()) ++stats_.fire_errors;
+    for (Entry& e : entries_) {
+      if (e.factory.get() == f.get()) e.busy = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void Scheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Scheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+int Scheduler::DrainReady() {
+  int fires = 0;
+  while (true) {
+    FactoryPtr f;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      f = ClaimReadyLocked();
+    }
+    if (f == nullptr) break;
+    const Status st = f->Fire();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fires;
+      if (!st.ok()) ++stats_.fire_errors;
+      for (Entry& e : entries_) {
+        if (e.factory.get() == f.get()) e.busy = false;
+      }
+    }
+    ++fires;
+  }
+  return fires;
+}
+
+bool Scheduler::AnyBusyOrReady() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.busy || e.factory->CheckReady()) return true;
+  }
+  return false;
+}
+
+SchedulerStats Scheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dc

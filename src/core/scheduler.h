@@ -1,0 +1,91 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Scheduler: the Petri-net execution model (paper §3, "Scheduler").
+// Baskets are places, factories are transitions; a transition is enabled
+// when its firing probe (Factory::CheckReady) holds — i.e. there are
+// tuples relevant to the waiting query. Basket appends/heartbeats pulse
+// Notify(), which wakes the worker pool to re-evaluate enablement.
+//
+// Two driving modes:
+//  * threaded: Start() launches N workers that fire enabled transitions
+//    concurrently (a factory never fires concurrently with itself);
+//  * manual:   DrainReady() synchronously fires until quiescence —
+//    deterministic driving for tests and single-threaded experiments.
+
+#ifndef DATACELL_CORE_SCHEDULER_H_
+#define DATACELL_CORE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/factory.h"
+
+namespace dc {
+
+/// Scheduler statistics (monitor pane).
+struct SchedulerStats {
+  uint64_t fires = 0;
+  uint64_t notifications = 0;
+  uint64_t fire_errors = 0;
+};
+
+/// Petri-net scheduler over the registered factories.
+class Scheduler {
+ public:
+  struct Options {
+    int num_workers = 2;
+  };
+
+  Scheduler();
+  explicit Scheduler(Options options);
+  ~Scheduler();
+
+  void AddFactory(FactoryPtr factory);
+  void RemoveFactory(int factory_id);
+  std::vector<FactoryPtr> Factories() const;
+
+  /// Data-arrival pulse (wired as a basket listener).
+  void Notify();
+
+  /// Launches the worker pool (idempotent).
+  void Start();
+  /// Stops and joins the workers.
+  void Stop();
+
+  /// Manual mode: fires enabled factories until none are ready.
+  /// Returns the number of firings performed.
+  int DrainReady();
+
+  /// True if some factory is currently enabled or firing.
+  bool AnyBusyOrReady() const;
+
+  SchedulerStats Stats() const;
+
+ private:
+  struct Entry {
+    FactoryPtr factory;
+    bool busy = false;
+  };
+
+  /// Picks an enabled, non-busy factory and marks it busy; null if none.
+  FactoryPtr ClaimReadyLocked();
+  void WorkerLoop();
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::vector<std::thread> workers_;
+  bool running_ = false;
+  bool stop_ = false;
+  size_t rr_cursor_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_CORE_SCHEDULER_H_

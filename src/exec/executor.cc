@@ -1,0 +1,265 @@
+#include "exec/executor.h"
+
+#include "bat/ops_arith.h"
+#include "bat/ops_select.h"
+#include "bat/ops_sort.h"
+#include "bat/ops_join.h"
+#include "util/string_util.h"
+
+namespace dc::exec {
+
+size_t Partial::MemoryBytes() const {
+  size_t total = scalar_states.size() * sizeof(ops::AggState);
+  if (grouped) total += grouped->num_groups() * 64;  // rough per-group cost
+  for (const BatPtr& c : frag_cols) total += c->MemoryBytes();
+  return total;
+}
+
+QueryExecutor::QueryExecutor(plan::CompiledQuery cq) : cq_(std::move(cq)) {
+  const plan::BoundQuery& q = cq_.bound;
+  if (q.is_aggregate) {
+    for (const plan::BExprPtr& k : q.group_by) {
+      fragment_types_.push_back(k->type);
+    }
+    for (const plan::BoundAgg& a : q.aggs) {
+      if (a.arg) fragment_types_.push_back(a.arg_type);
+    }
+  } else {
+    for (const plan::BExprPtr& e : q.select_exprs) {
+      fragment_types_.push_back(e->type);
+    }
+    for (const auto& [e, asc] : q.order_by) fragment_types_.push_back(e->type);
+  }
+}
+
+Result<StageOutput> QueryExecutor::RunPrejoin(int rel,
+                                              const StageInput& raw) const {
+  std::vector<StageInput> inputs(cq_.prejoin.size());
+  inputs[rel] = raw;
+  return ExecuteProgram(cq_.prejoin[rel], inputs);
+}
+
+Result<StageOutput> QueryExecutor::RunPostjoin(
+    const std::vector<StageInput>& compact) const {
+  return ExecuteProgram(cq_.postjoin, compact);
+}
+
+Result<Partial> QueryExecutor::MakePartial(const StageOutput& frag) const {
+  Partial p;
+  p.rows = frag.rows;
+  const plan::FinishSpec& f = cq_.finish;
+  if (!f.is_aggregate) {
+    p.frag_cols = frag.cols;
+    return p;
+  }
+  if (cq_.num_keys == 0) {
+    p.scalar_states.resize(cq_.bound.aggs.size());
+    for (size_t i = 0; i < cq_.bound.aggs.size(); ++i) {
+      const int slot = cq_.agg_arg_slots[i];
+      if (slot < 0) {
+        p.scalar_states[i].count = frag.rows;
+      } else {
+        p.scalar_states[i].AddColumn(*frag.cols[slot], nullptr);
+      }
+    }
+    return p;
+  }
+  auto merger = std::make_shared<ops::GroupedAggMerger>(f.key_types,
+                                                        f.agg_layout);
+  std::vector<const Bat*> keys;
+  for (int k = 0; k < cq_.num_keys; ++k) keys.push_back(frag.cols[k].get());
+  std::vector<const Bat*> values;
+  for (size_t i = 0; i < cq_.bound.aggs.size(); ++i) {
+    const int slot = cq_.agg_arg_slots[i];
+    values.push_back(slot < 0 ? nullptr : frag.cols[slot].get());
+  }
+  DC_RETURN_NOT_OK(merger->AddPartial(keys, values));
+  p.grouped = std::move(merger);
+  return p;
+}
+
+Result<ColumnSet> QueryExecutor::Finish(
+    const std::vector<const Partial*>& partials) const {
+  if (cq_.finish.is_aggregate) return FinishAggregate(partials);
+  return FinishPlain(partials);
+}
+
+Result<BatPtr> EvalFinishExpr(const plan::BExpr& e,
+                              const std::vector<BatPtr>& key_cols,
+                              const std::vector<BatPtr>& agg_cols,
+                              uint64_t rows) {
+  using plan::BKind;
+  switch (e.kind) {
+    case BKind::kKeyRef:
+      return key_cols[e.index];
+    case BKind::kAggRef:
+      return agg_cols[e.index];
+    case BKind::kLiteral:
+      return ops::MakeConstColumn(e.literal, rows);
+    case BKind::kArith: {
+      DC_ASSIGN_OR_RETURN(
+          BatPtr l, EvalFinishExpr(*e.children[0], key_cols, agg_cols, rows));
+      DC_ASSIGN_OR_RETURN(
+          BatPtr r, EvalFinishExpr(*e.children[1], key_cols, agg_cols, rows));
+      return ops::MapArith(*l, e.arith_op, *r);
+    }
+    case BKind::kCmp: {
+      DC_ASSIGN_OR_RETURN(
+          BatPtr l, EvalFinishExpr(*e.children[0], key_cols, agg_cols, rows));
+      DC_ASSIGN_OR_RETURN(
+          BatPtr r, EvalFinishExpr(*e.children[1], key_cols, agg_cols, rows));
+      return ops::MapCmpCol(*l, e.cmp_op, *r);
+    }
+    case BKind::kAnd:
+    case BKind::kOr: {
+      DC_ASSIGN_OR_RETURN(
+          BatPtr l, EvalFinishExpr(*e.children[0], key_cols, agg_cols, rows));
+      DC_ASSIGN_OR_RETURN(
+          BatPtr r, EvalFinishExpr(*e.children[1], key_cols, agg_cols, rows));
+      return e.kind == BKind::kAnd ? ops::MapAnd(*l, *r) : ops::MapOr(*l, *r);
+    }
+    case BKind::kNot: {
+      DC_ASSIGN_OR_RETURN(
+          BatPtr c, EvalFinishExpr(*e.children[0], key_cols, agg_cols, rows));
+      return ops::MapNot(*c);
+    }
+    case BKind::kColRef:
+      break;
+  }
+  return Status::Internal("EvalFinishExpr: input-domain node");
+}
+
+Result<ColumnSet> QueryExecutor::FinishAggregate(
+    const std::vector<const Partial*>& partials) const {
+  const plan::FinishSpec& f = cq_.finish;
+  std::vector<BatPtr> key_cols;
+  std::vector<BatPtr> agg_cols;
+  uint64_t rows = 0;
+
+  if (cq_.num_keys == 0) {
+    // Scalar aggregation: exactly one output row, even over empty input.
+    std::vector<ops::AggState> merged(cq_.bound.aggs.size());
+    for (const Partial* p : partials) {
+      for (size_t i = 0; i < merged.size(); ++i) {
+        merged[i].Merge(p->scalar_states[i]);
+      }
+    }
+    for (size_t i = 0; i < merged.size(); ++i) {
+      const plan::BoundAgg& a = cq_.bound.aggs[i];
+      auto col = Bat::MakeEmpty(a.out_type);
+      col->AppendValue(merged[i].Finalize(a.kind, a.arg_type));
+      agg_cols.push_back(std::move(col));
+    }
+    rows = 1;
+  } else {
+    ops::GroupedAggMerger merged(f.key_types, f.agg_layout);
+    for (const Partial* p : partials) {
+      if (p->grouped) DC_RETURN_NOT_OK(merged.MergeFrom(*p->grouped));
+    }
+    DC_ASSIGN_OR_RETURN(std::vector<BatPtr> cols, merged.Finalize());
+    for (int k = 0; k < cq_.num_keys; ++k) key_cols.push_back(cols[k]);
+    for (size_t a = 0; a < cq_.bound.aggs.size(); ++a) {
+      agg_cols.push_back(cols[cq_.num_keys + a]);
+    }
+    rows = merged.num_groups();
+  }
+
+  // Select list.
+  ColumnSet out;
+  out.names = f.out_names;
+  for (const plan::BExprPtr& e : f.select_exprs) {
+    DC_ASSIGN_OR_RETURN(BatPtr col,
+                        EvalFinishExpr(*e, key_cols, agg_cols, rows));
+    out.cols.push_back(std::move(col));
+  }
+
+  // HAVING filters groups (applies equally to key/agg columns so ORDER BY
+  // sees only surviving groups).
+  if (f.having) {
+    DC_ASSIGN_OR_RETURN(BatPtr pred,
+                        EvalFinishExpr(*f.having, key_cols, agg_cols, rows));
+    DC_ASSIGN_OR_RETURN(Candidates cand, ops::SelectTrue(*pred));
+    for (BatPtr& c : out.cols) c = c->Gather(cand);
+    for (BatPtr& c : key_cols) c = c->Gather(cand);
+    for (BatPtr& c : agg_cols) c = c->Gather(cand);
+    rows = cand.size();
+  }
+
+  // ORDER BY over finish-domain expressions.
+  if (!f.order_by.empty()) {
+    std::vector<BatPtr> sort_cols;
+    std::vector<ops::SortKey> keys;
+    for (const auto& [e, asc] : f.order_by) {
+      DC_ASSIGN_OR_RETURN(BatPtr col,
+                          EvalFinishExpr(*e, key_cols, agg_cols, rows));
+      sort_cols.push_back(col);
+      keys.push_back(ops::SortKey{sort_cols.back().get(), asc});
+    }
+    DC_ASSIGN_OR_RETURN(std::vector<Oid> order, ops::SortOrder(keys));
+    for (BatPtr& c : out.cols) c = ops::FetchOids(*c, order);
+  }
+
+  if (f.limit >= 0 && out.NumRows() > static_cast<uint64_t>(f.limit)) {
+    for (BatPtr& c : out.cols) c = c->Slice(0, f.limit);
+  }
+  return out;
+}
+
+Result<ColumnSet> QueryExecutor::FinishPlain(
+    const std::vector<const Partial*>& partials) const {
+  const plan::FinishSpec& f = cq_.finish;
+  // Concatenate fragment outputs of all partials (typed empties if none).
+  std::vector<BatPtr> cols;
+  for (TypeId t : fragment_types_) cols.push_back(Bat::MakeEmpty(t));
+  for (const Partial* p : partials) {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      if (c < p->frag_cols.size()) {
+        cols[c]->AppendRange(*p->frag_cols[c], 0, p->frag_cols[c]->size());
+      }
+    }
+  }
+  // Sort by the hidden sort columns.
+  if (!f.sort_cols.empty()) {
+    std::vector<ops::SortKey> keys;
+    for (const auto& [slot, asc] : f.sort_cols) {
+      keys.push_back(ops::SortKey{cols[slot].get(), asc});
+    }
+    DC_ASSIGN_OR_RETURN(std::vector<Oid> order, ops::SortOrder(keys));
+    for (BatPtr& c : cols) c = ops::FetchOids(*c, order);
+  }
+  ColumnSet out;
+  out.names = f.out_names;
+  for (int i = 0; i < f.num_visible; ++i) out.cols.push_back(cols[i]);
+  if (f.limit >= 0 && out.NumRows() > static_cast<uint64_t>(f.limit)) {
+    for (BatPtr& c : out.cols) c = c->Slice(0, f.limit);
+  }
+  return out;
+}
+
+std::vector<TypeId> OutputTypes(const plan::CompiledQuery& cq) {
+  std::vector<TypeId> out;
+  const auto& exprs = cq.finish.is_aggregate ? cq.finish.select_exprs
+                                             : cq.bound.select_exprs;
+  for (const plan::BExprPtr& e : exprs) out.push_back(e->type);
+  return out;
+}
+
+Result<Partial> QueryExecutor::ComputePartial(
+    const std::vector<StageInput>& raw) const {
+  std::vector<StageInput> compact(cq_.prejoin.size());
+  for (size_t r = 0; r < cq_.prejoin.size(); ++r) {
+    DC_ASSIGN_OR_RETURN(StageOutput pre,
+                        RunPrejoin(static_cast<int>(r), raw[r]));
+    compact[r] = StageInput{std::move(pre.cols), pre.rows};
+  }
+  DC_ASSIGN_OR_RETURN(StageOutput frag, RunPostjoin(compact));
+  return MakePartial(frag);
+}
+
+Result<ColumnSet> QueryExecutor::ExecuteFull(
+    const std::vector<StageInput>& raw) const {
+  DC_ASSIGN_OR_RETURN(Partial p, ComputePartial(raw));
+  return Finish({&p});
+}
+
+}  // namespace dc::exec

@@ -1,0 +1,94 @@
+// Copyright 2026 The DataCell Authors.
+//
+// QueryExecutor: runs a compiled query's stages and owns the
+// partial-result/merge machinery that both execution modes share.
+//
+//   One-time / FULL re-evaluation:  ExecuteFull(whole inputs)
+//   INCREMENTAL:                    RunPrejoin + RunPostjoin per basic
+//                                   window -> MakePartial (cached by the
+//                                   factory) -> Finish(merge all partials)
+//
+// Because both paths run the identical stage programs and the identical
+// finish step, FULL and INCREMENTAL emissions are equal by construction;
+// the property tests assert it.
+
+#ifndef DATACELL_EXEC_EXECUTOR_H_
+#define DATACELL_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/ops_group.h"
+#include "exec/interpreter.h"
+#include "plan/compiler.h"
+#include "util/result.h"
+
+namespace dc::exec {
+
+/// Mergeable partial result of one input portion (basic window).
+struct Partial {
+  // Aggregate queries without GROUP BY:
+  std::vector<ops::AggState> scalar_states;
+  // Aggregate queries with GROUP BY:
+  std::shared_ptr<ops::GroupedAggMerger> grouped;
+  // Non-aggregate queries: the fragment's output columns.
+  std::vector<BatPtr> frag_cols;
+  uint64_t rows = 0;
+
+  /// Approximate footprint (monitoring: "intermediate result sizes").
+  size_t MemoryBytes() const;
+};
+
+/// Stage runner for one compiled query. Thread-compatible: const methods
+/// are safe to call concurrently.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(plan::CompiledQuery cq);
+
+  const plan::CompiledQuery& compiled() const { return cq_; }
+
+  /// Prejoin stage for relation `rel` over raw input columns.
+  Result<StageOutput> RunPrejoin(int rel, const StageInput& raw) const;
+
+  /// Postjoin stage over the compact relations (prejoin outputs).
+  Result<StageOutput> RunPostjoin(
+      const std::vector<StageInput>& compact) const;
+
+  /// Folds a fragment output into a mergeable Partial.
+  Result<Partial> MakePartial(const StageOutput& frag) const;
+
+  /// Merges `partials` (possibly empty) and applies the finish step:
+  /// select-list evaluation, HAVING, ORDER BY, LIMIT, column naming.
+  Result<ColumnSet> Finish(
+      const std::vector<const Partial*>& partials) const;
+
+  /// Whole pipeline over complete inputs — one-time queries and FULL mode.
+  Result<ColumnSet> ExecuteFull(const std::vector<StageInput>& raw) const;
+
+  /// Convenience wrapper: prejoin+postjoin+MakePartial for one portion.
+  Result<Partial> ComputePartial(const std::vector<StageInput>& raw) const;
+
+ private:
+  Result<ColumnSet> FinishAggregate(
+      const std::vector<const Partial*>& partials) const;
+  Result<ColumnSet> FinishPlain(
+      const std::vector<const Partial*>& partials) const;
+
+  plan::CompiledQuery cq_;
+  std::vector<TypeId> fragment_types_;
+};
+
+/// Types of the query's visible output columns (for result schemas).
+std::vector<TypeId> OutputTypes(const plan::CompiledQuery& cq);
+
+/// Evaluates a finish-domain expression over the merged key/aggregate
+/// columns (all of length `rows`).
+Result<BatPtr> EvalFinishExpr(const plan::BExpr& e,
+                              const std::vector<BatPtr>& key_cols,
+                              const std::vector<BatPtr>& agg_cols,
+                              uint64_t rows);
+
+}  // namespace dc::exec
+
+#endif  // DATACELL_EXEC_EXECUTOR_H_

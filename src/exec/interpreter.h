@@ -1,0 +1,38 @@
+// Copyright 2026 The DataCell Authors.
+//
+// CAL interpreter: executes one stage program instruction-at-a-time, fully
+// materializing every intermediate (MonetDB's bulk processing model).
+
+#ifndef DATACELL_EXEC_INTERPRETER_H_
+#define DATACELL_EXEC_INTERPRETER_H_
+
+#include <vector>
+
+#include "bat/bat.h"
+#include "plan/cal.h"
+#include "util/result.h"
+
+namespace dc::exec {
+
+/// One input relation for a stage: columns plus an explicit row count
+/// (columns may be empty when only the cardinality matters, e.g. for
+/// COUNT(*)-only fragments).
+struct StageInput {
+  std::vector<BatPtr> cols;
+  uint64_t rows = 0;
+};
+
+/// Stage result: output columns (in program output order) and the row
+/// count of the final domain.
+struct StageOutput {
+  std::vector<BatPtr> cols;
+  uint64_t rows = 0;
+};
+
+/// Executes `program` over `inputs` (indexed by Instr::rel).
+Result<StageOutput> ExecuteProgram(const cal::Program& program,
+                                   const std::vector<StageInput>& inputs);
+
+}  // namespace dc::exec
+
+#endif  // DATACELL_EXEC_INTERPRETER_H_

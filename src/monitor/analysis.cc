@@ -1,0 +1,152 @@
+#include "monitor/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dc::monitor {
+
+AnalysisPane::AnalysisPane(size_t capacity) : capacity_(capacity) {}
+
+void AnalysisPane::Record(const std::string& metric, Micros t, double value) {
+  auto& dq = series_[metric];
+  dq.push_back(SamplePoint{t, value});
+  if (dq.size() > capacity_) dq.pop_front();
+}
+
+void AnalysisPane::Sample(Engine& engine) {
+  const Micros now = SteadyMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto rate = [&](const std::string& metric, double cumulative) {
+    auto it = prev_counter_.find(metric);
+    double r = 0;
+    if (it != prev_counter_.end() && now > it->second.first) {
+      r = (cumulative - it->second.second) /
+          (static_cast<double>(now - it->second.first) / kMicrosPerSecond);
+    }
+    prev_counter_[metric] = {now, cumulative};
+    return r;
+  };
+
+  double net_in = 0, net_out = 0;
+  for (const std::string& s : engine.StreamNames()) {
+    auto stats = engine.StreamStats(s);
+    if (!stats.ok()) continue;
+    Record("stream." + s + ".resident_rows", now,
+           static_cast<double>(stats->resident_rows));
+    Record("stream." + s + ".memory_bytes", now,
+           static_cast<double>(stats->memory_bytes));
+    Record("stream." + s + ".rate_rows_per_s", now,
+           rate("stream." + s + ".appended",
+                static_cast<double>(stats->appended_total)));
+    net_in += static_cast<double>(stats->appended_total);
+  }
+
+  for (const ContinuousQueryInfo& q : engine.Queries()) {
+    const std::string p = "query." + q.name;
+    Record(p + ".emissions", now, static_cast<double>(q.factory.emissions));
+    Record(p + ".tuples_out", now,
+           static_cast<double>(q.factory.tuples_out));
+    Record(p + ".cached_bytes", now,
+           static_cast<double>(q.factory.cached_bytes));
+    Record(p + ".exec_us_per_fire", now,
+           q.factory.invocations == 0
+               ? 0
+               : static_cast<double>(q.factory.total_exec_micros) /
+                     static_cast<double>(q.factory.invocations));
+    Record(p + ".emission_rate_per_s", now,
+           rate(p + ".emissions_counter",
+                static_cast<double>(q.factory.emissions)));
+    net_out += static_cast<double>(q.factory.tuples_out);
+  }
+  Record("net.total_tuples_in", now, net_in);
+  Record("net.total_tuples_out", now, net_out);
+}
+
+std::vector<std::string> AnalysisPane::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, dq] : series_) out.push_back(name);
+  return out;
+}
+
+Result<SeriesAggregate> AnalysisPane::Aggregate(const std::string& metric,
+                                                Micros period_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(metric);
+  if (it == series_.end()) {
+    return Status::NotFound("unknown metric '" + metric + "'");
+  }
+  const auto& dq = it->second;
+  SeriesAggregate agg;
+  if (dq.empty()) return agg;
+  const Micros cutoff = period_us == 0 ? INT64_MIN : dq.back().t - period_us;
+  double sum = 0;
+  for (const SamplePoint& p : dq) {
+    if (p.t < cutoff) continue;
+    if (agg.samples == 0) {
+      agg.min = agg.max = p.value;
+    } else {
+      agg.min = std::min(agg.min, p.value);
+      agg.max = std::max(agg.max, p.value);
+    }
+    sum += p.value;
+    agg.last = p.value;
+    ++agg.samples;
+  }
+  if (agg.samples > 0) agg.mean = sum / static_cast<double>(agg.samples);
+  return agg;
+}
+
+Result<std::vector<SamplePoint>> AnalysisPane::Series(
+    const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(metric);
+  if (it == series_.end()) {
+    return Status::NotFound("unknown metric '" + metric + "'");
+  }
+  return std::vector<SamplePoint>(it->second.begin(), it->second.end());
+}
+
+std::string AnalysisPane::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<Micros> instants;
+  for (const auto& [name, dq] : series_) {
+    for (const SamplePoint& p : dq) instants.insert(p.t);
+  }
+  std::string out = "t_us";
+  for (const auto& [name, dq] : series_) out += "," + name;
+  out += "\n";
+  for (Micros t : instants) {
+    out += StrFormat("%lld", static_cast<long long>(t));
+    for (const auto& [name, dq] : series_) {
+      out += ",";
+      auto it = std::lower_bound(
+          dq.begin(), dq.end(), t,
+          [](const SamplePoint& p, Micros x) { return p.t < x; });
+      if (it != dq.end() && it->t == t) out += FormatDouble(it->value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string AnalysisPane::RenderSummary(Micros period_us) const {
+  std::string out = StrFormat("%-40s %12s %12s %12s %12s\n", "metric", "min",
+                              "mean", "max", "last");
+  out += std::string(92, '-') + "\n";
+  for (const std::string& name : MetricNames()) {
+    auto agg = Aggregate(name, period_us);
+    if (!agg.ok() || agg->samples == 0) continue;
+    out += StrFormat("%-40s %12s %12s %12s %12s\n", name.c_str(),
+                     FormatDouble(agg->min).c_str(),
+                     FormatDouble(agg->mean).c_str(),
+                     FormatDouble(agg->max).c_str(),
+                     FormatDouble(agg->last).c_str());
+  }
+  return out;
+}
+
+}  // namespace dc::monitor

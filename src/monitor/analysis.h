@@ -1,0 +1,79 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Analysis pane (paper Fig. 4): periodic sampling of engine metrics into a
+// time series — input rates per basket, per-query emission/latency figures
+// and intermediate footprints, whole-network aggregates over a period —
+// rendered as text or CSV.
+
+#ifndef DATACELL_MONITOR_ANALYSIS_H_
+#define DATACELL_MONITOR_ANALYSIS_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/clock.h"
+
+namespace dc::monitor {
+
+/// One sampled point of one metric.
+struct SamplePoint {
+  Micros t = 0;      // steady time of the sample
+  double value = 0;
+};
+
+/// Aggregate of a metric over a queried period.
+struct SeriesAggregate {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double last = 0;
+  size_t samples = 0;
+};
+
+/// Collects engine metrics over time. Call Sample() at your own cadence
+/// (tests drive it manually; demos use a thread).
+class AnalysisPane {
+ public:
+  /// Keeps at most `capacity` samples per metric (ring).
+  explicit AnalysisPane(size_t capacity = 4096);
+
+  /// Samples every basket and query. Rates are computed against the
+  /// previous sample of the same metric.
+  void Sample(Engine& engine);
+
+  /// Known metric names ("stream.<s>.rate_rows_per_s",
+  /// "query.<name>.emissions", "query.<name>.exec_us_per_fire",
+  /// "query.<name>.cached_bytes", "net.total_tuples_out", ...).
+  std::vector<std::string> MetricNames() const;
+
+  /// Aggregates `metric` over the trailing `period_us` (0 = everything).
+  Result<SeriesAggregate> Aggregate(const std::string& metric,
+                                    Micros period_us = 0) const;
+
+  /// Full series of one metric.
+  Result<std::vector<SamplePoint>> Series(const std::string& metric) const;
+
+  /// CSV with one row per sample instant and one column per metric
+  /// (missing points empty) — the demo's exportable analysis data.
+  std::string ToCsv() const;
+
+  /// Text table of trailing-period aggregates for all metrics.
+  std::string RenderSummary(Micros period_us = 0) const;
+
+ private:
+  void Record(const std::string& metric, Micros t, double value);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<SamplePoint>> series_;
+  // Previous cumulative counters for rate computation.
+  std::map<std::string, std::pair<Micros, double>> prev_counter_;
+};
+
+}  // namespace dc::monitor
+
+#endif  // DATACELL_MONITOR_ANALYSIS_H_

@@ -1,0 +1,128 @@
+#include "monitor/network.h"
+
+#include "util/string_util.h"
+
+namespace dc::monitor {
+
+namespace {
+
+std::string WindowLabel(const FactoryInput& in) {
+  if (!in.window.has_value()) return "per-batch";
+  return in.window->ToString();
+}
+
+}  // namespace
+
+std::string ExportDot(Engine& engine) {
+  std::string out;
+  out += "digraph datacell {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [fontname=\"Helvetica\"];\n";
+
+  for (const std::string& s : engine.StreamNames()) {
+    auto stats = engine.StreamStats(s);
+    const uint64_t resident = stats.ok() ? stats->resident_rows : 0;
+    out += StrFormat(
+        "  \"recv:%s\" [shape=cds, label=\"receptor\\n%s\"];\n", s.c_str(),
+        s.c_str());
+    out += StrFormat(
+        "  \"basket:%s\" [shape=box3d, style=filled, fillcolor=lightyellow,"
+        " label=\"basket %s\\n%llu resident\"];\n",
+        s.c_str(), s.c_str(), static_cast<unsigned long long>(resident));
+    out += StrFormat("  \"recv:%s\" -> \"basket:%s\";\n", s.c_str(),
+                     s.c_str());
+  }
+
+  for (const ContinuousQueryInfo& q : engine.Queries()) {
+    out += StrFormat(
+        "  \"factory:%d\" [shape=component, style=filled,"
+        " fillcolor=%s, label=\"%s\\n%s, %llu emissions%s\"];\n",
+        q.id, q.factory.paused ? "lightgrey" : "lightblue",
+        q.name.c_str(), ExecModeName(q.mode),
+        static_cast<unsigned long long>(q.factory.emissions),
+        q.factory.paused ? " (paused)" : "");
+    for (const std::string& s : q.input_streams) {
+      out += StrFormat("  \"basket:%s\" -> \"factory:%d\";\n", s.c_str(),
+                       q.id);
+    }
+    for (const std::string& t : q.input_tables) {
+      out += StrFormat(
+          "  \"table:%s\" [shape=cylinder, label=\"table %s\"];\n",
+          t.c_str(), t.c_str());
+      out += StrFormat("  \"table:%s\" -> \"factory:%d\" [style=dashed];\n",
+                       t.c_str(), q.id);
+    }
+    out += StrFormat(
+        "  \"out:%d\" [shape=box3d, style=filled, fillcolor=lightyellow,"
+        " label=\"basket %s.out\"];\n",
+        q.id, q.name.c_str());
+    out += StrFormat("  \"factory:%d\" -> \"out:%d\";\n", q.id, q.id);
+    out += StrFormat(
+        "  \"emit:%d\" [shape=cds, label=\"emitter\\n%llu rows\"];\n", q.id,
+        static_cast<unsigned long long>(q.emitter.rows));
+    out += StrFormat("  \"out:%d\" -> \"emit:%d\";\n", q.id, q.id);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderNetworkTable(Engine& engine) {
+  std::string out;
+  out += StrFormat("%-10s %-12s %-24s %-12s %10s %10s %12s\n", "query",
+                   "mode", "inputs", "window", "emissions", "tuples",
+                   "cached(B)");
+  out += std::string(96, '-') + "\n";
+  for (const ContinuousQueryInfo& q : engine.Queries()) {
+    std::string inputs;
+    std::string window = "-";
+    FactoryPtr f = engine.GetFactory(q.id);
+    for (const FactoryInput& in : f->inputs()) {
+      if (!inputs.empty()) inputs += "+";
+      if (in.is_stream) {
+        inputs += in.basket->name();
+        window = WindowLabel(in);
+      } else {
+        inputs += in.table->name();
+      }
+    }
+    out += StrFormat("%-10s %-12s %-24s %-12s %10llu %10llu %12zu\n",
+                     q.name.c_str(), ExecModeName(q.mode), inputs.c_str(),
+                     window.c_str(),
+                     static_cast<unsigned long long>(q.factory.emissions),
+                     static_cast<unsigned long long>(q.factory.tuples_out),
+                     q.factory.cached_bytes);
+  }
+  return out;
+}
+
+std::string RenderTupleLocations(Engine& engine) {
+  std::string out;
+  out += "baskets:\n";
+  for (const std::string& s : engine.StreamNames()) {
+    auto stats = engine.StreamStats(s);
+    if (!stats.ok()) continue;
+    out += StrFormat(
+        "  %-16s resident=%llu appended=%llu dropped=%llu bytes=%zu "
+        "watermark=%lld\n",
+        s.c_str(), static_cast<unsigned long long>(stats->resident_rows),
+        static_cast<unsigned long long>(stats->appended_total),
+        static_cast<unsigned long long>(stats->dropped_total),
+        stats->memory_bytes, static_cast<long long>(stats->event_watermark));
+  }
+  out += "factories (cached intermediates):\n";
+  for (const ContinuousQueryInfo& q : engine.Queries()) {
+    out += StrFormat(
+        "  %-16s partials=%llu bytes=%zu fragments_computed=%llu "
+        "in=%llu out=%llu%s\n",
+        q.name.c_str(),
+        static_cast<unsigned long long>(q.factory.cached_partials),
+        q.factory.cached_bytes,
+        static_cast<unsigned long long>(q.factory.fragments_computed),
+        static_cast<unsigned long long>(q.factory.tuples_in),
+        static_cast<unsigned long long>(q.factory.tuples_out),
+        q.factory.paused ? " [paused]" : "");
+  }
+  return out;
+}
+
+}  // namespace dc::monitor

@@ -1,0 +1,559 @@
+#include "plan/binder.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dc::plan {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+/// Result type of `l op r` arithmetic, or TypeError.
+Result<TypeId> ArithResultType(ArithOp op, TypeId l, TypeId r) {
+  if (!IsNumeric(l) || !IsNumeric(r)) {
+    return Status::TypeError(StrFormat("arithmetic %s over %s and %s",
+                                       ArithOpName(op), TypeName(l),
+                                       TypeName(r)));
+  }
+  if (op == ArithOp::kDiv) return TypeId::kF64;
+  if (op == ArithOp::kMod) {
+    if (!StoredAsI64(l) || !StoredAsI64(r)) {
+      return Status::TypeError("'%' requires integer operands");
+    }
+    return TypeId::kI64;
+  }
+  if (l == TypeId::kF64 || r == TypeId::kF64) return TypeId::kF64;
+  // TS +/- I64 stays TS; TS - TS is I64; otherwise I64.
+  if (l == TypeId::kTs && r == TypeId::kTs) {
+    return op == ArithOp::kSub ? TypeId::kI64 : TypeId::kTs;
+  }
+  if (l == TypeId::kTs || r == TypeId::kTs) return TypeId::kTs;
+  return TypeId::kI64;
+}
+
+bool Comparable(TypeId l, TypeId r) {
+  if (l == r) return true;
+  if (IsNumeric(l) && IsNumeric(r)) return true;
+  return false;
+}
+
+class Binder {
+ public:
+  Binder(const sql::SelectStmt& stmt, const Catalog& catalog)
+      : stmt_(stmt), catalog_(catalog) {}
+
+  Result<BoundQuery> Run() {
+    DC_RETURN_NOT_OK(BindRelations());
+    DC_RETURN_NOT_OK(BindWhere());
+    DC_RETURN_NOT_OK(BindGroupBy());
+    DC_RETURN_NOT_OK(BindSelectList());
+    DC_RETURN_NOT_OK(BindHaving());
+    DC_RETURN_NOT_OK(BindOrderBy());
+    q_.limit = stmt_.limit;
+    q_.is_continuous = q_.NumStreams() > 0;
+    DC_RETURN_NOT_OK(ValidateWindows());
+    return std::move(q_);
+  }
+
+ private:
+  // --- Relations ------------------------------------------------------------
+
+  Status BindRelations() {
+    if (stmt_.from.empty()) {
+      return Status::InvalidArgument("query needs a FROM clause");
+    }
+    if (stmt_.from.size() > 2) {
+      return Status::NotImplemented(
+          "at most two relations per query (one join) are supported");
+    }
+    std::set<std::string> aliases;
+    for (const sql::FromItem& item : stmt_.from) {
+      BoundRelation rel;
+      rel.name = item.name;
+      rel.alias = item.alias;
+      if (!aliases.insert(rel.alias).second) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate relation alias '%s'", rel.alias.c_str()));
+      }
+      if (catalog_.IsStream(item.name)) {
+        DC_ASSIGN_OR_RETURN(StreamDef def, catalog_.GetStream(item.name));
+        rel.is_stream = true;
+        rel.schema = def.schema;
+        rel.ts_column = def.ts_column;
+      } else {
+        DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(item.name));
+        rel.is_stream = false;
+        rel.schema = table->schema();
+      }
+      if (item.window.has_value()) {
+        if (!rel.is_stream) {
+          return Status::InvalidArgument(StrFormat(
+              "window clause on persistent table '%s'", item.name.c_str()));
+        }
+        WindowSpec w;
+        w.rows = item.window->rows;
+        w.size = item.window->size;
+        w.slide = item.window->slide;
+        if (!w.rows && rel.ts_column == SIZE_MAX) {
+          return Status::InvalidArgument(StrFormat(
+              "RANGE window on stream '%s' which has no event-time (ts) "
+              "column; use a ROWS window",
+              item.name.c_str()));
+        }
+        rel.window = w;
+      }
+      q_.rels.push_back(std::move(rel));
+    }
+    q_.rel_filters.resize(q_.rels.size());
+    return Status::OK();
+  }
+
+  Status ValidateWindows() {
+    // Windowed stream-stream joins are supported; windows on both inputs.
+    int windowed_streams = 0;
+    for (const auto& r : q_.rels) {
+      if (r.is_stream && r.window.has_value()) ++windowed_streams;
+    }
+    (void)windowed_streams;
+    return Status::OK();
+  }
+
+  // --- Name resolution ------------------------------------------------------
+
+  Result<BExprPtr> ResolveColumn(const std::string& table,
+                                 const std::string& column) {
+    int found_rel = -1;
+    int found_col = -1;
+    for (size_t r = 0; r < q_.rels.size(); ++r) {
+      const BoundRelation& rel = q_.rels[r];
+      if (!table.empty() && rel.alias != table && rel.name != table) continue;
+      auto idx = rel.schema.Find(column);
+      if (idx.ok()) {
+        if (found_rel >= 0) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' is ambiguous", column.c_str()));
+        }
+        found_rel = static_cast<int>(r);
+        found_col = static_cast<int>(*idx);
+      }
+    }
+    if (found_rel < 0) {
+      return Status::NotFound(
+          table.empty()
+              ? StrFormat("unknown column '%s'", column.c_str())
+              : StrFormat("unknown column '%s.%s'", table.c_str(),
+                          column.c_str()));
+    }
+    const TypeId t =
+        q_.rels[found_rel].schema.column(found_col).type;
+    return BColRef(found_rel, found_col, t);
+  }
+
+  // --- Expression binding ---------------------------------------------------
+
+  /// Binds an input-domain expression. If `allow_aggs` is true, aggregate
+  /// calls are deduplicated into q_.aggs and returned as kAggRef nodes
+  /// (making the result finish-domain when aggregates occur).
+  Result<BExprPtr> BindExpr(const ExprPtr& e, bool allow_aggs) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return BLiteral(e->literal);
+      case ExprKind::kColumnRef:
+        return ResolveColumn(e->table, e->column);
+      case ExprKind::kStar:
+        return Status::InvalidArgument("'*' is not valid here");
+      case ExprKind::kNeg: {
+        DC_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(e->children[0], allow_aggs));
+        if (c->kind == BKind::kLiteral && IsNumeric(c->type)) {
+          // Constant folding.
+          if (c->type == TypeId::kF64) {
+            return BLiteral(Value::F64(-c->literal.AsF64()));
+          }
+          return BLiteral(Value::I64(-c->literal.AsI64()));
+        }
+        DC_ASSIGN_OR_RETURN(TypeId t,
+                            ArithResultType(ArithOp::kSub, TypeId::kI64,
+                                            c->type));
+        return BArith(ArithOp::kSub, BLiteral(Value::I64(0)), std::move(c),
+                      t);
+      }
+      case ExprKind::kArith: {
+        DC_ASSIGN_OR_RETURN(BExprPtr l, BindExpr(e->children[0], allow_aggs));
+        DC_ASSIGN_OR_RETURN(BExprPtr r, BindExpr(e->children[1], allow_aggs));
+        DC_ASSIGN_OR_RETURN(TypeId t,
+                            ArithResultType(e->arith_op, l->type, r->type));
+        if (l->kind == BKind::kLiteral && r->kind == BKind::kLiteral) {
+          // Constant folding for literal subtrees.
+          DC_ASSIGN_OR_RETURN(Value v,
+                              FoldArith(e->arith_op, l->literal, r->literal,
+                                        t));
+          return BLiteral(std::move(v));
+        }
+        return BArith(e->arith_op, std::move(l), std::move(r), t);
+      }
+      case ExprKind::kCmp: {
+        DC_ASSIGN_OR_RETURN(BExprPtr l, BindExpr(e->children[0], allow_aggs));
+        DC_ASSIGN_OR_RETURN(BExprPtr r, BindExpr(e->children[1], allow_aggs));
+        if (!Comparable(l->type, r->type)) {
+          return Status::TypeError(
+              StrFormat("cannot compare %s with %s", TypeName(l->type),
+                        TypeName(r->type)));
+        }
+        return BCmp(e->cmp_op, std::move(l), std::move(r));
+      }
+      case ExprKind::kBetween: {
+        // a BETWEEN lo AND hi  =>  a >= lo AND a <= hi
+        DC_ASSIGN_OR_RETURN(BExprPtr a, BindExpr(e->children[0], allow_aggs));
+        DC_ASSIGN_OR_RETURN(BExprPtr lo, BindExpr(e->children[1], allow_aggs));
+        DC_ASSIGN_OR_RETURN(BExprPtr hi, BindExpr(e->children[2], allow_aggs));
+        if (!Comparable(a->type, lo->type) || !Comparable(a->type, hi->type)) {
+          return Status::TypeError("BETWEEN bounds not comparable");
+        }
+        // Build the conjuncts in sequence: argument evaluation order is
+        // unspecified and both sides need `a`.
+        BExprPtr ge = BCmp(CmpOp::kGe, a, std::move(lo));
+        BExprPtr le = BCmp(CmpOp::kLe, std::move(a), std::move(hi));
+        return BLogical(BKind::kAnd, std::move(ge), std::move(le));
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        DC_ASSIGN_OR_RETURN(BExprPtr l, BindExpr(e->children[0], allow_aggs));
+        DC_ASSIGN_OR_RETURN(BExprPtr r, BindExpr(e->children[1], allow_aggs));
+        if (l->type != TypeId::kBool || r->type != TypeId::kBool) {
+          return Status::TypeError("AND/OR operands must be boolean");
+        }
+        return BLogical(e->kind == ExprKind::kAnd ? BKind::kAnd : BKind::kOr,
+                        std::move(l), std::move(r));
+      }
+      case ExprKind::kNot: {
+        DC_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(e->children[0], allow_aggs));
+        if (c->type != TypeId::kBool) {
+          return Status::TypeError("NOT operand must be boolean");
+        }
+        return BNot(std::move(c));
+      }
+      case ExprKind::kAgg: {
+        if (!allow_aggs) {
+          return Status::InvalidArgument(
+              "aggregate function not allowed in this clause");
+        }
+        BoundAgg agg;
+        agg.kind = e->agg;
+        if (!e->agg_star) {
+          DC_ASSIGN_OR_RETURN(agg.arg,
+                              BindExpr(e->children[0], /*allow_aggs=*/false));
+          if (ContainsAggRef(*agg.arg)) {
+            return Status::InvalidArgument("nested aggregates not allowed");
+          }
+          agg.arg_type = agg.arg->type;
+        }
+        DC_ASSIGN_OR_RETURN(agg.out_type,
+                            ops::AggResultType(agg.kind, agg.arg_type));
+        // Deduplicate structurally identical aggregates.
+        for (size_t i = 0; i < q_.aggs.size(); ++i) {
+          const BoundAgg& existing = q_.aggs[i];
+          const bool both_star = (existing.arg == nullptr) == (agg.arg == nullptr);
+          if (existing.kind == agg.kind && both_star &&
+              (agg.arg == nullptr || existing.arg->Equals(*agg.arg))) {
+            return BAggRef(static_cast<int>(i), existing.out_type);
+          }
+        }
+        q_.aggs.push_back(agg);
+        return BAggRef(static_cast<int>(q_.aggs.size() - 1), agg.out_type);
+      }
+    }
+    return Status::Internal("BindExpr: unhandled node");
+  }
+
+  static Result<Value> FoldArith(ArithOp op, const Value& l, const Value& r,
+                                 TypeId out) {
+    if (out == TypeId::kF64) {
+      const double x = l.NumericAsDouble();
+      const double y = r.NumericAsDouble();
+      switch (op) {
+        case ArithOp::kAdd:
+          return Value::F64(x + y);
+        case ArithOp::kSub:
+          return Value::F64(x - y);
+        case ArithOp::kMul:
+          return Value::F64(x * y);
+        case ArithOp::kDiv:
+          return Value::F64(y == 0 ? 0 : x / y);
+        case ArithOp::kMod:
+          return Status::TypeError("'%' requires integers");
+      }
+    }
+    const int64_t x = l.AsI64();
+    const int64_t y = r.AsI64();
+    int64_t v = 0;
+    switch (op) {
+      case ArithOp::kAdd:
+        v = x + y;
+        break;
+      case ArithOp::kSub:
+        v = x - y;
+        break;
+      case ArithOp::kMul:
+        v = x * y;
+        break;
+      case ArithOp::kMod:
+        v = y == 0 ? 0 : x % y;
+        break;
+      case ArithOp::kDiv:
+        return Status::Internal("int division folded as f64");
+    }
+    return out == TypeId::kTs ? Value::Ts(v) : Value::I64(v);
+  }
+
+  static bool ContainsAggRef(const BExpr& e) {
+    if (e.kind == BKind::kAggRef) return true;
+    for (const auto& c : e.children) {
+      if (ContainsAggRef(*c)) return true;
+    }
+    return false;
+  }
+
+  static bool ContainsColRef(const BExpr& e) {
+    if (e.kind == BKind::kColRef) return true;
+    for (const auto& c : e.children) {
+      if (ContainsColRef(*c)) return true;
+    }
+    return false;
+  }
+
+  /// Which relations does `e` reference? Bitmask over rel indices.
+  static uint32_t RelMask(const BExpr& e) {
+    uint32_t m = e.kind == BKind::kColRef ? (1u << e.rel) : 0;
+    for (const auto& c : e.children) m |= RelMask(*c);
+    return m;
+  }
+
+  // --- WHERE classification ---------------------------------------------------
+
+  Status BindWhere() {
+    if (!stmt_.where) {
+      if (q_.rels.size() == 2) {
+        return Status::InvalidArgument(
+            "two-relation query requires an equi-join predicate");
+      }
+      return Status::OK();
+    }
+    DC_ASSIGN_OR_RETURN(BExprPtr pred,
+                        BindExpr(stmt_.where, /*allow_aggs=*/false));
+    if (pred->type != TypeId::kBool) {
+      return Status::TypeError("WHERE must be boolean");
+    }
+    std::vector<BExprPtr> conjuncts;
+    SplitConjuncts(pred, &conjuncts);
+    for (BExprPtr& c : conjuncts) {
+      const uint32_t mask = RelMask(*c);
+      if (mask == 0) {
+        // Constant predicate; keep as a post-filter on relation 0.
+        q_.rel_filters[0].push_back(std::move(c));
+      } else if (mask == 1u) {
+        q_.rel_filters[0].push_back(std::move(c));
+      } else if (mask == 2u) {
+        q_.rel_filters[1].push_back(std::move(c));
+      } else {
+        // Cross-relation: join key if `colref = colref`, else post-join.
+        if (!q_.join.has_value() && c->kind == BKind::kCmp &&
+            c->cmp_op == CmpOp::kEq &&
+            c->children[0]->kind == BKind::kColRef &&
+            c->children[1]->kind == BKind::kColRef &&
+            c->children[0]->rel != c->children[1]->rel) {
+          JoinSpec js;
+          if (c->children[0]->rel == 0) {
+            js.left = c->children[0];
+            js.right = c->children[1];
+          } else {
+            js.left = c->children[1];
+            js.right = c->children[0];
+          }
+          if (!Comparable(js.left->type, js.right->type)) {
+            return Status::TypeError("join keys not comparable");
+          }
+          q_.join = std::move(js);
+        } else {
+          q_.post_join_filters.push_back(std::move(c));
+        }
+      }
+    }
+    if (q_.rels.size() == 2 && !q_.join.has_value()) {
+      return Status::InvalidArgument(
+          "two-relation query requires an equi-join predicate "
+          "(cross products are not supported)");
+    }
+    if (q_.rels.size() == 1 && !q_.post_join_filters.empty()) {
+      return Status::Internal("cross-relation filter in single-rel query");
+    }
+    return Status::OK();
+  }
+
+  static void SplitConjuncts(const BExprPtr& e, std::vector<BExprPtr>* out) {
+    if (e->kind == BKind::kAnd) {
+      SplitConjuncts(e->children[0], out);
+      SplitConjuncts(e->children[1], out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  // --- GROUP BY / select list -------------------------------------------------
+
+  Status BindGroupBy() {
+    for (const ExprPtr& g : stmt_.group_by) {
+      DC_ASSIGN_OR_RETURN(BExprPtr b, BindExpr(g, /*allow_aggs=*/false));
+      if (b->kind != BKind::kColRef) {
+        return Status::NotImplemented(
+            "GROUP BY supports plain column references only");
+      }
+      q_.group_by.push_back(std::move(b));
+    }
+    return Status::OK();
+  }
+
+  /// Finds `e` among the group keys; returns key index or -1.
+  int FindGroupKey(const BExpr& e) const {
+    for (size_t i = 0; i < q_.group_by.size(); ++i) {
+      if (q_.group_by[i]->Equals(e)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Rewrites an input-domain/finish-mixed expression into pure finish
+  /// domain: colrefs must match group keys (-> kKeyRef); kAggRef passes
+  /// through. Errors on bare columns that are not grouped.
+  Result<BExprPtr> ToFinishDomain(const BExprPtr& e) {
+    if (e->kind == BKind::kColRef) {
+      const int k = FindGroupKey(*e);
+      if (k < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "column %s must appear in GROUP BY or inside an aggregate",
+            e->ToString().c_str()));
+      }
+      return BKeyRef(k, e->type);
+    }
+    if (e->children.empty()) return e;
+    auto out = std::make_shared<BExpr>(*e);
+    for (size_t i = 0; i < out->children.size(); ++i) {
+      DC_ASSIGN_OR_RETURN(out->children[i],
+                          ToFinishDomain(out->children[i]));
+    }
+    return out;
+  }
+
+  Status BindSelectList() {
+    // Expand bare '*' (non-aggregate queries only).
+    std::vector<std::pair<BExprPtr, std::string>> items;
+    for (const sql::SelectItem& item : stmt_.items) {
+      if (item.star) {
+        for (size_t r = 0; r < q_.rels.size(); ++r) {
+          const Schema& s = q_.rels[r].schema;
+          for (size_t c = 0; c < s.NumColumns(); ++c) {
+            items.emplace_back(BColRef(static_cast<int>(r),
+                                       static_cast<int>(c),
+                                       s.column(c).type),
+                               s.column(c).name);
+          }
+        }
+        continue;
+      }
+      DC_ASSIGN_OR_RETURN(BExprPtr b, BindExpr(item.expr, /*allow_aggs=*/true));
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == ExprKind::kColumnRef
+                   ? item.expr->column
+                   : DeriveName(*item.expr);
+      }
+      items.emplace_back(std::move(b), std::move(name));
+    }
+
+    q_.is_aggregate = !q_.aggs.empty() || !q_.group_by.empty();
+
+    for (auto& [expr, name] : items) {
+      if (q_.is_aggregate) {
+        DC_ASSIGN_OR_RETURN(expr, ToFinishDomain(expr));
+      } else if (ContainsAggRef(*expr)) {
+        return Status::Internal("agg ref in non-aggregate query");
+      }
+      q_.select_exprs.push_back(std::move(expr));
+      q_.out_names.push_back(std::move(name));
+    }
+    if (q_.select_exprs.empty()) {
+      return Status::InvalidArgument("empty select list");
+    }
+    // '*' in aggregate queries would have produced ungrouped colrefs and
+    // failed in ToFinishDomain with a clear message — nothing more to do.
+    return Status::OK();
+  }
+
+  static std::string DeriveName(const Expr& e) {
+    if (e.kind == ExprKind::kAgg) {
+      std::string base = ops::AggKindName(e.agg);
+      if (e.agg_star) return base;
+      if (e.children[0]->kind == ExprKind::kColumnRef) {
+        return base + "_" + e.children[0]->column;
+      }
+      return base;
+    }
+    return "expr";
+  }
+
+  Status BindHaving() {
+    if (!stmt_.having) return Status::OK();
+    if (!q_.is_aggregate) {
+      return Status::InvalidArgument("HAVING without GROUP BY/aggregates");
+    }
+    DC_ASSIGN_OR_RETURN(BExprPtr b, BindExpr(stmt_.having, /*allow_aggs=*/true));
+    if (b->type != TypeId::kBool) {
+      return Status::TypeError("HAVING must be boolean");
+    }
+    DC_ASSIGN_OR_RETURN(q_.having, ToFinishDomain(b));
+    // is_aggregate may have gained aggs via HAVING; keep flag consistent.
+    q_.is_aggregate = true;
+    return Status::OK();
+  }
+
+  Status BindOrderBy() {
+    for (const sql::OrderItem& item : stmt_.order_by) {
+      // Allow ordering by a select-list alias.
+      BExprPtr bound;
+      if (item.expr->kind == ExprKind::kColumnRef && item.expr->table.empty()) {
+        for (size_t i = 0; i < q_.out_names.size(); ++i) {
+          if (q_.out_names[i] == item.expr->column) {
+            bound = q_.select_exprs[i];
+            break;
+          }
+        }
+      }
+      if (!bound) {
+        DC_ASSIGN_OR_RETURN(bound, BindExpr(item.expr, /*allow_aggs=*/true));
+        if (q_.is_aggregate) {
+          DC_ASSIGN_OR_RETURN(bound, ToFinishDomain(bound));
+        } else if (ContainsAggRef(*bound)) {
+          return Status::InvalidArgument(
+              "aggregate in ORDER BY of a non-aggregate query");
+        }
+      }
+      q_.order_by.emplace_back(std::move(bound), item.ascending);
+    }
+    return Status::OK();
+  }
+
+  const sql::SelectStmt& stmt_;
+  const Catalog& catalog_;
+  BoundQuery q_;
+};
+
+}  // namespace
+
+Result<BoundQuery> Bind(const sql::SelectStmt& stmt, const Catalog& catalog) {
+  Binder b(stmt, catalog);
+  return b.Run();
+}
+
+}  // namespace dc::plan

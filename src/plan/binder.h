@@ -1,0 +1,24 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Binder: resolves a parsed SELECT against the catalog, type-checks every
+// expression, classifies WHERE conjuncts (predicate pushdown + join-key
+// extraction), validates aggregate/grouping rules, and produces a
+// BoundQuery ready for the optimizer/compiler.
+
+#ifndef DATACELL_PLAN_BINDER_H_
+#define DATACELL_PLAN_BINDER_H_
+
+#include "plan/bound.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+
+namespace dc::plan {
+
+/// Binds `stmt` against `catalog`. Errors carry user-facing messages
+/// (unknown names, type mismatches, aggregate misuse, window misuse).
+Result<BoundQuery> Bind(const sql::SelectStmt& stmt, const Catalog& catalog);
+
+}  // namespace dc::plan
+
+#endif  // DATACELL_PLAN_BINDER_H_

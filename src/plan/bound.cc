@@ -1,0 +1,153 @@
+#include "plan/bound.h"
+
+#include "util/string_util.h"
+
+namespace dc::plan {
+
+BExprPtr BLiteral(Value v) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kLiteral;
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+BExprPtr BColRef(int rel, int col, TypeId type) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kColRef;
+  e->rel = rel;
+  e->col = col;
+  e->type = type;
+  return e;
+}
+
+BExprPtr BKeyRef(int index, TypeId type) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kKeyRef;
+  e->index = index;
+  e->type = type;
+  return e;
+}
+
+BExprPtr BAggRef(int index, TypeId type) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kAggRef;
+  e->index = index;
+  e->type = type;
+  return e;
+}
+
+BExprPtr BArith(ArithOp op, BExprPtr l, BExprPtr r, TypeId type) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kArith;
+  e->arith_op = op;
+  e->type = type;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BCmp(CmpOp op, BExprPtr l, BExprPtr r) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kCmp;
+  e->cmp_op = op;
+  e->type = TypeId::kBool;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BLogical(BKind kind, BExprPtr l, BExprPtr r) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = kind;
+  e->type = TypeId::kBool;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BNot(BExprPtr inner) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = BKind::kNot;
+  e->type = TypeId::kBool;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+bool BExpr::Equals(const BExpr& other) const {
+  if (kind != other.kind || type != other.type) return false;
+  switch (kind) {
+    case BKind::kLiteral:
+      if (!(literal == other.literal)) return false;
+      break;
+    case BKind::kColRef:
+      if (rel != other.rel || col != other.col) return false;
+      break;
+    case BKind::kKeyRef:
+    case BKind::kAggRef:
+      if (index != other.index) return false;
+      break;
+    case BKind::kArith:
+      if (arith_op != other.arith_op) return false;
+      break;
+    case BKind::kCmp:
+      if (cmp_op != other.cmp_op) return false;
+      break;
+    default:
+      break;
+  }
+  if (children.size() != other.children.size()) return false;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->Equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+std::string BExpr::ToString() const {
+  switch (kind) {
+    case BKind::kLiteral:
+      return literal.type() == TypeId::kStr
+                 ? StrFormat("'%s'", literal.AsStr().c_str())
+                 : literal.ToString();
+    case BKind::kColRef:
+      return StrFormat("r%d.c%d", rel, col);
+    case BKind::kKeyRef:
+      return StrFormat("key#%d", index);
+    case BKind::kAggRef:
+      return StrFormat("agg#%d", index);
+    case BKind::kArith:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       ArithOpName(arith_op), children[1]->ToString().c_str());
+    case BKind::kCmp:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       CmpOpName(cmp_op), children[1]->ToString().c_str());
+    case BKind::kAnd:
+      return StrFormat("(%s AND %s)", children[0]->ToString().c_str(),
+                       children[1]->ToString().c_str());
+    case BKind::kOr:
+      return StrFormat("(%s OR %s)", children[0]->ToString().c_str(),
+                       children[1]->ToString().c_str());
+    case BKind::kNot:
+      return StrFormat("(NOT %s)", children[0]->ToString().c_str());
+  }
+  return "?";
+}
+
+std::string WindowSpec::ToString() const {
+  if (rows) {
+    return StrFormat("[ROWS %lld SLIDE %lld]", static_cast<long long>(size),
+                     static_cast<long long>(slide));
+  }
+  return StrFormat("[RANGE %s SLIDE %s]", FormatDuration(size).c_str(),
+                   FormatDuration(slide).c_str());
+}
+
+std::string BoundAgg::ToString() const {
+  return StrFormat("%s(%s)", ops::AggKindName(kind),
+                   arg ? arg->ToString().c_str() : "*");
+}
+
+int BoundQuery::NumStreams() const {
+  int n = 0;
+  for (const auto& r : rels) n += r.is_stream ? 1 : 0;
+  return n;
+}
+
+}  // namespace dc::plan

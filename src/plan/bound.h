@@ -1,0 +1,154 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Bound (resolved, type-checked) query representation: the output of the
+// binder and the input of the optimizer/compiler.
+//
+// A bound query is held in canonical select-project-join-aggregate form:
+// relations (1 or 2), per-relation filter conjuncts (predicate pushdown
+// happens during classification), an optional equi-join, post-join filters,
+// grouping keys, aggregate list, and finish-stage expressions (select list,
+// HAVING, ORDER BY) over the key/aggregate columns.
+
+#ifndef DATACELL_PLAN_BOUND_H_
+#define DATACELL_PLAN_BOUND_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bat/ops_aggregate.h"
+#include "bat/types.h"
+#include "sql/ast.h"
+#include "storage/schema.h"
+
+namespace dc::plan {
+
+struct BExpr;
+using BExprPtr = std::shared_ptr<BExpr>;
+
+/// Bound expression node kinds. Input-domain expressions use kColRef;
+/// finish-domain expressions (select list / HAVING / ORDER BY of aggregate
+/// queries) use kKeyRef / kAggRef instead.
+enum class BKind {
+  kLiteral,
+  kColRef,   // input column: (rel, col)
+  kKeyRef,   // group key column by index
+  kAggRef,   // aggregate result column by index
+  kArith,
+  kCmp,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// Type-annotated bound expression.
+struct BExpr {
+  BKind kind;
+  TypeId type = TypeId::kI64;
+
+  Value literal;                     // kLiteral
+  int rel = -1;                      // kColRef
+  int col = -1;                      // kColRef
+  int index = -1;                    // kKeyRef / kAggRef
+  ArithOp arith_op = ArithOp::kAdd;  // kArith
+  CmpOp cmp_op = CmpOp::kEq;         // kCmp
+  std::vector<BExprPtr> children;
+
+  /// Structural equality (used for GROUP BY matching and agg dedup).
+  bool Equals(const BExpr& other) const;
+
+  /// Rendering for plan dumps ("s.price", "sum#0", "key#1").
+  std::string ToString() const;
+};
+
+BExprPtr BLiteral(Value v);
+BExprPtr BColRef(int rel, int col, TypeId type);
+BExprPtr BKeyRef(int index, TypeId type);
+BExprPtr BAggRef(int index, TypeId type);
+BExprPtr BArith(ArithOp op, BExprPtr l, BExprPtr r, TypeId type);
+BExprPtr BCmp(CmpOp op, BExprPtr l, BExprPtr r);
+BExprPtr BLogical(BKind kind, BExprPtr l, BExprPtr r);
+BExprPtr BNot(BExprPtr e);
+
+/// Window specification in engine form (units resolved).
+struct WindowSpec {
+  bool rows = false;
+  int64_t size = 0;   // rows or µs
+  int64_t slide = 0;  // rows or µs
+
+  bool tumbling() const { return slide == size; }
+  /// Number of basic windows a full window spans.
+  int64_t NumBasicWindows() const { return (size + slide - 1) / slide; }
+  std::string ToString() const;
+};
+
+/// One input relation of a bound query.
+struct BoundRelation {
+  std::string name;
+  std::string alias;
+  Schema schema;
+  bool is_stream = false;
+  size_t ts_column = SIZE_MAX;  // event-time column (streams)
+  std::optional<WindowSpec> window;
+};
+
+/// One aggregate computed by the query.
+struct BoundAgg {
+  ops::AggKind kind = ops::AggKind::kCount;
+  BExprPtr arg;               // input-domain; null for COUNT(*)
+  TypeId arg_type = TypeId::kI64;
+  TypeId out_type = TypeId::kI64;
+
+  std::string ToString() const;
+};
+
+/// Equi-join key pair (both sides are input-domain column expressions).
+struct JoinSpec {
+  BExprPtr left;   // over relation 0
+  BExprPtr right;  // over relation 1
+};
+
+/// Fully bound and classified query.
+struct BoundQuery {
+  std::vector<BoundRelation> rels;
+
+  /// Per-relation filter conjuncts (pushed down).
+  std::vector<std::vector<BExprPtr>> rel_filters;
+
+  /// Equi-join (present iff rels.size() == 2).
+  std::optional<JoinSpec> join;
+
+  /// Conjuncts over both relations evaluated after the join.
+  std::vector<BExprPtr> post_join_filters;
+
+  /// GROUP BY keys (input-domain column refs).
+  std::vector<BExprPtr> group_by;
+
+  /// All aggregates (from select list, HAVING and ORDER BY), deduplicated.
+  std::vector<BoundAgg> aggs;
+
+  /// Select-list expressions. For aggregate queries these are
+  /// finish-domain (kKeyRef/kAggRef); otherwise input-domain.
+  std::vector<BExprPtr> select_exprs;
+  std::vector<std::string> out_names;
+
+  /// HAVING (finish-domain; aggregate queries only), or null.
+  BExprPtr having;
+
+  /// ORDER BY. For aggregate queries finish-domain; otherwise input-domain
+  /// (the compiler materializes hidden sort columns).
+  std::vector<std::pair<BExprPtr, bool>> order_by;  // (expr, ascending)
+
+  int64_t limit = -1;
+
+  bool is_aggregate = false;
+  bool is_continuous = false;
+
+  /// Index of the (single) windowed stream relation, or -1.
+  int NumStreams() const;
+};
+
+}  // namespace dc::plan
+
+#endif  // DATACELL_PLAN_BOUND_H_

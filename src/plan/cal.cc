@@ -1,0 +1,101 @@
+#include "plan/cal.h"
+
+#include "util/string_util.h"
+
+namespace dc::cal {
+
+namespace {
+std::string Lit(const Value& v) {
+  return v.type() == TypeId::kStr ? StrFormat("'%s'", v.AsStr().c_str())
+                                  : v.ToString();
+}
+}  // namespace
+
+std::string Instr::ToString() const {
+  switch (op) {
+    case OpCode::kBindCol:
+      return StrFormat("V%d := %%bind%%.col(r%d, \"%s\")", dst, rel,
+                       note.c_str());
+    case OpCode::kBindCand:
+      return StrFormat("C%d := %%bind%%.candidates(r%d)", dst, rel);
+    case OpCode::kSelectCmp:
+      return b >= 0 ? StrFormat("C%d := algebra.select(V%d, %s, %s; C%d)",
+                                dst, a, CmpOpName(cmp), Lit(imm).c_str(), b)
+                    : StrFormat("C%d := algebra.select(V%d, %s, %s)", dst, a,
+                                CmpOpName(cmp), Lit(imm).c_str());
+    case OpCode::kSelectCmpCol:
+      return c >= 0 ? StrFormat("C%d := algebra.select(V%d, %s, V%d; C%d)",
+                                dst, a, CmpOpName(cmp), b, c)
+                    : StrFormat("C%d := algebra.select(V%d, %s, V%d)", dst, a,
+                                CmpOpName(cmp), b);
+    case OpCode::kSelectTrue:
+      return b >= 0
+                 ? StrFormat("C%d := algebra.select_true(V%d; C%d)", dst, a, b)
+                 : StrFormat("C%d := algebra.select_true(V%d)", dst, a);
+    case OpCode::kCandAnd:
+      return StrFormat("C%d := algebra.intersect(C%d, C%d)", dst, a, b);
+    case OpCode::kCandOr:
+      return StrFormat("C%d := algebra.union(C%d, C%d)", dst, a, b);
+    case OpCode::kCandDiff:
+      return StrFormat("C%d := algebra.difference(C%d, C%d)", dst, a, b);
+    case OpCode::kGather:
+      return StrFormat("V%d := algebra.project(V%d; C%d)", dst, a, b);
+    case OpCode::kJoin:
+      return StrFormat("(O%d, O%d) := algebra.join(V%d, V%d)", dst, dst2, a,
+                       b);
+    case OpCode::kFetch:
+      return StrFormat("V%d := algebra.fetch(V%d, O%d)", dst, a, b);
+    case OpCode::kMapArith:
+      return StrFormat("V%d := batcalc.%s(V%d, V%d)", dst,
+                       ArithOpName(arith), a, b);
+    case OpCode::kMapArithConst:
+      return lit_left
+                 ? StrFormat("V%d := batcalc.%s(%s, V%d)", dst,
+                             ArithOpName(arith), Lit(imm).c_str(), a)
+                 : StrFormat("V%d := batcalc.%s(V%d, %s)", dst,
+                             ArithOpName(arith), a, Lit(imm).c_str());
+    case OpCode::kMapCmp:
+      return StrFormat("V%d := batcalc.cmp(V%d, %s, V%d)", dst, a,
+                       CmpOpName(cmp), b);
+    case OpCode::kMapCmpConst:
+      return StrFormat("V%d := batcalc.cmp(V%d, %s, %s)", dst, a,
+                       CmpOpName(cmp), Lit(imm).c_str());
+    case OpCode::kMapAnd:
+      return StrFormat("V%d := batcalc.and(V%d, V%d)", dst, a, b);
+    case OpCode::kMapOr:
+      return StrFormat("V%d := batcalc.or(V%d, V%d)", dst, a, b);
+    case OpCode::kMapNot:
+      return StrFormat("V%d := batcalc.not(V%d)", dst, a);
+    case OpCode::kMapCast:
+      return StrFormat("V%d := batcalc.cast(V%d, :%s)", dst, a,
+                       TypeName(cast_type));
+    case OpCode::kConstCol:
+      return StrFormat("V%d := batcalc.const(%s, count(V%d))", dst,
+                       Lit(imm).c_str(), a);
+  }
+  return "?";
+}
+
+std::string Program::ToString(const std::string& bind_name) const {
+  std::string out;
+  for (const Instr& i : instrs) {
+    std::string line = "  " + i.ToString();
+    // Substitute the bind module name (scan vs basket).
+    const std::string placeholder = "%bind%";
+    size_t pos;
+    while ((pos = line.find(placeholder)) != std::string::npos) {
+      line.replace(pos, placeholder.size(), bind_name);
+    }
+    out += line + "\n";
+  }
+  out += "  return (";
+  for (size_t i = 0; i < output_regs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("V%d as \"%s\"", output_regs[i],
+                     output_names.size() > i ? output_names[i].c_str() : "?");
+  }
+  out += ")\n";
+  return out;
+}
+
+}  // namespace dc::cal

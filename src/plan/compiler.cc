@@ -1,0 +1,582 @@
+#include "plan/compiler.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dc::plan {
+
+namespace {
+
+using cal::Instr;
+using cal::OpCode;
+using cal::Program;
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+/// Column environment for expression emission: resolves (rel, col) to a
+/// register, and provides a register whose length equals the current row
+/// domain (for constant columns).
+struct ColumnEnv {
+  std::function<Result<int>(int rel, int col)> resolve;
+  std::function<Result<int>()> size_ref;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(BoundQuery q) { out_.bound = std::move(q); }
+
+  Result<CompiledQuery> Run() {
+    const BoundQuery& q = out_.bound;
+    DC_RETURN_NOT_OK(CollectFragmentExprs());
+    DC_RETURN_NOT_OK(CollectNeededColumns());
+    out_.prejoin.resize(q.rels.size());
+    out_.compact_cols.resize(q.rels.size());
+    for (size_t r = 0; r < q.rels.size(); ++r) {
+      DC_RETURN_NOT_OK(CompilePrejoin(static_cast<int>(r)));
+    }
+    DC_RETURN_NOT_OK(CompilePostjoin());
+    DC_RETURN_NOT_OK(BuildFinish());
+    return std::move(out_);
+  }
+
+ private:
+  // --- Needed-column analysis (projection pruning) --------------------------
+
+  /// Fragment output expressions (input-domain), in postjoin output order.
+  Status CollectFragmentExprs() {
+    const BoundQuery& q = out_.bound;
+    if (q.is_aggregate) {
+      for (const BExprPtr& k : q.group_by) fragment_exprs_.push_back(k);
+      out_.num_keys = static_cast<int>(q.group_by.size());
+      for (const BoundAgg& agg : q.aggs) {
+        if (agg.arg) {
+          out_.agg_arg_slots.push_back(
+              static_cast<int>(fragment_exprs_.size()));
+          fragment_exprs_.push_back(agg.arg);
+        } else {
+          out_.agg_arg_slots.push_back(-1);
+        }
+      }
+      fragment_names_.resize(fragment_exprs_.size());
+      for (size_t i = 0; i < fragment_exprs_.size(); ++i) {
+        fragment_names_[i] =
+            i < q.group_by.size()
+                ? StrFormat("key%zu", i)
+                : StrFormat("arg%zu", i - q.group_by.size());
+      }
+    } else {
+      for (size_t i = 0; i < q.select_exprs.size(); ++i) {
+        fragment_exprs_.push_back(q.select_exprs[i]);
+        fragment_names_.push_back(q.out_names[i]);
+      }
+      for (size_t i = 0; i < q.order_by.size(); ++i) {
+        fragment_exprs_.push_back(q.order_by[i].first);
+        fragment_names_.push_back(StrFormat("sortkey%zu", i));
+      }
+    }
+    return Status::OK();
+  }
+
+  static void CollectCols(const BExpr& e, std::set<std::pair<int, int>>* out) {
+    if (e.kind == BKind::kColRef) out->emplace(e.rel, e.col);
+    for (const auto& c : e.children) CollectCols(*c, out);
+  }
+
+  static bool HasColRef(const BExpr& e) {
+    if (e.kind == BKind::kColRef) return true;
+    for (const auto& c : e.children) {
+      if (HasColRef(*c)) return true;
+    }
+    return false;
+  }
+
+  Status CollectNeededColumns() {
+    const BoundQuery& q = out_.bound;
+    std::set<std::pair<int, int>> needed;
+    if (q.join.has_value()) {
+      CollectCols(*q.join->left, &needed);
+      CollectCols(*q.join->right, &needed);
+    }
+    for (const BExprPtr& f : q.post_join_filters) CollectCols(*f, &needed);
+    bool need_size_ref = false;
+    for (const BExprPtr& e : fragment_exprs_) {
+      CollectCols(*e, &needed);
+      if (!HasColRef(*e)) need_size_ref = true;
+    }
+    if ((need_size_ref || fragment_exprs_.empty()) &&
+        q.rels[0].schema.NumColumns() > 0) {
+      // Constant fragment expressions (and COUNT(*)-only queries executed
+      // through the postjoin join path) need one real column as row-count
+      // reference.
+      if (q.rels.size() == 2 || need_size_ref) needed.emplace(0, 0);
+    }
+    needed_.assign(q.rels.size(), {});
+    for (const auto& [rel, col] : needed) {
+      needed_[static_cast<size_t>(rel)].push_back(col);
+    }
+    return Status::OK();
+  }
+
+  // --- Expression emission ----------------------------------------------------
+
+  Result<int> EmitMapExpr(Program* p, const BExpr& e, const ColumnEnv& env) {
+    switch (e.kind) {
+      case BKind::kColRef:
+        return env.resolve(e.rel, e.col);
+      case BKind::kLiteral: {
+        DC_ASSIGN_OR_RETURN(int ref, env.size_ref());
+        Instr ins;
+        ins.op = OpCode::kConstCol;
+        ins.a = ref;
+        ins.imm = e.literal;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kArith: {
+        const BExpr& l = *e.children[0];
+        const BExpr& r = *e.children[1];
+        if (l.kind == BKind::kLiteral && r.kind != BKind::kLiteral) {
+          DC_ASSIGN_OR_RETURN(int rr, EmitMapExpr(p, r, env));
+          Instr ins;
+          ins.op = OpCode::kMapArithConst;
+          ins.a = rr;
+          ins.imm = l.literal;
+          ins.arith = e.arith_op;
+          ins.lit_left = true;
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        if (r.kind == BKind::kLiteral) {
+          DC_ASSIGN_OR_RETURN(int lr, EmitMapExpr(p, l, env));
+          Instr ins;
+          ins.op = OpCode::kMapArithConst;
+          ins.a = lr;
+          ins.imm = r.literal;
+          ins.arith = e.arith_op;
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        DC_ASSIGN_OR_RETURN(int lr, EmitMapExpr(p, l, env));
+        DC_ASSIGN_OR_RETURN(int rr, EmitMapExpr(p, r, env));
+        Instr ins;
+        ins.op = OpCode::kMapArith;
+        ins.a = lr;
+        ins.b = rr;
+        ins.arith = e.arith_op;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kCmp: {
+        const BExpr& l = *e.children[0];
+        const BExpr& r = *e.children[1];
+        if (l.kind == BKind::kLiteral && r.kind != BKind::kLiteral) {
+          DC_ASSIGN_OR_RETURN(int rr, EmitMapExpr(p, r, env));
+          Instr ins;
+          ins.op = OpCode::kMapCmpConst;
+          ins.a = rr;
+          ins.imm = l.literal;
+          ins.cmp = FlipCmp(e.cmp_op);
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        if (r.kind == BKind::kLiteral) {
+          DC_ASSIGN_OR_RETURN(int lr, EmitMapExpr(p, l, env));
+          Instr ins;
+          ins.op = OpCode::kMapCmpConst;
+          ins.a = lr;
+          ins.imm = r.literal;
+          ins.cmp = e.cmp_op;
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        DC_ASSIGN_OR_RETURN(int lr, EmitMapExpr(p, l, env));
+        DC_ASSIGN_OR_RETURN(int rr, EmitMapExpr(p, r, env));
+        Instr ins;
+        ins.op = OpCode::kMapCmp;
+        ins.a = lr;
+        ins.b = rr;
+        ins.cmp = e.cmp_op;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kAnd:
+      case BKind::kOr: {
+        DC_ASSIGN_OR_RETURN(int lr, EmitMapExpr(p, *e.children[0], env));
+        DC_ASSIGN_OR_RETURN(int rr, EmitMapExpr(p, *e.children[1], env));
+        Instr ins;
+        ins.op = e.kind == BKind::kAnd ? OpCode::kMapAnd : OpCode::kMapOr;
+        ins.a = lr;
+        ins.b = rr;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kNot: {
+        DC_ASSIGN_OR_RETURN(int cr, EmitMapExpr(p, *e.children[0], env));
+        Instr ins;
+        ins.op = OpCode::kMapNot;
+        ins.a = cr;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kKeyRef:
+      case BKind::kAggRef:
+        return Status::Internal(
+            "finish-domain expression in a CAL stage program");
+    }
+    return Status::Internal("EmitMapExpr: unhandled node");
+  }
+
+  // --- Prejoin ---------------------------------------------------------------
+
+  /// Compiles a predicate into a candidate chain; returns the new candidate
+  /// register. `cand` is the incoming candidate register.
+  Result<int> CompilePred(Program* p, const BExpr& e, int cand,
+                          const ColumnEnv& env) {
+    switch (e.kind) {
+      case BKind::kCmp: {
+        const BExpr& l = *e.children[0];
+        const BExpr& r = *e.children[1];
+        if (l.kind == BKind::kColRef && r.kind == BKind::kLiteral) {
+          DC_ASSIGN_OR_RETURN(int col, env.resolve(l.rel, l.col));
+          Instr ins;
+          ins.op = OpCode::kSelectCmp;
+          ins.a = col;
+          ins.b = cand;
+          ins.imm = r.literal;
+          ins.cmp = e.cmp_op;
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        if (l.kind == BKind::kLiteral && r.kind == BKind::kColRef) {
+          DC_ASSIGN_OR_RETURN(int col, env.resolve(r.rel, r.col));
+          Instr ins;
+          ins.op = OpCode::kSelectCmp;
+          ins.a = col;
+          ins.b = cand;
+          ins.imm = l.literal;
+          ins.cmp = FlipCmp(e.cmp_op);
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        if (l.kind == BKind::kColRef && r.kind == BKind::kColRef) {
+          DC_ASSIGN_OR_RETURN(int la, env.resolve(l.rel, l.col));
+          DC_ASSIGN_OR_RETURN(int rb, env.resolve(r.rel, r.col));
+          Instr ins;
+          ins.op = OpCode::kSelectCmpCol;
+          ins.a = la;
+          ins.b = rb;
+          ins.c = cand;
+          ins.cmp = e.cmp_op;
+          ins.dst = p->NewReg();
+          p->instrs.push_back(ins);
+          return ins.dst;
+        }
+        break;  // complex comparison: fall through to map fallback
+      }
+      case BKind::kAnd: {
+        DC_ASSIGN_OR_RETURN(int c1, CompilePred(p, *e.children[0], cand, env));
+        return CompilePred(p, *e.children[1], c1, env);
+      }
+      case BKind::kOr: {
+        DC_ASSIGN_OR_RETURN(int c1, CompilePred(p, *e.children[0], cand, env));
+        DC_ASSIGN_OR_RETURN(int c2, CompilePred(p, *e.children[1], cand, env));
+        Instr ins;
+        ins.op = OpCode::kCandOr;
+        ins.a = c1;
+        ins.b = c2;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kNot: {
+        DC_ASSIGN_OR_RETURN(int ci, CompilePred(p, *e.children[0], cand, env));
+        Instr ins;
+        ins.op = OpCode::kCandDiff;
+        ins.a = cand;
+        ins.b = ci;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      case BKind::kLiteral: {
+        if (e.type != TypeId::kBool) break;
+        if (e.literal.AsBool()) return cand;  // WHERE TRUE: no-op
+        Instr ins;  // WHERE FALSE: empty candidates
+        ins.op = OpCode::kCandDiff;
+        ins.a = cand;
+        ins.b = cand;
+        ins.dst = p->NewReg();
+        p->instrs.push_back(ins);
+        return ins.dst;
+      }
+      default:
+        break;
+    }
+    // Fallback: evaluate as a boolean map over the raw domain, then filter.
+    DC_ASSIGN_OR_RETURN(int boolreg, EmitMapExpr(p, e, env));
+    Instr ins;
+    ins.op = OpCode::kSelectTrue;
+    ins.a = boolreg;
+    ins.b = cand;
+    ins.dst = p->NewReg();
+    p->instrs.push_back(ins);
+    return ins.dst;
+  }
+
+  Status CompilePrejoin(int r) {
+    const BoundQuery& q = out_.bound;
+    Program& p = out_.prejoin[r];
+    std::map<int, int> bound_cols;  // raw col -> reg
+
+    ColumnEnv env;
+    env.resolve = [&, r](int rel, int col) -> Result<int> {
+      if (rel != r) {
+        return Status::Internal("prejoin: foreign column reference");
+      }
+      auto it = bound_cols.find(col);
+      if (it != bound_cols.end()) return it->second;
+      Instr ins;
+      ins.op = OpCode::kBindCol;
+      ins.rel = rel;
+      ins.col = col;
+      ins.note = q.rels[rel].schema.column(col).name;
+      ins.dst = p.NewReg();
+      p.instrs.push_back(ins);
+      bound_cols[col] = ins.dst;
+      return ins.dst;
+    };
+    env.size_ref = [&]() -> Result<int> { return env.resolve(r, 0); };
+
+    Instr bind_cand;
+    bind_cand.op = OpCode::kBindCand;
+    bind_cand.rel = r;
+    bind_cand.dst = p.NewReg();
+    p.instrs.push_back(bind_cand);
+    int cand = bind_cand.dst;
+
+    for (const BExprPtr& f : q.rel_filters[r]) {
+      DC_ASSIGN_OR_RETURN(cand, CompilePred(&p, *f, cand, env));
+    }
+
+    for (int col : needed_[r]) {
+      DC_ASSIGN_OR_RETURN(int colreg, env.resolve(r, col));
+      Instr g;
+      g.op = OpCode::kGather;
+      g.a = colreg;
+      g.b = cand;
+      g.dst = p.NewReg();
+      p.instrs.push_back(g);
+      p.output_regs.push_back(g.dst);
+      p.output_names.push_back(q.rels[r].schema.column(col).name);
+      out_.compact_cols[r].push_back(col);
+    }
+    p.domain_reg = cand;
+    p.domain_kind = cal::DomainKind::kCand;
+    return Status::OK();
+  }
+
+  // --- Postjoin ----------------------------------------------------------------
+
+  /// Compact slot of raw column (rel, col), or error.
+  Result<int> CompactSlot(int rel, int col) const {
+    const auto& slots = out_.compact_cols[rel];
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == col) return static_cast<int>(i);
+    }
+    return Status::Internal(
+        StrFormat("column r%d.c%d not in compact set", rel, col));
+  }
+
+  Status CompilePostjoin() {
+    const BoundQuery& q = out_.bound;
+    Program& p = out_.postjoin;
+
+    // (rel, col) -> register holding that column in the current domain.
+    std::map<std::pair<int, int>, int> regs;
+    auto bind_compact = [&](int rel, int col) -> Result<int> {
+      auto key = std::make_pair(rel, col);
+      auto it = regs.find(key);
+      if (it != regs.end()) return it->second;
+      DC_ASSIGN_OR_RETURN(int slot, CompactSlot(rel, col));
+      Instr ins;
+      ins.op = OpCode::kBindCol;
+      ins.rel = rel;
+      ins.col = slot;
+      ins.note = q.rels[rel].schema.column(col).name;
+      ins.dst = p.NewReg();
+      p.instrs.push_back(ins);
+      regs[key] = ins.dst;
+      return ins.dst;
+    };
+
+    if (q.join.has_value()) {
+      // Bind keys, join, then fetch every needed column into the joined
+      // domain.
+      DC_ASSIGN_OR_RETURN(int lkey,
+                          bind_compact(q.join->left->rel, q.join->left->col));
+      DC_ASSIGN_OR_RETURN(
+          int rkey, bind_compact(q.join->right->rel, q.join->right->col));
+      Instr j;
+      j.op = OpCode::kJoin;
+      j.a = lkey;
+      j.b = rkey;
+      j.dst = p.NewReg();
+      j.dst2 = p.NewReg();
+      p.instrs.push_back(j);
+      const int lo = j.dst;
+      const int ro = j.dst2;
+
+      std::map<std::pair<int, int>, int> joined;
+      for (int rel = 0; rel < 2; ++rel) {
+        for (int col : out_.compact_cols[rel]) {
+          DC_ASSIGN_OR_RETURN(int src, bind_compact(rel, col));
+          Instr f;
+          f.op = OpCode::kFetch;
+          f.a = src;
+          f.b = rel == 0 ? lo : ro;
+          f.dst = p.NewReg();
+          p.instrs.push_back(f);
+          joined[{rel, col}] = f.dst;
+        }
+      }
+      regs = std::move(joined);
+      p.domain_reg = lo;
+      p.domain_kind = cal::DomainKind::kOidList;
+    } else {
+      // Single relation: compact columns are already the domain.
+      for (int col : out_.compact_cols[0]) {
+        DC_RETURN_NOT_OK(bind_compact(0, col).status());
+      }
+      p.domain_kind = cal::DomainKind::kNone;  // rows = input rel0 rows
+    }
+
+    ColumnEnv env;
+    env.resolve = [&](int rel, int col) -> Result<int> {
+      auto it = regs.find({rel, col});
+      if (it != regs.end()) return it->second;
+      return Status::Internal("postjoin: unbound column");
+    };
+    env.size_ref = [&]() -> Result<int> {
+      if (!regs.empty()) return regs.begin()->second;
+      return Status::Internal("postjoin: no size-reference column");
+    };
+
+    // Post-join filters: boolean map -> select_true -> gather all columns.
+    if (!q.post_join_filters.empty()) {
+      int boolreg = -1;
+      for (const BExprPtr& f : q.post_join_filters) {
+        DC_ASSIGN_OR_RETURN(int br, EmitMapExpr(&p, *f, env));
+        if (boolreg < 0) {
+          boolreg = br;
+        } else {
+          Instr a;
+          a.op = OpCode::kMapAnd;
+          a.a = boolreg;
+          a.b = br;
+          a.dst = p.NewReg();
+          p.instrs.push_back(a);
+          boolreg = a.dst;
+        }
+      }
+      Instr st;
+      st.op = OpCode::kSelectTrue;
+      st.a = boolreg;
+      st.dst = p.NewReg();
+      p.instrs.push_back(st);
+      const int cand = st.dst;
+      for (auto& [key, reg] : regs) {
+        Instr g;
+        g.op = OpCode::kGather;
+        g.a = reg;
+        g.b = cand;
+        g.dst = p.NewReg();
+        p.instrs.push_back(g);
+        reg = g.dst;
+      }
+      p.domain_reg = cand;
+      p.domain_kind = cal::DomainKind::kCand;
+    }
+
+    // Fragment outputs.
+    for (size_t i = 0; i < fragment_exprs_.size(); ++i) {
+      DC_ASSIGN_OR_RETURN(int reg, EmitMapExpr(&p, *fragment_exprs_[i], env));
+      p.output_regs.push_back(reg);
+      p.output_names.push_back(fragment_names_[i]);
+    }
+    if (!p.output_regs.empty()) {
+      p.domain_reg = p.output_regs[0];
+      p.domain_kind = cal::DomainKind::kColumn;
+    }
+    return Status::OK();
+  }
+
+  // --- Finish -------------------------------------------------------------------
+
+  Status BuildFinish() {
+    const BoundQuery& q = out_.bound;
+    FinishSpec& f = out_.finish;
+    f.is_aggregate = q.is_aggregate;
+    f.limit = q.limit;
+    f.out_names = q.out_names;
+    if (q.is_aggregate) {
+      for (const BExprPtr& k : q.group_by) f.key_types.push_back(k->type);
+      for (const BoundAgg& a : q.aggs) {
+        f.agg_layout.emplace_back(a.kind, a.arg_type);
+      }
+      f.select_exprs = q.select_exprs;
+      f.having = q.having;
+      f.order_by = q.order_by;
+    } else {
+      f.num_visible = static_cast<int>(q.select_exprs.size());
+      for (size_t i = 0; i < q.order_by.size(); ++i) {
+        f.sort_cols.emplace_back(f.num_visible + static_cast<int>(i),
+                                 q.order_by[i].second);
+      }
+    }
+    return Status::OK();
+  }
+
+  CompiledQuery out_;
+  std::vector<BExprPtr> fragment_exprs_;
+  std::vector<std::string> fragment_names_;
+  std::vector<std::vector<int>> needed_;
+};
+
+}  // namespace
+
+Result<CompiledQuery> Compile(BoundQuery q) {
+  Compiler c(std::move(q));
+  return c.Run();
+}
+
+}  // namespace dc::plan

@@ -1,0 +1,77 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Compiler: BoundQuery -> CompiledQuery. A compiled query is structured as
+// the stages DataCell's incremental mode needs (DESIGN.md §4.6):
+//
+//   prejoin[r]  per-relation CAL program: raw columns -> filtered compact
+//               columns (selection chain + projection pruning). In
+//               incremental mode this fragment runs once per basic window.
+//   postjoin    CAL program over the compact relations: equi-join,
+//               post-join filters, and evaluation of the fragment output
+//               expressions (group keys + aggregate arguments, or the
+//               projected output columns for non-aggregate queries).
+//   finish      merge/finalization metadata executed by the engine: merge
+//               partial aggregates, evaluate the select list over
+//               keys/aggregates, HAVING, ORDER BY, LIMIT.
+//
+// One-time execution and FULL re-evaluation run prejoin+postjoin on the
+// whole input and finish with a single partial; INCREMENTAL caches per-
+// basic-window partials and merges them — both paths share all stage code,
+// which is what guarantees FULL == INCREMENTAL results.
+
+#ifndef DATACELL_PLAN_COMPILER_H_
+#define DATACELL_PLAN_COMPILER_H_
+
+#include <vector>
+
+#include "plan/bound.h"
+#include "plan/cal.h"
+#include "util/result.h"
+
+namespace dc::plan {
+
+/// Finalization (merge-side) specification.
+struct FinishSpec {
+  bool is_aggregate = false;
+
+  // Aggregate queries:
+  std::vector<TypeId> key_types;
+  std::vector<std::pair<ops::AggKind, TypeId>> agg_layout;
+  std::vector<BExprPtr> select_exprs;               // finish-domain
+  BExprPtr having;                                  // finish-domain or null
+  std::vector<std::pair<BExprPtr, bool>> order_by;  // finish-domain
+
+  // Non-aggregate queries: fragment outputs are the visible columns
+  // followed by hidden sort columns.
+  int num_visible = 0;
+  std::vector<std::pair<int, bool>> sort_cols;  // fragment slot, ascending
+
+  int64_t limit = -1;
+  std::vector<std::string> out_names;
+};
+
+/// A fully compiled query, ready for the executor / factories.
+struct CompiledQuery {
+  BoundQuery bound;
+
+  std::vector<cal::Program> prejoin;
+  /// compact_cols[r][slot] = raw column index of prejoin output `slot`.
+  std::vector<std::vector<int>> compact_cols;
+
+  cal::Program postjoin;
+
+  /// Aggregate fragment layout: postjoin outputs [0, num_keys) are group
+  /// keys; agg_arg_slots[i] is the postjoin output carrying agg i's
+  /// argument, or -1 for COUNT(*).
+  int num_keys = 0;
+  std::vector<int> agg_arg_slots;
+
+  FinishSpec finish;
+};
+
+/// Compiles a bound query. Run the optimizer first (plan/optimizer.h).
+Result<CompiledQuery> Compile(BoundQuery q);
+
+}  // namespace dc::plan
+
+#endif  // DATACELL_PLAN_COMPILER_H_

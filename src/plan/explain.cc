@@ -1,0 +1,104 @@
+#include "plan/explain.h"
+
+#include "util/string_util.h"
+
+namespace dc::plan {
+
+namespace {
+
+std::string FinishToString(const CompiledQuery& cq) {
+  const FinishSpec& f = cq.finish;
+  std::string out;
+  if (f.is_aggregate) {
+    if (f.key_types.empty()) {
+      out += "  merge := aggr.merge_states(partials)\n";
+    } else {
+      out += "  merge := aggr.merge_groups(partials)\n";
+    }
+    for (size_t i = 0; i < f.select_exprs.size(); ++i) {
+      out += StrFormat("  out%zu := batcalc.eval(%s)\n", i,
+                       f.select_exprs[i]->ToString().c_str());
+    }
+    if (f.having) {
+      out += StrFormat("  having := algebra.select_true(%s)\n",
+                       f.having->ToString().c_str());
+    }
+    for (const auto& [e, asc] : f.order_by) {
+      out += StrFormat("  order := algebra.sort(%s, %s)\n",
+                       e->ToString().c_str(), asc ? "asc" : "desc");
+    }
+  } else {
+    out += "  concat := datacell.concat(partials)\n";
+    for (const auto& [slot, asc] : f.sort_cols) {
+      out += StrFormat("  order := algebra.sort(frag[%d], %s)\n", slot,
+                       asc ? "asc" : "desc");
+    }
+  }
+  if (f.limit >= 0) {
+    out += StrFormat("  limit := algebra.slice(0, %lld)\n",
+                     static_cast<long long>(f.limit));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Explain(const CompiledQuery& cq, PlanMode mode,
+                    const OptimizerReport* report) {
+  const BoundQuery& q = cq.bound;
+  std::string out;
+  switch (mode) {
+    case PlanMode::kOneTime:
+      out += "PLAN (one-time)\n";
+      break;
+    case PlanMode::kContinuousFull:
+      out += "PLAN (continuous, full re-evaluation)\n";
+      break;
+    case PlanMode::kContinuousIncremental:
+      out += "PLAN (continuous, incremental)\n";
+      break;
+  }
+  out += "relations:\n";
+  for (size_t r = 0; r < q.rels.size(); ++r) {
+    const BoundRelation& rel = q.rels[r];
+    out += StrFormat("  r%zu: %s%s %s%s\n", r,
+                     rel.is_stream ? "stream " : "table ", rel.name.c_str(),
+                     rel.window ? rel.window->ToString().c_str() : "",
+                     rel.is_stream && mode != PlanMode::kOneTime
+                         ? " (via basket)"
+                         : "");
+  }
+  if (report != nullptr) {
+    out += "optimizer rewrites:\n" + report->ToString();
+  }
+  for (size_t r = 0; r < cq.prejoin.size(); ++r) {
+    const bool basket = mode != PlanMode::kOneTime && q.rels[r].is_stream;
+    if (mode == PlanMode::kContinuousIncremental && q.rels[r].is_stream) {
+      out += StrFormat("fragment r%zu (runs once per basic window):\n", r);
+    } else {
+      out += StrFormat("stage prejoin r%zu:\n", r);
+    }
+    out += cq.prejoin[r].ToString(basket ? "basket" : "scan");
+  }
+  if (mode == PlanMode::kContinuousIncremental) {
+    out += "stage postjoin (per new portion; cached per basic window):\n";
+  } else {
+    out += "stage postjoin:\n";
+  }
+  out += cq.postjoin.ToString("frag");
+  if (mode == PlanMode::kContinuousIncremental) {
+    out += "stage merge (per emission, over cached partials):\n";
+  } else {
+    out += "stage finish:\n";
+  }
+  out += FinishToString(cq);
+  out += "output: (";
+  for (size_t i = 0; i < cq.finish.out_names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cq.finish.out_names[i];
+  }
+  out += ")\n";
+  return out;
+}
+
+}  // namespace dc::plan

@@ -1,0 +1,27 @@
+// Copyright 2026 The DataCell Authors.
+//
+// EXPLAIN: renders compiled plans. Shows the demo's headline transformation:
+// the same query as a one-time DBMS plan, as a continuous (FULL
+// re-evaluation) plan with basket binds, and as an incremental plan split
+// into a per-basic-window fragment plus a merge step.
+
+#ifndef DATACELL_PLAN_EXPLAIN_H_
+#define DATACELL_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/compiler.h"
+#include "plan/optimizer.h"
+
+namespace dc::plan {
+
+enum class PlanMode { kOneTime, kContinuousFull, kContinuousIncremental };
+
+/// Human-readable plan listing for `mode`. Pass the optimizer report to
+/// include the applied-rewrites section.
+std::string Explain(const CompiledQuery& cq, PlanMode mode,
+                    const OptimizerReport* report = nullptr);
+
+}  // namespace dc::plan
+
+#endif  // DATACELL_PLAN_EXPLAIN_H_

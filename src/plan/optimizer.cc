@@ -1,0 +1,162 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dc::plan {
+
+namespace {
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+/// NOT(cmp) -> negated cmp; NOT(NOT(x)) -> x. Returns the rewritten node.
+BExprPtr PushdownNot(const BExprPtr& e, bool* changed) {
+  if (!e) return e;
+  if (e->kind == BKind::kNot) {
+    const BExprPtr& inner = e->children[0];
+    if (inner->kind == BKind::kCmp) {
+      *changed = true;
+      auto out = std::make_shared<BExpr>(*inner);
+      out->cmp_op = NegateCmp(inner->cmp_op);
+      out->children = {PushdownNot(inner->children[0], changed),
+                       PushdownNot(inner->children[1], changed)};
+      return out;
+    }
+    if (inner->kind == BKind::kNot) {
+      *changed = true;
+      return PushdownNot(inner->children[0], changed);
+    }
+  }
+  if (e->children.empty()) return e;
+  auto out = std::make_shared<BExpr>(*e);
+  for (auto& c : out->children) c = PushdownNot(c, changed);
+  return out;
+}
+
+/// literal cmp literal -> TRUE/FALSE literal.
+BExprPtr FoldConstCmp(const BExprPtr& e, bool* changed) {
+  if (!e) return e;
+  auto out = std::make_shared<BExpr>(*e);
+  for (auto& c : out->children) c = FoldConstCmp(c, changed);
+  if (out->kind == BKind::kCmp &&
+      out->children[0]->kind == BKind::kLiteral &&
+      out->children[1]->kind == BKind::kLiteral) {
+    *changed = true;
+    const int cmp =
+        out->children[0]->literal.Compare(out->children[1]->literal);
+    return BLiteral(Value::Bool(CmpHolds(out->cmp_op, cmp)));
+  }
+  return out;
+}
+
+bool IsLiteralBool(const BExpr& e, bool value) {
+  return e.kind == BKind::kLiteral && e.type == TypeId::kBool &&
+         e.literal.AsBool() == value;
+}
+
+/// Filter ordering cost: lower runs first.
+int FilterCost(const BExpr& e) {
+  if (e.kind == BKind::kCmp) {
+    const auto& l = *e.children[0];
+    const auto& r = *e.children[1];
+    const bool col_lit =
+        (l.kind == BKind::kColRef && r.kind == BKind::kLiteral) ||
+        (l.kind == BKind::kLiteral && r.kind == BKind::kColRef);
+    const bool cols = l.kind == BKind::kColRef && r.kind == BKind::kColRef;
+    if (col_lit && e.cmp_op == CmpOp::kEq) return 0;  // point predicate
+    if (col_lit) return 1;                            // range predicate
+    if (cols) return 2;                               // column-column
+    return 3;                                         // computed comparison
+  }
+  return 4;  // OR / NOT / complex boolean structure
+}
+
+}  // namespace
+
+std::string OptimizerReport::ToString() const {
+  if (applied.empty()) return "(no rewrites)";
+  std::string out;
+  for (const std::string& r : applied) out += "  * " + r + "\n";
+  return out;
+}
+
+OptimizerReport Optimize(BoundQuery* q) {
+  OptimizerReport report;
+
+  bool not_changed = false;
+  bool fold_changed = false;
+  auto rewrite = [&](BExprPtr& e) {
+    e = PushdownNot(e, &not_changed);
+    e = FoldConstCmp(e, &fold_changed);
+  };
+  for (auto& filters : q->rel_filters) {
+    for (auto& f : filters) rewrite(f);
+  }
+  for (auto& f : q->post_join_filters) rewrite(f);
+  if (q->having) rewrite(q->having);
+  if (not_changed) report.applied.push_back("not-pushdown");
+  if (fold_changed) report.applied.push_back("const-cmp-folding");
+
+  // Trivial filter elimination.
+  bool trivial = false;
+  for (auto& filters : q->rel_filters) {
+    bool always_false = false;
+    for (const auto& f : filters) {
+      if (IsLiteralBool(*f, false)) always_false = true;
+    }
+    if (always_false) {
+      // Keep a single FALSE conjunct: the compiler emits an empty-candidate
+      // chain and everything downstream sees zero rows.
+      filters.clear();
+      filters.push_back(BLiteral(Value::Bool(false)));
+      trivial = true;
+      continue;
+    }
+    const size_t before = filters.size();
+    filters.erase(std::remove_if(filters.begin(), filters.end(),
+                                 [](const BExprPtr& f) {
+                                   return IsLiteralBool(*f, true);
+                                 }),
+                  filters.end());
+    if (filters.size() != before) trivial = true;
+  }
+  if (trivial) report.applied.push_back("trivial-filter");
+
+  // Cheapest-first conjunct ordering.
+  bool reordered = false;
+  for (auto& filters : q->rel_filters) {
+    if (std::is_sorted(filters.begin(), filters.end(),
+                       [](const BExprPtr& a, const BExprPtr& b) {
+                         return FilterCost(*a) < FilterCost(*b);
+                       })) {
+      continue;
+    }
+    std::stable_sort(filters.begin(), filters.end(),
+                     [](const BExprPtr& a, const BExprPtr& b) {
+                       return FilterCost(*a) < FilterCost(*b);
+                     });
+    reordered = true;
+  }
+  if (reordered) report.applied.push_back("filter-ordering");
+
+  return report;
+}
+
+}  // namespace dc::plan

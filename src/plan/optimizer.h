@@ -1,0 +1,38 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Rule-based optimizer over the bound canonical form. Predicate pushdown
+// and projection pruning are structural (binder/compiler); the passes here
+// are the remaining classic rewrites. Each applied rule is recorded so the
+// demo's plan pane can show what the optimizer did.
+
+#ifndef DATACELL_PLAN_OPTIMIZER_H_
+#define DATACELL_PLAN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/bound.h"
+#include "util/result.h"
+
+namespace dc::plan {
+
+/// Report of applied rewrites (explain pane).
+struct OptimizerReport {
+  std::vector<std::string> applied;
+
+  std::string ToString() const;
+};
+
+/// Applies, in order:
+///   1. not-pushdown:        NOT(a cmp b) -> a !cmp b; double-NOT removal
+///   2. trivial-filter:      drop WHERE TRUE conjuncts; a FALSE conjunct
+///                           collapses the relation's filters to FALSE
+///   3. filter-ordering:     per relation, order conjuncts cheapest-first
+///                           (equality < range < other; column-literal
+///                           before column-column before complex)
+///   4. const-cmp-folding:   literal-literal comparisons -> TRUE/FALSE
+OptimizerReport Optimize(BoundQuery* q);
+
+}  // namespace dc::plan
+
+#endif  // DATACELL_PLAN_OPTIMIZER_H_

@@ -1,0 +1,119 @@
+#include "sql/ast.h"
+
+#include "util/string_util.h"
+
+namespace dc::sql {
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr MakeCmp(CmpOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCmp;
+  e->cmp_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr MakeLogical(ExprKind kind, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+ExprPtr MakeNeg(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNeg;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+ExprPtr MakeAgg(ops::AggKind kind, ExprPtr arg, bool star) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAgg;
+  e->agg = kind;
+  e->agg_star = star;
+  if (arg) e->children = {std::move(arg)};
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBetween;
+  e->children = {std::move(v), std::move(lo), std::move(hi)};
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == TypeId::kStr
+                 ? StrFormat("'%s'", literal.AsStr().c_str())
+                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kArith:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       ArithOpName(arith_op), children[1]->ToString().c_str());
+    case ExprKind::kCmp:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       CmpOpName(cmp_op), children[1]->ToString().c_str());
+    case ExprKind::kBetween:
+      return StrFormat("(%s BETWEEN %s AND %s)",
+                       children[0]->ToString().c_str(),
+                       children[1]->ToString().c_str(),
+                       children[2]->ToString().c_str());
+    case ExprKind::kAnd:
+      return StrFormat("(%s AND %s)", children[0]->ToString().c_str(),
+                       children[1]->ToString().c_str());
+    case ExprKind::kOr:
+      return StrFormat("(%s OR %s)", children[0]->ToString().c_str(),
+                       children[1]->ToString().c_str());
+    case ExprKind::kNot:
+      return StrFormat("(NOT %s)", children[0]->ToString().c_str());
+    case ExprKind::kNeg:
+      return StrFormat("(-%s)", children[0]->ToString().c_str());
+    case ExprKind::kAgg:
+      return StrFormat("%s(%s)", ops::AggKindName(agg),
+                       agg_star ? "*" : children[0]->ToString().c_str());
+  }
+  return "?";
+}
+
+}  // namespace dc::sql

@@ -1,0 +1,125 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Abstract syntax for the supported SQL subset plus DataCell's continuous
+// extensions (CREATE STREAM, window clauses on stream scans).
+
+#ifndef DATACELL_SQL_AST_H_
+#define DATACELL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bat/ops_aggregate.h"
+#include "bat/types.h"
+#include "util/clock.h"
+
+namespace dc::sql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,    // 42, 1.5, 'abc'
+  kColumnRef,  // price / t.price
+  kStar,       // * (only inside COUNT(*) or SELECT *)
+  kArith,      // a + b
+  kCmp,        // a < b
+  kBetween,    // a BETWEEN lo AND hi
+  kAnd,
+  kOr,
+  kNot,
+  kNeg,        // -a
+  kAgg,        // SUM(a), COUNT(*)
+};
+
+/// Parsed expression node. Only the fields relevant to `kind` are set.
+struct Expr {
+  ExprKind kind;
+
+  Value literal;                       // kLiteral
+  std::string table;                   // kColumnRef (optional qualifier)
+  std::string column;                  // kColumnRef
+  ArithOp arith_op = ArithOp::kAdd;    // kArith
+  CmpOp cmp_op = CmpOp::kEq;           // kCmp
+  ops::AggKind agg = ops::AggKind::kCount;  // kAgg
+  bool agg_star = false;               // kAgg: COUNT(*)
+  std::vector<ExprPtr> children;       // operands (kBetween: e, lo, hi)
+
+  /// Reconstructed SQL-ish text (explain / error messages / plan dumps).
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeArith(ArithOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeCmp(CmpOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeLogical(ExprKind kind, ExprPtr l, ExprPtr r);
+ExprPtr MakeNot(ExprPtr e);
+ExprPtr MakeNeg(ExprPtr e);
+ExprPtr MakeAgg(ops::AggKind kind, ExprPtr arg, bool star);
+ExprPtr MakeBetween(ExprPtr e, ExprPtr lo, ExprPtr hi);
+ExprPtr MakeStar();
+
+/// DataCell window clause attached to a stream in FROM:
+///   FROM trades [RANGE 60 SECONDS SLIDE 10 SECONDS]
+///   FROM trades [ROWS 1000 SLIDE 100]
+/// Omitted SLIDE means tumbling (slide == size). RANGE units are converted
+/// to µs at parse time.
+struct WindowClause {
+  bool rows = false;   // true: count-based, false: event-time-based
+  int64_t size = 0;    // rows, or µs
+  int64_t slide = 0;   // rows, or µs
+};
+
+/// FROM item: relation name, optional alias, optional window.
+struct FromItem {
+  std::string name;
+  std::string alias;  // defaults to name
+  std::optional<WindowClause> window;
+};
+
+/// One SELECT-list entry.
+struct SelectItem {
+  ExprPtr expr;        // null for bare '*'
+  bool star = false;
+  std::string alias;   // output column name; derived if empty
+};
+
+/// ORDER BY entry.
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// SELECT statement (continuous iff any FROM item is a stream).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;                  // null if absent
+  std::vector<ExprPtr> group_by;  // column refs
+  ExprPtr having;                 // null if absent
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;             // -1: no limit
+};
+
+/// CREATE TABLE / CREATE STREAM.
+struct CreateStmt {
+  bool is_stream = false;
+  std::string name;
+  std::vector<std::pair<std::string, TypeId>> columns;
+};
+
+/// INSERT INTO t VALUES (...), (...) — literal rows only.
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+using Statement = std::variant<SelectStmt, CreateStmt, InsertStmt>;
+
+}  // namespace dc::sql
+
+#endif  // DATACELL_SQL_AST_H_

@@ -1,0 +1,201 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "sql/token.h"
+#include "util/string_util.h"
+
+namespace dc::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenType t, std::string text, size_t pos) {
+    out.push_back(Token{t, std::move(text), 0, 0, pos});
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // SQL comment to end of line.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t pos = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      push(TokenType::kIdent, ToLower(input.substr(i, j - i)), pos);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_float = true;
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      const std::string text(input.substr(i, j - i));
+      Token t{is_float ? TokenType::kFloat : TokenType::kInt, text, 0, 0, pos};
+      if (is_float) {
+        t.float_val = strtod(text.c_str(), nullptr);
+      } else {
+        t.int_val = strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          text.push_back(input[j++]);
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", pos));
+      }
+      Token t{TokenType::kString, std::move(text), 0, 0, pos};
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, "(", pos);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, ")", pos);
+        ++i;
+        break;
+      case '[':
+        push(TokenType::kLBracket, "[", pos);
+        ++i;
+        break;
+      case ']':
+        push(TokenType::kRBracket, "]", pos);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, ",", pos);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, ".", pos);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, "*", pos);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, "+", pos);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, "-", pos);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, "/", pos);
+        ++i;
+        break;
+      case '%':
+        push(TokenType::kPercent, "%", pos);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, ";", pos);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, "=", pos);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=", pos);
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected '!' at offset %zu", pos));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=", pos);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>", pos);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", pos);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", pos);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, pos));
+    }
+  }
+  push(TokenType::kEnd, "", n);
+  return out;
+}
+
+}  // namespace dc::sql

@@ -1,0 +1,522 @@
+#include "sql/parser.h"
+
+#include "sql/token.h"
+#include "util/string_util.h"
+
+namespace dc::sql {
+
+namespace {
+
+/// Keywords that terminate an expression context.
+bool IsKeyword(const Token& t, const char* kw) {
+  return t.type == TokenType::kIdent && t.text == kw;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOne() {
+    DC_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    if (Check(TokenType::kSemicolon)) Advance();
+    if (!Check(TokenType::kEnd)) {
+      return Err("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!Check(TokenType::kEnd)) {
+      if (Check(TokenType::kSemicolon)) {
+        Advance();
+        continue;
+      }
+      DC_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (Check(TokenType::kSemicolon)) {
+        Advance();
+      } else if (!Check(TokenType::kEnd)) {
+        return Err("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool CheckKw(const char* kw) const { return IsKeyword(Peek(), kw); }
+  bool MatchKw(const char* kw) {
+    if (CheckKw(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StrFormat(
+        "%s (near offset %zu, got '%s')", msg.c_str(), Peek().pos,
+        Peek().type == TokenType::kEnd ? "<end>" : Peek().text.c_str()));
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (!Match(t)) return Err(StrFormat("expected %s", what));
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!Check(TokenType::kIdent)) return Err(StrFormat("expected %s", what));
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatementInner() {
+    if (CheckKw("select")) {
+      DC_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      return Statement(std::move(s));
+    }
+    if (CheckKw("create")) {
+      DC_ASSIGN_OR_RETURN(CreateStmt s, ParseCreate());
+      return Statement(std::move(s));
+    }
+    if (CheckKw("insert")) {
+      DC_ASSIGN_OR_RETURN(InsertStmt s, ParseInsert());
+      return Statement(std::move(s));
+    }
+    return Err("expected SELECT, CREATE or INSERT");
+  }
+
+  Result<CreateStmt> ParseCreate() {
+    Advance();  // create
+    CreateStmt stmt;
+    if (MatchKw("stream")) {
+      stmt.is_stream = true;
+    } else if (MatchKw("table")) {
+      stmt.is_stream = false;
+    } else {
+      return Err("expected TABLE or STREAM after CREATE");
+    }
+    DC_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("relation name"));
+    DC_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      DC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      DC_ASSIGN_OR_RETURN(std::string tname, ExpectIdent("type name"));
+      DC_ASSIGN_OR_RETURN(TypeId type, TypeFromName(tname));
+      stmt.columns.emplace_back(std::move(col), type);
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    DC_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return stmt;
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    Advance();  // insert
+    if (!MatchKw("into")) return Err("expected INTO after INSERT");
+    InsertStmt stmt;
+    DC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (!MatchKw("values")) return Err("expected VALUES");
+    while (true) {
+      DC_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+      std::vector<Value> row;
+      while (true) {
+        DC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+        if (Match(TokenType::kComma)) continue;
+        break;
+      }
+      DC_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      stmt.rows.push_back(std::move(row));
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    return stmt;
+  }
+
+  Result<Value> ParseLiteralValue() {
+    bool neg = false;
+    if (Match(TokenType::kMinus)) neg = true;
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        Advance();
+        return Value::I64(neg ? -t.int_val : t.int_val);
+      case TokenType::kFloat:
+        Advance();
+        return Value::F64(neg ? -t.float_val : t.float_val);
+      case TokenType::kString:
+        if (neg) return Err("cannot negate a string literal");
+        Advance();
+        return Value::Str(t.text);
+      case TokenType::kIdent:
+        if (t.text == "true" || t.text == "false") {
+          const bool b = t.text == "true";
+          if (neg) return Err("cannot negate a boolean literal");
+          Advance();
+          return Value::Bool(b);
+        }
+        [[fallthrough]];
+      default:
+        return Err("expected literal value");
+    }
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    Advance();  // select
+    SelectStmt stmt;
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Check(TokenType::kStar)) {
+        Advance();
+        item.star = true;
+      } else {
+        DC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKw("as")) {
+          DC_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    if (!MatchKw("from")) return Err("expected FROM");
+    DC_ASSIGN_OR_RETURN(FromItem first, ParseFromItem());
+    stmt.from.push_back(std::move(first));
+    // JOIN ... ON ... or comma-separated relations.
+    std::vector<ExprPtr> join_conds;
+    while (true) {
+      if (Match(TokenType::kComma) || MatchKw("join")) {
+        const bool explicit_join = IsKeyword(tokens_[pos_ - 1], "join");
+        DC_ASSIGN_OR_RETURN(FromItem rel, ParseFromItem());
+        stmt.from.push_back(std::move(rel));
+        if (explicit_join) {
+          if (!MatchKw("on")) return Err("expected ON after JOIN");
+          DC_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+          join_conds.push_back(std::move(cond));
+        }
+        continue;
+      }
+      if (MatchKw("inner")) {
+        if (!MatchKw("join")) return Err("expected JOIN after INNER");
+        DC_ASSIGN_OR_RETURN(FromItem rel, ParseFromItem());
+        stmt.from.push_back(std::move(rel));
+        if (!MatchKw("on")) return Err("expected ON after JOIN");
+        DC_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        join_conds.push_back(std::move(cond));
+        continue;
+      }
+      break;
+    }
+    if (MatchKw("where")) {
+      DC_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    // Fold JOIN..ON conditions into WHERE (the binder extracts join keys).
+    for (ExprPtr& cond : join_conds) {
+      stmt.where = stmt.where
+                       ? MakeLogical(ExprKind::kAnd, stmt.where, cond)
+                       : cond;
+    }
+    if (MatchKw("group")) {
+      if (!MatchKw("by")) return Err("expected BY after GROUP");
+      while (true) {
+        DC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (Match(TokenType::kComma)) continue;
+        break;
+      }
+    }
+    if (MatchKw("having")) {
+      DC_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (MatchKw("order")) {
+      if (!MatchKw("by")) return Err("expected BY after ORDER");
+      while (true) {
+        OrderItem item;
+        DC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKw("desc")) {
+          item.ascending = false;
+        } else {
+          MatchKw("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Match(TokenType::kComma)) continue;
+        break;
+      }
+    }
+    if (MatchKw("limit")) {
+      if (!Check(TokenType::kInt)) return Err("expected integer after LIMIT");
+      stmt.limit = Advance().int_val;
+      if (stmt.limit < 0) return Err("LIMIT must be non-negative");
+    }
+    return stmt;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    DC_ASSIGN_OR_RETURN(item.name, ExpectIdent("relation name"));
+    item.alias = item.name;
+    if (Check(TokenType::kLBracket)) {
+      DC_ASSIGN_OR_RETURN(item.window, ParseWindow());
+    }
+    if (MatchKw("as")) {
+      DC_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+    } else if (Check(TokenType::kIdent) && !CheckKw("join") &&
+               !CheckKw("inner") && !CheckKw("where") && !CheckKw("group") &&
+               !CheckKw("having") && !CheckKw("order") && !CheckKw("limit") &&
+               !CheckKw("on")) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<int64_t> ParseDurationMicros() {
+    if (!Check(TokenType::kInt)) return Err("expected window size integer");
+    const int64_t n = Advance().int_val;
+    DC_ASSIGN_OR_RETURN(std::string unit, ExpectIdent("time unit"));
+    if (unit == "microsecond" || unit == "microseconds") return n;
+    if (unit == "millisecond" || unit == "milliseconds") {
+      return n * kMicrosPerMilli;
+    }
+    if (unit == "second" || unit == "seconds") return n * kMicrosPerSecond;
+    if (unit == "minute" || unit == "minutes") return n * kMicrosPerMinute;
+    if (unit == "hour" || unit == "hours") return n * 60 * kMicrosPerMinute;
+    return Err(StrFormat("unknown time unit '%s'", unit.c_str()));
+  }
+
+  Result<WindowClause> ParseWindow() {
+    DC_RETURN_NOT_OK(Expect(TokenType::kLBracket, "'['"));
+    WindowClause w;
+    if (MatchKw("rows")) {
+      w.rows = true;
+      if (!Check(TokenType::kInt)) return Err("expected row count");
+      w.size = Advance().int_val;
+      if (MatchKw("slide")) {
+        if (!Check(TokenType::kInt)) return Err("expected slide row count");
+        w.slide = Advance().int_val;
+      } else {
+        w.slide = w.size;  // tumbling
+      }
+    } else if (MatchKw("range")) {
+      w.rows = false;
+      DC_ASSIGN_OR_RETURN(w.size, ParseDurationMicros());
+      if (MatchKw("slide")) {
+        DC_ASSIGN_OR_RETURN(w.slide, ParseDurationMicros());
+      } else {
+        w.slide = w.size;  // tumbling
+      }
+    } else {
+      return Err("expected ROWS or RANGE in window clause");
+    }
+    if (w.size <= 0 || w.slide <= 0) {
+      return Err("window size and slide must be positive");
+    }
+    if (w.slide > w.size) {
+      return Err("window slide must not exceed window size");
+    }
+    DC_RETURN_NOT_OK(Expect(TokenType::kRBracket, "']'"));
+    return w;
+  }
+
+  // Expression grammar, lowest to highest precedence:
+  //   or_expr    := and_expr (OR and_expr)*
+  //   and_expr   := not_expr (AND not_expr)*
+  //   not_expr   := NOT not_expr | cmp_expr
+  //   cmp_expr   := add_expr [(=|<>|<|<=|>|>=) add_expr
+  //                           | BETWEEN add_expr AND add_expr]
+  //   add_expr   := mul_expr ((+|-) mul_expr)*
+  //   mul_expr   := unary ((*|/|%) unary)*
+  //   unary      := - unary | primary
+  //   primary    := literal | agg(expr|*) | ident[.ident] | ( or_expr )
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DC_ASSIGN_OR_RETURN(ExprPtr e, ParseAnd());
+    while (MatchKw("or")) {
+      DC_ASSIGN_OR_RETURN(ExprPtr r, ParseAnd());
+      e = MakeLogical(ExprKind::kOr, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DC_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+    while (CheckKw("and")) {
+      Advance();
+      DC_ASSIGN_OR_RETURN(ExprPtr r, ParseNot());
+      e = MakeLogical(ExprKind::kAnd, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKw("not")) {
+      DC_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return MakeNot(std::move(e));
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    DC_ASSIGN_OR_RETURN(ExprPtr e, ParseAdd());
+    if (MatchKw("between")) {
+      DC_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdd());
+      if (!MatchKw("and")) return Err("expected AND in BETWEEN");
+      DC_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdd());
+      return MakeBetween(std::move(e), std::move(lo), std::move(hi));
+    }
+    CmpOp op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokenType::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return e;
+    }
+    Advance();
+    DC_ASSIGN_OR_RETURN(ExprPtr r, ParseAdd());
+    return MakeCmp(op, std::move(e), std::move(r));
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    DC_ASSIGN_OR_RETURN(ExprPtr e, ParseMul());
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      const ArithOp op = Check(TokenType::kPlus) ? ArithOp::kAdd
+                                                 : ArithOp::kSub;
+      Advance();
+      DC_ASSIGN_OR_RETURN(ExprPtr r, ParseMul());
+      e = MakeArith(op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    DC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+           Check(TokenType::kPercent)) {
+      ArithOp op = ArithOp::kMul;
+      if (Check(TokenType::kSlash)) op = ArithOp::kDiv;
+      if (Check(TokenType::kPercent)) op = ArithOp::kMod;
+      Advance();
+      DC_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+      e = MakeArith(op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      DC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeNeg(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        Advance();
+        return MakeLiteral(Value::I64(t.int_val));
+      case TokenType::kFloat:
+        Advance();
+        return MakeLiteral(Value::F64(t.float_val));
+      case TokenType::kString:
+        Advance();
+        return MakeLiteral(Value::Str(t.text));
+      case TokenType::kLParen: {
+        Advance();
+        DC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        DC_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return e;
+      }
+      case TokenType::kIdent:
+        break;
+      default:
+        return Err("expected expression");
+    }
+    // Identifier: boolean literal, aggregate call, or column ref.
+    if (t.text == "true" || t.text == "false") {
+      Advance();
+      return MakeLiteral(Value::Bool(t.text == "true"));
+    }
+    const ops::AggKind* agg = nullptr;
+    static constexpr std::pair<const char*, ops::AggKind> kAggs[] = {
+        {"count", ops::AggKind::kCount}, {"sum", ops::AggKind::kSum},
+        {"avg", ops::AggKind::kAvg},     {"min", ops::AggKind::kMin},
+        {"max", ops::AggKind::kMax},
+    };
+    for (const auto& [name, kind] : kAggs) {
+      if (t.text == name && Peek(1).type == TokenType::kLParen) {
+        agg = &kind;
+        break;
+      }
+    }
+    if (agg != nullptr) {
+      const ops::AggKind kind = *agg;
+      Advance();  // name
+      Advance();  // (
+      if (Check(TokenType::kStar)) {
+        if (kind != ops::AggKind::kCount) {
+          return Err("'*' argument is only valid for COUNT");
+        }
+        Advance();
+        DC_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return MakeAgg(kind, nullptr, /*star=*/true);
+      }
+      DC_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      DC_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return MakeAgg(kind, std::move(arg), /*star=*/false);
+    }
+    // Column reference, possibly qualified.
+    Advance();
+    if (Match(TokenType::kDot)) {
+      DC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      return MakeColumnRef(t.text, std::move(col));
+    }
+    return MakeColumnRef("", t.text);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  DC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser p(std::move(tokens));
+  return p.ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view input) {
+  DC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser p(std::move(tokens));
+  return p.ParseAll();
+}
+
+}  // namespace dc::sql

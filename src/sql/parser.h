@@ -1,0 +1,36 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Recursive-descent parser for the DataCell SQL subset:
+//
+//   SELECT items FROM rel [window] [JOIN rel [window] ON a = b | , rel]
+//     [WHERE pred] [GROUP BY cols] [HAVING pred]
+//     [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//   CREATE TABLE  name (col type, ...)
+//   CREATE STREAM name (col type, ...)
+//   INSERT INTO name VALUES (lit, ...), (...)
+//
+// Window clause (DataCell extension, on streams in FROM):
+//   [RANGE n unit SLIDE m unit]   unit: milliseconds|seconds|minutes|hours
+//   [ROWS n SLIDE m]
+// SLIDE omitted => tumbling window (slide = size).
+
+#ifndef DATACELL_SQL_PARSER_H_
+#define DATACELL_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace dc::sql {
+
+/// Parses a single statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(std::string_view input);
+
+/// Parses a ';'-separated script.
+Result<std::vector<Statement>> ParseScript(std::string_view input);
+
+}  // namespace dc::sql
+
+#endif  // DATACELL_SQL_PARSER_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Token stream for the SQL subset (DESIGN.md §2/S4), including the DataCell
+// window extension tokens ("[ RANGE 60 SECONDS SLIDE 10 SECONDS ]").
+
+#ifndef DATACELL_SQL_TOKEN_H_
+#define DATACELL_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dc::sql {
+
+enum class TokenType {
+  kIdent,       // foo (lower-cased), keywords resolved by the parser
+  kInt,         // 123
+  kFloat,       // 1.5
+  kString,      // 'abc'
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kDot,         // .
+  kStar,        // *
+  kPlus,        // +
+  kMinus,       // -
+  kSlash,       // /
+  kPercent,     // %
+  kEq,          // =
+  kNe,          // <> or !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kSemicolon,   // ;
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier (lower-cased) or literal spelling
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+/// Tokenizes `input`. Identifiers are lower-cased (SQL case-insensitivity);
+/// string literals keep their exact contents ('' escapes a quote).
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace dc::sql
+
+#endif  // DATACELL_SQL_TOKEN_H_

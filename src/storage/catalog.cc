@@ -1,0 +1,102 @@
+#include "storage/catalog.h"
+
+#include "util/string_util.h"
+
+namespace dc {
+
+bool Catalog::NameTakenLocked(const std::string& name) const {
+  return tables_.count(name) > 0 || streams_.count(name) > 0;
+}
+
+Status Catalog::RegisterTable(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTakenLocked(table->name())) {
+    return Status::AlreadyExists(
+        StrFormat("name '%s' already in catalog", table->name().c_str()));
+  }
+  tables_.emplace(table->name(), std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::RegisterStream(StreamDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTakenLocked(def.name)) {
+    return Status::AlreadyExists(
+        StrFormat("name '%s' already in catalog", def.name.c_str()));
+  }
+  if (def.ts_column != SIZE_MAX) {
+    if (def.ts_column >= def.schema.NumColumns()) {
+      return Status::InvalidArgument("ts_column out of range");
+    }
+    if (def.schema.column(def.ts_column).type != TypeId::kTs) {
+      return Status::TypeError("designated event-time column must be TS");
+    }
+  }
+  const std::string name = def.name;
+  streams_.emplace(name, std::move(def));
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("no table named '%.*s'",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return it->second;
+}
+
+Result<StreamDef> Catalog::GetStream(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(std::string(name));
+  if (it == streams_.end()) {
+    return Status::NotFound(StrFormat("no stream named '%.*s'",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return it->second;
+}
+
+bool Catalog::IsStream(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.count(std::string(name)) > 0;
+}
+
+bool Catalog::IsTable(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(std::string(name)) > 0;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(std::string(name)) == 0) {
+    return Status::NotFound("table not found");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropStream(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (streams_.erase(std::string(name)) == 0) {
+    return Status::NotFound("stream not found");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Catalog::StreamNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [k, v] : streams_) out.push_back(k);
+  return out;
+}
+
+}  // namespace dc

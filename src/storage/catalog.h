@@ -1,0 +1,63 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Catalog: the name registry the binder resolves FROM clauses against.
+// Tracks persistent tables and stream definitions (a stream's data lives in
+// its basket, owned by the DataCell engine; the catalog holds the schema
+// and the designated event-time column).
+
+#ifndef DATACELL_STORAGE_CATALOG_H_
+#define DATACELL_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// Definition of a registered stream.
+struct StreamDef {
+  std::string name;
+  Schema schema;
+  /// Index of the event-time column (type TS) used for RANGE windows, or
+  /// SIZE_MAX if the stream has none (only ROWS windows allowed then).
+  size_t ts_column = SIZE_MAX;
+
+  bool HasEventTime() const { return ts_column != SIZE_MAX; }
+};
+
+/// Thread-safe name registry of tables and streams. Names share one
+/// namespace (a stream and a table may not collide).
+class Catalog {
+ public:
+  Status RegisterTable(TablePtr table);
+  Status RegisterStream(StreamDef def);
+
+  Result<TablePtr> GetTable(std::string_view name) const;
+  Result<StreamDef> GetStream(std::string_view name) const;
+
+  bool IsStream(std::string_view name) const;
+  bool IsTable(std::string_view name) const;
+
+  Status DropTable(std::string_view name);
+  Status DropStream(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> StreamNames() const;
+
+ private:
+  bool NameTakenLocked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;
+  std::map<std::string, StreamDef> streams_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_STORAGE_CATALOG_H_

@@ -1,0 +1,69 @@
+#include "storage/index.h"
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Result<std::shared_ptr<const HashIndex>> HashIndex::Build(const Bat& col,
+                                                          uint64_t version) {
+  auto idx = std::shared_ptr<HashIndex>(new HashIndex(col.type(), version));
+  idx->entries_ = col.size();
+  switch (col.type()) {
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      auto data = col.I64Data();
+      idx->int_map_.reserve(data.size());
+      for (Oid o = 0; o < data.size(); ++o) idx->int_map_[data[o]].push_back(o);
+      break;
+    }
+    case TypeId::kF64: {
+      auto data = col.F64Data();
+      idx->dbl_map_.reserve(data.size());
+      for (Oid o = 0; o < data.size(); ++o) idx->dbl_map_[data[o]].push_back(o);
+      break;
+    }
+    case TypeId::kStr: {
+      idx->str_map_.reserve(col.size());
+      for (Oid o = 0; o < col.size(); ++o) {
+        idx->str_map_[std::string(col.StrAt(o))].push_back(o);
+      }
+      break;
+    }
+    case TypeId::kBool:
+      return Status::TypeError("hash index over bool column is pointless");
+  }
+  return std::shared_ptr<const HashIndex>(idx);
+}
+
+Result<Candidates> HashIndex::Lookup(const Value& key) const {
+  switch (key_type_) {
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      DC_ASSIGN_OR_RETURN(Value k, key.CastTo(TypeId::kI64));
+      auto it = int_map_.find(k.AsI64());
+      if (it == int_map_.end()) return Candidates();
+      return Candidates::FromVector(it->second);
+    }
+    case TypeId::kF64: {
+      if (!IsNumeric(key.type())) {
+        return Status::TypeError("f64 index lookup needs numeric key");
+      }
+      auto it = dbl_map_.find(key.NumericAsDouble());
+      if (it == dbl_map_.end()) return Candidates();
+      return Candidates::FromVector(it->second);
+    }
+    case TypeId::kStr: {
+      if (key.type() != TypeId::kStr) {
+        return Status::TypeError("str index lookup needs string key");
+      }
+      auto it = str_map_.find(key.AsStr());
+      if (it == str_map_.end()) return Candidates();
+      return Candidates::FromVector(it->second);
+    }
+    case TypeId::kBool:
+      break;
+  }
+  return Status::Internal("HashIndex::Lookup: bad index type");
+}
+
+}  // namespace dc

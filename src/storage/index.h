@@ -1,0 +1,52 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Secondary indexes over table columns — "exploiting standard DBMS
+// functionalities in a streaming environment such as indexing" (paper §1).
+// A HashIndex accelerates equi-lookups (point predicates and the build side
+// of stream-table joins); indexes are immutable and stamped with the table
+// version they were built from.
+
+#ifndef DATACELL_STORAGE_INDEX_H_
+#define DATACELL_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/candidates.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// Immutable hash index over one column of one table version.
+class HashIndex {
+ public:
+  /// Builds over all rows of `col`. `version` stamps the source version.
+  static Result<std::shared_ptr<const HashIndex>> Build(const Bat& col,
+                                                        uint64_t version);
+
+  /// Sorted candidate list of rows where col = key (empty if none).
+  /// TypeError if key type is incompatible with the indexed column.
+  Result<Candidates> Lookup(const Value& key) const;
+
+  uint64_t version() const { return version_; }
+  TypeId key_type() const { return key_type_; }
+  size_t NumEntries() const { return entries_; }
+
+ private:
+  HashIndex(TypeId t, uint64_t version) : key_type_(t), version_(version) {}
+
+  TypeId key_type_;
+  uint64_t version_;
+  size_t entries_ = 0;
+  // Key hash -> oids; collisions resolved by re-checking against the column
+  // would need the column, so we key on exact values instead.
+  std::unordered_map<int64_t, std::vector<Oid>> int_map_;
+  std::unordered_map<double, std::vector<Oid>> dbl_map_;
+  std::unordered_map<std::string, std::vector<Oid>> str_map_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_STORAGE_INDEX_H_

@@ -1,0 +1,37 @@
+#include "storage/schema.h"
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Status Schema::AddColumn(std::string name, TypeId type) {
+  if (Has(name)) {
+    return Status::AlreadyExists(
+        StrFormat("column '%s' already defined", name.c_str()));
+  }
+  cols_.push_back(ColumnDef{std::move(name), type});
+  return Status::OK();
+}
+
+Result<size_t> Schema::Find(std::string_view name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  return Status::NotFound(StrFormat("no column named '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols_[i].name;
+    out += " ";
+    out += TypeName(cols_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dc

@@ -1,0 +1,53 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Relational schemas shared by persistent tables, streams and baskets.
+
+#ifndef DATACELL_STORAGE_SCHEMA_H_
+#define DATACELL_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "bat/types.h"
+#include "util/result.h"
+
+namespace dc {
+
+/// One attribute: name + logical type.
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// Ordered attribute list. Column names are unique (case-sensitive after
+/// the SQL layer lower-cases identifiers).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  /// Appends a column; AlreadyExists if the name is taken.
+  Status AddColumn(std::string name, TypeId type);
+
+  size_t NumColumns() const { return cols_.size(); }
+  const ColumnDef& column(size_t i) const { return cols_[i]; }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name).ok(); }
+
+  /// "(a i64, b str)".
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_STORAGE_SCHEMA_H_

@@ -1,0 +1,30 @@
+#include "util/clock.h"
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Micros WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Micros SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FormatDuration(Micros us) {
+  if (us < 1000) return StrFormat("%lld us", static_cast<long long>(us));
+  if (us < kMicrosPerSecond) return StrFormat("%.2f ms", us / 1000.0);
+  return StrFormat("%.3f s", us / static_cast<double>(kMicrosPerSecond));
+}
+
+SteadyClock* SteadyClock::Instance() {
+  static SteadyClock instance;
+  return &instance;
+}
+
+}  // namespace dc

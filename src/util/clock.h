@@ -1,0 +1,78 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Time utilities. Event timestamps throughout DataCell are microseconds
+// since the UNIX epoch, stored as int64_t (logical type TS in the kernel).
+//
+// The scheduler and window logic depend on a Clock abstraction so that tests
+// can drive time deterministically (ManualClock) while production uses the
+// system steady clock.
+
+#ifndef DATACELL_UTIL_CLOCK_H_
+#define DATACELL_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dc {
+
+/// Microseconds since the UNIX epoch (event time) or since an arbitrary
+/// steady origin (processing time); the context makes it unambiguous.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+/// Wall-clock now (system clock), µs since epoch.
+Micros WallMicros();
+
+/// Monotonic now, µs since an unspecified steady origin.
+Micros SteadyMicros();
+
+/// Formats a duration in µs as a human-readable string ("1.25 ms").
+std::string FormatDuration(Micros us);
+
+/// Clock abstraction used by the scheduler/receptors/window logic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in µs. Monotonic for a given Clock instance.
+  virtual Micros Now() const = 0;
+};
+
+/// Production clock: monotonic system clock.
+class SteadyClock : public Clock {
+ public:
+  Micros Now() const override { return SteadyMicros(); }
+  /// Shared process-wide instance.
+  static SteadyClock* Instance();
+};
+
+/// Deterministic clock for tests: time advances only via Advance()/Set().
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+  Micros Now() const override { return now_.load(); }
+  void Advance(Micros delta) { now_.fetch_add(delta); }
+  void Set(Micros t) { now_.store(t); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+/// Scoped stopwatch measuring elapsed µs on the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SteadyMicros()) {}
+  Micros ElapsedMicros() const { return SteadyMicros() - start_; }
+  void Reset() { start_ = SteadyMicros(); }
+
+ private:
+  Micros start_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_UTIL_CLOCK_H_

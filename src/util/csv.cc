@@ -1,0 +1,73 @@
+#include "util/csv.h"
+
+namespace dc {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (true) {
+    cur.clear();
+    if (i < n && line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {
+            cur.push_back('"');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          cur.push_back(line[i++]);
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted CSV field");
+      }
+    } else {
+      while (i < n && line[i] != sep) cur.push_back(line[i++]);
+    }
+    fields.push_back(cur);
+    if (i >= n) break;
+    if (line[i] != sep) {
+      return Status::ParseError("unexpected character after quoted field");
+    }
+    ++i;  // skip separator
+    if (i == n) {  // trailing separator -> final empty field
+      fields.emplace_back();
+      break;
+    }
+  }
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out.push_back(sep);
+    const std::string& field = fields[f];
+    const bool needs_quote =
+        field.find(sep) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out += field;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : field) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+}  // namespace dc

@@ -1,0 +1,29 @@
+// Copyright 2026 The DataCell Authors.
+//
+// CSV parsing/formatting used by receptors (ingesting event files) and
+// emitters (writing result streams). Supports RFC-4180 style quoting.
+
+#ifndef DATACELL_UTIL_CSV_H_
+#define DATACELL_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dc {
+
+/// Parses one CSV record. Fields may be double-quoted; embedded quotes are
+/// doubled (""). Returns ParseError on unterminated quotes.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep = ',');
+
+/// Formats fields as one CSV record (no trailing newline), quoting fields
+/// that contain the separator, quotes or newlines.
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char sep = ',');
+
+}  // namespace dc
+
+#endif  // DATACELL_UTIL_CSV_H_

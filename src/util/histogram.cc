@@ -1,0 +1,84 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/string_util.h"
+
+namespace dc {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0), count_(0), min_(0), max_(0), sum_(0) {}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  const int b = BucketFor(value);
+  buckets_[static_cast<size_t>(b)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < (1ULL << kSubBucketBits)) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>((v >> shift) & ((1 << kSubBucketBits) - 1));
+  return ((shift + 1) << kSubBucketBits) + sub;
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return bucket;
+  const int shift = (bucket >> kSubBucketBits) - 1;
+  const int sub = bucket & ((1 << kSubBucketBits) - 1);
+  const uint64_t base = 1ULL << (shift + kSubBucketBits);
+  const uint64_t width = 1ULL << shift;
+  return static_cast<int64_t>(base + width * static_cast<uint64_t>(sub + 1) - 1);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat(
+      "count=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+      static_cast<unsigned long long>(count_), Mean(),
+      static_cast<long long>(Percentile(0.50)),
+      static_cast<long long>(Percentile(0.95)),
+      static_cast<long long>(Percentile(0.99)), static_cast<long long>(max_));
+}
+
+}  // namespace dc

@@ -1,0 +1,55 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Log-bucketed latency histogram (HdrHistogram-lite). Used by the bench
+// drivers and the monitor's analysis pane to report latency percentiles
+// without storing every sample.
+
+#ifndef DATACELL_UTIL_HISTOGRAM_H_
+#define DATACELL_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc {
+
+/// Records non-negative int64 samples (typically µs) into ~92 logarithmic
+/// buckets (sub-buckets of 8 per power of two). Relative quantile error is
+/// bounded by the bucket width (~12.5%). Not thread-safe; aggregate with
+/// Merge().
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Quantile in [0,1]; returns an upper bound of the bucket containing it.
+  int64_t Percentile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave
+  static constexpr int kNumBuckets = (64 - kSubBucketBits) << kSubBucketBits;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_UTIL_HISTOGRAM_H_

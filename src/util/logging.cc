@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace dc {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const char* base = strrchr(file_, '/');
+  base = base ? base + 1 : file_;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base, line_,
+          stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace dc

@@ -1,0 +1,48 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Minimal thread-safe leveled logger. Stream style:
+//
+//   DC_LOG(kInfo) << "factory " << name << " fired";
+//
+// The global minimum level defaults to kWarn so that library users are not
+// spammed; the demo binaries raise it.
+
+#ifndef DATACELL_UTIL_LOGGING_H_
+#define DATACELL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dc
+
+#define DC_LOG(level)                                                  \
+  if (::dc::LogLevel::level < ::dc::GetLogLevel()) {                   \
+  } else                                                               \
+    ::dc::internal::LogMessage(::dc::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+#endif  // DATACELL_UTIL_LOGGING_H_

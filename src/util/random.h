@@ -1,0 +1,64 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Deterministic pseudo-random generators for workload synthesis.
+// xoshiro256** core plus uniform/Zipfian helpers. All workload generators
+// take explicit seeds so every experiment is reproducible.
+
+#ifndef DATACELL_UTIL_RANDOM_H_
+#define DATACELL_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dc {
+
+/// xoshiro256** PRNG. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Approximately normal sample (Irwin–Hall of 12 uniforms).
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers over [0, n), skew `theta` in (0,1)∪(1,∞);
+/// theta=0 degenerates to uniform. Precomputes the harmonic table once.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Next Zipfian sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace dc
+
+#endif  // DATACELL_UTIL_RANDOM_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions (Arrow's arrow::Result idiom).
+
+#ifndef DATACELL_UTIL_RESULT_H_
+#define DATACELL_UTIL_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace dc {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<Bat> MakeBat(...);
+///   DC_ASSIGN_OR_RETURN(Bat b, MakeBat(...));
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status. Aborts if `status` is OK — an OK Result
+  /// must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      fprintf(stderr, "Result constructed from OK status\n");
+      abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the Status: OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the value; undefined if !ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or aborts with the error. For tests/examples.
+  T ValueOrDie() && {
+    if (!ok()) {
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              status().ToString().c_str());
+      abort();
+    }
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace dc
+
+#define DC_CONCAT_IMPL_(x, y) x##y
+#define DC_CONCAT_(x, y) DC_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// moves the value into `lhs` (which may include a type declaration).
+#define DC_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  DC_ASSIGN_OR_RETURN_IMPL_(DC_CONCAT_(_dc_result_, __LINE__), lhs, rexpr)
+
+#define DC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // DATACELL_UTIL_RESULT_H_

@@ -1,0 +1,118 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Status: the error-handling backbone of the library. Library code never
+// throws on expected failure paths; every fallible public function returns a
+// Status (or a Result<T>, see result.h). The idiom follows RocksDB/Arrow.
+
+#ifndef DATACELL_UTIL_STATUS_H_
+#define DATACELL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace dc {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kTypeError,
+  kParseError,
+  kInternal,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is either OK or carries an error code plus a message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and small
+/// (two words). Functions that can fail return `Status`; functions that
+/// produce a value on success return `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace dc
+
+/// Propagates a non-OK Status to the caller.
+#define DC_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::dc::Status _dc_status = (expr);          \
+    if (!_dc_status.ok()) return _dc_status;   \
+  } while (false)
+
+/// Aborts the process if `expr` is not OK. For tests and startup code only.
+#define DC_CHECK_OK(expr)                                              \
+  do {                                                                 \
+    ::dc::Status _dc_status = (expr);                                  \
+    if (!_dc_status.ok()) {                                            \
+      fprintf(stderr, "DC_CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+              __LINE__, _dc_status.ToString().c_str());                \
+      abort();                                                         \
+    }                                                                  \
+  } while (false)
+
+#endif  // DATACELL_UTIL_STATUS_H_

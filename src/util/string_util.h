@@ -1,0 +1,41 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Small string helpers shared across the codebase.
+
+#ifndef DATACELL_UTIL_STRING_UTIL_H_
+#define DATACELL_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Renders a double the way the result printer does: integral values
+/// without trailing zeros, otherwise %.6g.
+std::string FormatDouble(double v);
+
+}  // namespace dc
+
+#endif  // DATACELL_UTIL_STRING_UTIL_H_

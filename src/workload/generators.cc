@@ -1,0 +1,228 @@
+#include "workload/generators.h"
+
+#include <cmath>
+
+#include "bat/hash.h"
+#include "util/string_util.h"
+
+namespace dc::workload {
+
+namespace {
+
+// Stateless per-row randomness: every field is a pure function of
+// (seed, row index), so bulk batches and row generators agree and any
+// sub-range can be regenerated independently.
+inline uint64_t Mix(uint64_t seed, uint64_t row, uint64_t salt) {
+  return HashU64(seed ^ HashU64(row + salt * 0x9e3779b97f4a7c15ULL));
+}
+
+inline double MixDouble(uint64_t seed, uint64_t row, uint64_t salt) {
+  return static_cast<double>(Mix(seed, row, salt) >> 11) * 0x1.0p-53;
+}
+
+// Approximate standard normal from three uniforms (enough for workloads).
+inline double MixNormal(uint64_t seed, uint64_t row, uint64_t salt) {
+  double s = 0;
+  for (uint64_t i = 0; i < 3; ++i) s += MixDouble(seed, row, salt * 3 + i);
+  return (s - 1.5) * 2.0;
+}
+
+// Head-heavy rank sample as a pure function of the row: rank = n * u^k
+// with k = 1 + 4*theta. Not an exact Zipf (ZipfGenerator is), but gives
+// the controlled heavy-hitter skew the workloads need while staying a
+// stateless function of (seed, row) so offset batches regenerate
+// identically. theta=0 degenerates to uniform.
+inline uint64_t MixZipf(uint64_t seed, uint64_t row, uint64_t salt,
+                        uint64_t n, double theta) {
+  const double u = MixDouble(seed, row, salt);
+  if (theta <= 0.0) return static_cast<uint64_t>(u * static_cast<double>(n));
+  const double v =
+      std::pow(u, 1.0 + 4.0 * theta) * static_cast<double>(n);
+  const uint64_t x = static_cast<uint64_t>(v);
+  return x >= n ? n - 1 : x;
+}
+
+// Generic adaptor turning a per-row filler into a RowGen with a row limit.
+template <typename FillRow>
+Receptor::RowGen MakeGen(uint64_t rows, FillRow fill) {
+  auto counter = std::make_shared<uint64_t>(0);
+  return [rows, fill, counter](std::vector<Value>* row) {
+    if (*counter >= rows) return false;
+    fill((*counter)++, row);
+    return true;
+  };
+}
+
+}  // namespace
+
+// --- Sensors ----------------------------------------------------------------
+
+std::string SensorDdl(const std::string& stream_name) {
+  return StrFormat("CREATE STREAM %s (ts timestamp, sensor int, temp double)",
+                   stream_name.c_str());
+}
+
+static void FillSensor(const SensorConfig& c, uint64_t i,
+                       std::vector<Value>* row) {
+  row->resize(3);
+  (*row)[0] = Value::Ts(c.start_ts + static_cast<Micros>(i) * c.ts_step);
+  const uint64_t sensor = Mix(c.seed, i, 1) % c.num_sensors;
+  (*row)[1] = Value::I64(static_cast<int64_t>(sensor));
+  const double base =
+      c.temp_mean + 3.0 * std::sin(static_cast<double>(sensor));
+  (*row)[2] = Value::F64(base + c.temp_stddev * MixNormal(c.seed, i, 2));
+}
+
+Receptor::RowGen MakeSensorGen(SensorConfig config) {
+  return MakeGen(config.rows, [config](uint64_t i, std::vector<Value>* row) {
+    FillSensor(config, i, row);
+  });
+}
+
+std::vector<BatPtr> SensorBatch(const SensorConfig& config, uint64_t offset,
+                                uint64_t n) {
+  auto ts = Bat::MakeEmpty(TypeId::kTs);
+  auto sensor = Bat::MakeEmpty(TypeId::kI64);
+  auto temp = Bat::MakeEmpty(TypeId::kF64);
+  std::vector<Value> row;
+  for (uint64_t i = offset; i < offset + n; ++i) {
+    FillSensor(config, i, &row);
+    ts->AppendValue(row[0]);
+    sensor->AppendValue(row[1]);
+    temp->AppendValue(row[2]);
+  }
+  return {ts, sensor, temp};
+}
+
+// --- Packets ----------------------------------------------------------------
+
+std::string PacketDdl(const std::string& stream_name) {
+  return StrFormat(
+      "CREATE STREAM %s (ts timestamp, src int, dst int, port int, "
+      "bytes int)",
+      stream_name.c_str());
+}
+
+static void FillPacket(const PacketConfig& c, uint64_t i,
+                       std::vector<Value>* row) {
+  row->resize(5);
+  (*row)[0] = Value::Ts(c.start_ts + static_cast<Micros>(i) * c.ts_step);
+  (*row)[1] = Value::I64(static_cast<int64_t>(
+      MixZipf(c.seed, i, 3, c.num_hosts, c.src_skew)));
+  (*row)[2] = Value::I64(static_cast<int64_t>(Mix(c.seed, i, 4) % c.num_hosts));
+  static constexpr int64_t kPorts[] = {80, 443, 22, 53, 8080, 25};
+  (*row)[3] = Value::I64(kPorts[Mix(c.seed, i, 5) % 6]);
+  (*row)[4] = Value::I64(64 + static_cast<int64_t>(Mix(c.seed, i, 6) % 1436));
+}
+
+Receptor::RowGen MakePacketGen(PacketConfig config) {
+  return MakeGen(config.rows, [config](uint64_t i, std::vector<Value>* row) {
+    FillPacket(config, i, row);
+  });
+}
+
+std::vector<BatPtr> PacketBatch(const PacketConfig& config, uint64_t offset,
+                                uint64_t n) {
+  std::vector<BatPtr> cols{
+      Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64),
+      Bat::MakeEmpty(TypeId::kI64), Bat::MakeEmpty(TypeId::kI64),
+      Bat::MakeEmpty(TypeId::kI64)};
+  std::vector<Value> row;
+  for (uint64_t i = offset; i < offset + n; ++i) {
+    FillPacket(config, i, &row);
+    for (size_t c = 0; c < cols.size(); ++c) cols[c]->AppendValue(row[c]);
+  }
+  return cols;
+}
+
+// --- Web log ----------------------------------------------------------------
+
+std::string WebLogDdl(const std::string& stream_name) {
+  return StrFormat(
+      "CREATE STREAM %s (ts timestamp, usr int, url string, "
+      "latency_ms double, status int)",
+      stream_name.c_str());
+}
+
+static void FillWebLog(const WebLogConfig& c, uint64_t i,
+                       std::vector<Value>* row) {
+  row->resize(5);
+  (*row)[0] = Value::Ts(c.start_ts + static_cast<Micros>(i) * c.ts_step);
+  (*row)[1] = Value::I64(static_cast<int64_t>(Mix(c.seed, i, 7) % c.num_users));
+  const uint64_t url = MixZipf(c.seed, i, 8, c.num_urls, c.url_skew);
+  (*row)[2] = Value::Str(StrFormat("/page/%04llu",
+                                   static_cast<unsigned long long>(url)));
+  (*row)[3] = Value::F64(5.0 + 200.0 * MixDouble(c.seed, i, 9) *
+                                   MixDouble(c.seed, i, 10));
+  const bool error = MixDouble(c.seed, i, 11) < c.error_rate;
+  (*row)[4] = Value::I64(error ? 500 : 200);
+}
+
+Receptor::RowGen MakeWebLogGen(WebLogConfig config) {
+  return MakeGen(config.rows, [config](uint64_t i, std::vector<Value>* row) {
+    FillWebLog(config, i, row);
+  });
+}
+
+std::vector<BatPtr> WebLogBatch(const WebLogConfig& config, uint64_t offset,
+                                uint64_t n) {
+  std::vector<BatPtr> cols{
+      Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64),
+      Bat::MakeEmpty(TypeId::kStr), Bat::MakeEmpty(TypeId::kF64),
+      Bat::MakeEmpty(TypeId::kI64)};
+  std::vector<Value> row;
+  for (uint64_t i = offset; i < offset + n; ++i) {
+    FillWebLog(config, i, &row);
+    for (size_t c = 0; c < cols.size(); ++c) cols[c]->AppendValue(row[c]);
+  }
+  return cols;
+}
+
+// --- Trades -----------------------------------------------------------------
+
+std::string TradesDdl(const std::string& stream_name) {
+  return StrFormat(
+      "CREATE STREAM %s (ts timestamp, sym string, px double, qty int)",
+      stream_name.c_str());
+}
+
+std::string TradeSymbol(uint64_t i) {
+  return StrFormat("sym%02llu", static_cast<unsigned long long>(i));
+}
+
+static void FillTrade(const TradesConfig& c, uint64_t i,
+                      std::vector<Value>* row) {
+  row->resize(4);
+  (*row)[0] = Value::Ts(c.start_ts + static_cast<Micros>(i) * c.ts_step);
+  const uint64_t sym = Mix(c.seed, i, 12) % c.num_symbols;
+  (*row)[1] = Value::Str(TradeSymbol(sym));
+  // Stationary pseudo-walk: smooth per-symbol drift plus noise, a pure
+  // function of the row index so offsets regenerate identically.
+  const double drift =
+      10.0 * std::sin(static_cast<double>(i) / 5000.0 +
+                      static_cast<double>(sym));
+  (*row)[2] = Value::F64(c.px_start + drift +
+                         c.px_step * MixNormal(c.seed, i, 13));
+  (*row)[3] = Value::I64(1 + static_cast<int64_t>(Mix(c.seed, i, 14) % 100));
+}
+
+Receptor::RowGen MakeTradesGen(TradesConfig config) {
+  return MakeGen(config.rows, [config](uint64_t i, std::vector<Value>* row) {
+    FillTrade(config, i, row);
+  });
+}
+
+std::vector<BatPtr> TradesBatch(const TradesConfig& config, uint64_t offset,
+                                uint64_t n) {
+  std::vector<BatPtr> cols{
+      Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kStr),
+      Bat::MakeEmpty(TypeId::kF64), Bat::MakeEmpty(TypeId::kI64)};
+  std::vector<Value> row;
+  for (uint64_t i = offset; i < offset + n; ++i) {
+    FillTrade(config, i, &row);
+    for (size_t c = 0; c < cols.size(); ++c) cols[c]->AppendValue(row[c]);
+  }
+  return cols;
+}
+
+}  // namespace dc::workload

@@ -1,0 +1,98 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Deterministic workload generators for the experiments (DESIGN.md §3).
+// Each generator produces rows for a fixed stream schema, either through a
+// Receptor::RowGen (rate-controlled ingestion threads) or as bulk column
+// batches (fast-path for benchmarks). All take explicit seeds.
+
+#ifndef DATACELL_WORKLOAD_GENERATORS_H_
+#define DATACELL_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "core/receptor.h"
+#include "util/random.h"
+
+namespace dc::workload {
+
+/// Sensor readings: (ts TS, sensor i64, temp f64).
+/// `CREATE STREAM <name> (ts timestamp, sensor int, temp double)`.
+struct SensorConfig {
+  uint64_t num_sensors = 100;
+  Micros start_ts = 0;
+  Micros ts_step = 1000;       // event-time advance per row
+  double temp_mean = 20.0;
+  double temp_stddev = 5.0;
+  uint64_t rows = UINT64_MAX;  // stop after this many rows
+  uint64_t seed = 42;
+};
+
+/// SQL DDL for the sensor stream schema.
+std::string SensorDdl(const std::string& stream_name);
+Receptor::RowGen MakeSensorGen(SensorConfig config);
+/// Bulk batch of `n` rows starting at row index `offset` (same sequence as
+/// the row generator).
+std::vector<BatPtr> SensorBatch(const SensorConfig& config, uint64_t offset,
+                                uint64_t n);
+
+/// Network packets: (ts TS, src i64, dst i64, port i64, bytes i64).
+/// Sources are Zipf-skewed (heavy hitters), matching the paper's network
+/// monitoring motivation.
+struct PacketConfig {
+  uint64_t num_hosts = 5000;
+  double src_skew = 0.99;      // Zipf theta over sources
+  Micros start_ts = 0;
+  Micros ts_step = 100;
+  uint64_t rows = UINT64_MAX;
+  uint64_t seed = 42;
+};
+
+std::string PacketDdl(const std::string& stream_name);
+Receptor::RowGen MakePacketGen(PacketConfig config);
+std::vector<BatPtr> PacketBatch(const PacketConfig& config, uint64_t offset,
+                                uint64_t n);
+
+/// Web log clicks: (ts TS, user i64, url str, latency_ms f64, status i64).
+/// URLs are Zipf-skewed over `num_urls` distinct pages.
+struct WebLogConfig {
+  uint64_t num_users = 10000;
+  uint64_t num_urls = 500;
+  double url_skew = 0.8;
+  Micros start_ts = 0;
+  Micros ts_step = 500;
+  double error_rate = 0.02;    // fraction of 5xx responses
+  uint64_t rows = UINT64_MAX;
+  uint64_t seed = 42;
+};
+
+std::string WebLogDdl(const std::string& stream_name);
+Receptor::RowGen MakeWebLogGen(WebLogConfig config);
+std::vector<BatPtr> WebLogBatch(const WebLogConfig& config, uint64_t offset,
+                                uint64_t n);
+
+/// Trades: (ts TS, sym str, px f64, qty i64). Prices follow independent
+/// random walks per symbol.
+struct TradesConfig {
+  uint64_t num_symbols = 20;
+  Micros start_ts = 0;
+  Micros ts_step = 200;
+  double px_start = 100.0;
+  double px_step = 0.5;
+  uint64_t rows = UINT64_MAX;
+  uint64_t seed = 42;
+};
+
+std::string TradesDdl(const std::string& stream_name);
+Receptor::RowGen MakeTradesGen(TradesConfig config);
+std::vector<BatPtr> TradesBatch(const TradesConfig& config, uint64_t offset,
+                                uint64_t n);
+
+/// Symbol name for trade generator symbol index i ("sym00".."symNN").
+std::string TradeSymbol(uint64_t i);
+
+}  // namespace dc::workload
+
+#endif  // DATACELL_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,160 @@
+#include "workload/linear_road.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dc::workload {
+
+std::string LrPositionDdl(const std::string& stream_name) {
+  return StrFormat(
+      "CREATE STREAM %s (ts timestamp, vid int, speed double, xway int, "
+      "dir int, seg int)",
+      stream_name.c_str());
+}
+
+LinearRoadGenerator::LinearRoadGenerator(LrConfig config)
+    : config_(config), rng_(config.seed) {
+  const int total = config_.xways * config_.vehicles_per_xway;
+  vehicles_.resize(total);
+  for (int v = 0; v < total; ++v) {
+    Vehicle& veh = vehicles_[v];
+    veh.pos_miles = rng_.UniformDouble(0, kLrSegments);  // 1 mile segments
+    veh.speed = rng_.UniformDouble(config_.min_mph, config_.max_mph);
+    veh.dir = rng_.Bernoulli(0.5) ? 1 : 0;
+  }
+}
+
+uint64_t LinearRoadGenerator::TotalReports() const {
+  return static_cast<uint64_t>(config_.xways) *
+         static_cast<uint64_t>(config_.vehicles_per_xway) *
+         static_cast<uint64_t>(config_.duration_sec);
+}
+
+void LinearRoadGenerator::AdvanceSecond() {
+  const int sec = current_sec_++;
+  const Micros ts = static_cast<Micros>(sec) * kMicrosPerSecond;
+  for (size_t v = 0; v < vehicles_.size(); ++v) {
+    Vehicle& veh = vehicles_[v];
+    const int xway = static_cast<int>(v) / config_.vehicles_per_xway;
+    // Breakdown model: a moving vehicle may stop; a stopped vehicle
+    // restarts after stop_duration_sec.
+    if (veh.stopped_until >= 0 && sec >= veh.stopped_until) {
+      veh.stopped_until = -1;
+      veh.speed = rng_.UniformDouble(config_.min_mph, config_.max_mph);
+    } else if (veh.stopped_until < 0 && rng_.Bernoulli(config_.stop_prob)) {
+      veh.stopped_until = sec + config_.stop_duration_sec;
+      veh.speed = 0;
+    }
+    // Move (mph -> miles per second), wrapping around the expressway.
+    veh.pos_miles += veh.speed / 3600.0;
+    if (veh.pos_miles >= kLrSegments) veh.pos_miles -= kLrSegments;
+    const int seg = static_cast<int>(veh.pos_miles);
+    std::vector<Value> row(6);
+    row[0] = Value::Ts(ts);
+    row[1] = Value::I64(static_cast<int64_t>(v));
+    row[2] = Value::F64(veh.speed);
+    row[3] = Value::I64(xway);
+    row[4] = Value::I64(veh.dir);
+    row[5] = Value::I64(seg);
+    pending_.push_back(std::move(row));
+  }
+}
+
+bool LinearRoadGenerator::NextRow(std::vector<Value>* row) {
+  while (pending_.empty()) {
+    if (current_sec_ >= config_.duration_sec) return false;
+    AdvanceSecond();
+  }
+  *row = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+Receptor::RowGen LinearRoadGenerator::Gen() {
+  auto self = std::make_shared<LinearRoadGenerator>(*this);
+  return [self](std::vector<Value>* row) { return self->NextRow(row); };
+}
+
+Result<LrQueries> SetupLrQueries(Engine& engine,
+                                 const std::string& stream_name,
+                                 ExecMode mode, Emitter::Sink sink_stats,
+                                 Emitter::Sink sink_accidents) {
+  LrQueries out;
+  Engine::ContinuousOptions stats_opts;
+  stats_opts.mode = mode;
+  stats_opts.name = "lr_segstats";
+  stats_opts.sink = std::move(sink_stats);
+  DC_ASSIGN_OR_RETURN(
+      out.seg_stats,
+      engine.SubmitContinuous(
+          StrFormat("SELECT xway, dir, seg, avg(speed) AS avg_speed, "
+                    "count(*) AS reports "
+                    "FROM %s [RANGE 60 SECONDS SLIDE 10 SECONDS] "
+                    "GROUP BY xway, dir, seg",
+                    stream_name.c_str()),
+          stats_opts));
+
+  Engine::ContinuousOptions acc_opts;
+  acc_opts.mode = mode;
+  acc_opts.name = "lr_accidents";
+  acc_opts.sink = std::move(sink_accidents);
+  DC_ASSIGN_OR_RETURN(
+      out.accidents,
+      engine.SubmitContinuous(
+          StrFormat("SELECT xway, dir, seg, count(*) AS stopped_reports "
+                    "FROM %s [RANGE 30 SECONDS SLIDE 10 SECONDS] "
+                    "WHERE speed = 0.0 "
+                    "GROUP BY xway, dir, seg "
+                    "HAVING count(*) >= %d "
+                    "ORDER BY xway, dir, seg",
+                    stream_name.c_str(), kLrAccidentReports),
+          acc_opts));
+  return out;
+}
+
+double LrToll(double avg_speed, int64_t report_count) {
+  if (avg_speed >= 40.0 || report_count <= 50) return 0.0;
+  const double excess = static_cast<double>(report_count - 50);
+  return 0.02 * excess * excess;
+}
+
+std::map<int64_t, std::vector<std::tuple<int64_t, int64_t, int64_t>>>
+ReferenceAccidents(const LrConfig& config, int window_sec, int slide_sec) {
+  // Replay the identical simulation and count zero-speed reports per
+  // (xway,dir,seg) per window directly.
+  LinearRoadGenerator gen(config);
+  struct Report {
+    int64_t sec, xway, dir, seg;
+  };
+  std::vector<Report> stopped;
+  std::vector<Value> row;
+  int64_t max_sec = 0;
+  while (gen.NextRow(&row)) {
+    const int64_t sec = row[0].AsI64() / kMicrosPerSecond;
+    max_sec = std::max(max_sec, sec);
+    if (row[2].AsF64() == 0.0) {
+      stopped.push_back(
+          Report{sec, row[3].AsI64(), row[4].AsI64(), row[5].AsI64()});
+    }
+  }
+  std::map<int64_t, std::vector<std::tuple<int64_t, int64_t, int64_t>>> out;
+  for (int64_t boundary = slide_sec; boundary <= max_sec + window_sec;
+       boundary += slide_sec) {
+    std::map<std::tuple<int64_t, int64_t, int64_t>, int> counts;
+    for (const Report& r : stopped) {
+      if (r.sec >= boundary - window_sec && r.sec < boundary) {
+        counts[{r.xway, r.dir, r.seg}]++;
+      }
+    }
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> segs;
+    for (const auto& [key, n] : counts) {
+      if (n >= kLrAccidentReports) segs.push_back(key);
+    }
+    if (!segs.empty()) out[boundary] = std::move(segs);
+  }
+  return out;
+}
+
+}  // namespace dc::workload

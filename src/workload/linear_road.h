@@ -1,0 +1,112 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Linear Road (lite): the stream benchmark the paper cites as "easily met"
+// by DataCell [16]. We implement the benchmark's core pipeline at reduced
+// scale (DESIGN.md §2 substitutions):
+//
+//  * a deterministic traffic simulator generating vehicle position reports
+//    (ts, vid, speed, xway, dir, seg) for `L` expressways,
+//  * standing queries over the position stream: per-segment statistics
+//    (avg speed / vehicle count, 60 s window sliding by 10 s) and accident
+//    detection (>= kAccidentReports zero-speed reports in a 30 s window),
+//  * the LRB toll formula applied to the segment statistics emissions,
+//  * a response-time harness (bench_linear_road) checking the benchmark's
+//    5-second notification deadline.
+
+#ifndef DATACELL_WORKLOAD_LINEAR_ROAD_H_
+#define DATACELL_WORKLOAD_LINEAR_ROAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/receptor.h"
+#include "util/random.h"
+
+namespace dc::workload {
+
+/// Linear Road scale / simulation parameters.
+struct LrConfig {
+  int xways = 1;             // the benchmark's scale factor L
+  int vehicles_per_xway = 200;
+  int duration_sec = 120;    // simulated seconds
+  double min_mph = 40;
+  double max_mph = 100;
+  double stop_prob = 0.002;  // per vehicle-second probability to break down
+  int stop_duration_sec = 30;
+  uint64_t seed = 7;
+};
+
+/// Number of segments per expressway direction (benchmark constant).
+inline constexpr int kLrSegments = 100;
+/// Zero-speed reports within the accident window that flag an accident.
+inline constexpr int kLrAccidentReports = 4;
+
+/// DDL for the position-report stream.
+std::string LrPositionDdl(const std::string& stream_name);
+
+/// Deterministic traffic simulator. Reports are emitted in event-time
+/// order, one report per vehicle per simulated second.
+class LinearRoadGenerator {
+ public:
+  explicit LinearRoadGenerator(LrConfig config);
+
+  /// Produces the next position report; false when the simulation ends.
+  /// Row layout: (ts TS, vid i64, speed f64, xway i64, dir i64, seg i64).
+  bool NextRow(std::vector<Value>* row);
+
+  /// Receptor adaptor around NextRow.
+  Receptor::RowGen Gen();
+
+  /// Total reports this configuration will produce.
+  uint64_t TotalReports() const;
+
+ private:
+  struct Vehicle {
+    double pos_miles = 0;   // position along the expressway
+    double speed = 0;       // current mph
+    int dir = 0;
+    int stopped_until = -1;  // simulated second the breakdown clears
+  };
+
+  void AdvanceSecond();
+
+  LrConfig config_;
+  Rng rng_;
+  std::vector<Vehicle> vehicles_;  // xway-major
+  int current_sec_ = 0;
+  std::deque<std::vector<Value>> pending_;
+};
+
+/// The standing queries of the benchmark.
+struct LrQueries {
+  int seg_stats = -1;  // per-segment avg speed + vehicle-report count
+  int accidents = -1;  // segments with an accident in the last 30 s
+};
+
+/// Registers the position stream's standing queries on `engine`.
+/// `sink_stats` / `sink_accidents` receive the emissions (may be null to
+/// buffer for TakeResults).
+Result<LrQueries> SetupLrQueries(Engine& engine,
+                                 const std::string& stream_name,
+                                 ExecMode mode,
+                                 Emitter::Sink sink_stats = nullptr,
+                                 Emitter::Sink sink_accidents = nullptr);
+
+/// LRB toll formula (lite scaling): 0 when traffic is flowing (avg speed
+/// >= 40 mph) or the segment is nearly empty, else quadratic in the excess
+/// vehicle count.
+double LrToll(double avg_speed, int64_t report_count);
+
+/// Reference (offline, non-DataCell) computation of the accident segments
+/// per window boundary — used by tests to validate the continuous queries.
+/// Returns boundary_sec -> sorted list of (xway, dir, seg).
+std::map<int64_t, std::vector<std::tuple<int64_t, int64_t, int64_t>>>
+ReferenceAccidents(const LrConfig& config, int window_sec, int slide_sec);
+
+}  // namespace dc::workload
+
+#endif  // DATACELL_WORKLOAD_LINEAR_ROAD_H_

@@ -1,0 +1,133 @@
+// Tests for the monitoring layer: DOT/text network rendering, tuple
+// locations, and the analysis pane's series/aggregation/CSV.
+
+#include <gtest/gtest.h>
+
+#include "monitor/analysis.h"
+#include "monitor/network.h"
+
+namespace dc::monitor {
+namespace {
+
+EngineOptions Sync() {
+  EngineOptions o;
+  o.scheduler_workers = 0;
+  return o;
+}
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : engine_(Sync()) {
+    DC_CHECK_OK(engine_.Execute(
+        "CREATE STREAM s (ts timestamp, v int);"
+        "CREATE TABLE dim (v int, label string);"
+        "INSERT INTO dim VALUES (1, 'one')"));
+    Engine::ContinuousOptions o1;
+    o1.mode = ExecMode::kIncremental;
+    o1.name = "agg";
+    q1_ = *engine_.SubmitContinuous(
+        "SELECT count(*) FROM s [RANGE 2 SECONDS SLIDE 1 SECONDS]", o1);
+    Engine::ContinuousOptions o2;
+    o2.mode = ExecMode::kFullReeval;
+    o2.name = "joiner";
+    q2_ = *engine_.SubmitContinuous(
+        "SELECT label FROM s JOIN dim ON s.v = dim.v", o2);
+    for (int i = 0; i < 5; ++i) {
+      DC_CHECK_OK(engine_.PushRow(
+          "s", {Value::Ts(i * kMicrosPerSecond), Value::I64(i % 2)}));
+    }
+    engine_.Pump();
+  }
+
+  Engine engine_;
+  int q1_ = 0, q2_ = 0;
+};
+
+TEST_F(MonitorTest, DotExportContainsAllComponents) {
+  const std::string dot = ExportDot(engine_);
+  EXPECT_NE(dot.find("digraph datacell"), std::string::npos);
+  EXPECT_NE(dot.find("basket:s"), std::string::npos);
+  EXPECT_NE(dot.find("recv:s"), std::string::npos);
+  EXPECT_NE(dot.find("table:dim"), std::string::npos);
+  EXPECT_NE(dot.find("agg"), std::string::npos);
+  EXPECT_NE(dot.find("joiner"), std::string::npos);
+  EXPECT_NE(dot.find("emit:"), std::string::npos);
+  // Edges: basket feeds both factories.
+  EXPECT_NE(dot.find("\"basket:s\" -> \"factory:"), std::string::npos);
+}
+
+TEST_F(MonitorTest, DotReflectsPausedState) {
+  DC_CHECK_OK(engine_.PauseQuery(q1_));
+  const std::string dot = ExportDot(engine_);
+  EXPECT_NE(dot.find("(paused)"), std::string::npos);
+}
+
+TEST_F(MonitorTest, NetworkTableListsQueries) {
+  const std::string table = RenderNetworkTable(engine_);
+  EXPECT_NE(table.find("agg"), std::string::npos);
+  EXPECT_NE(table.find("incremental"), std::string::npos);
+  EXPECT_NE(table.find("joiner"), std::string::npos);
+  EXPECT_NE(table.find("s+dim"), std::string::npos);
+}
+
+TEST_F(MonitorTest, TupleLocationsShowResidency) {
+  const std::string loc = RenderTupleLocations(engine_);
+  EXPECT_NE(loc.find("baskets:"), std::string::npos);
+  EXPECT_NE(loc.find("appended=5"), std::string::npos);
+  EXPECT_NE(loc.find("factories"), std::string::npos);
+}
+
+TEST_F(MonitorTest, AnalysisPaneSeriesAndAggregates) {
+  AnalysisPane pane;
+  pane.Sample(engine_);
+  for (int i = 5; i < 10; ++i) {
+    DC_CHECK_OK(engine_.PushRow(
+        "s", {Value::Ts(i * kMicrosPerSecond), Value::I64(i % 2)}));
+  }
+  engine_.Pump();
+  pane.Sample(engine_);
+
+  EXPECT_FALSE(pane.MetricNames().empty());
+  auto agg = pane.Aggregate("stream.s.resident_rows");
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_EQ(agg->samples, 2u);
+  auto series = pane.Series("query.agg.emissions");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 2u);
+  EXPECT_GE((*series)[1].value, (*series)[0].value);
+  EXPECT_FALSE(pane.Aggregate("no.such.metric").ok());
+}
+
+TEST_F(MonitorTest, AnalysisPaneCsvWellFormed) {
+  AnalysisPane pane;
+  pane.Sample(engine_);
+  pane.Sample(engine_);
+  const std::string csv = pane.ToCsv();
+  ASSERT_FALSE(csv.empty());
+  // Header plus two sample rows.
+  const size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(csv.rfind("t_us,", 0), 0u);
+  // Every row has the same number of separators as the header.
+  const size_t header_commas =
+      std::count(csv.begin(), csv.begin() + csv.find('\n'), ',');
+  size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    const size_t end = csv.find('\n', pos);
+    EXPECT_EQ(static_cast<size_t>(std::count(csv.begin() + pos,
+                                             csv.begin() + end, ',')),
+              header_commas);
+    pos = end + 1;
+  }
+}
+
+TEST_F(MonitorTest, SummaryRendersAllMetrics) {
+  AnalysisPane pane;
+  pane.Sample(engine_);
+  const std::string summary = pane.RenderSummary();
+  EXPECT_NE(summary.find("metric"), std::string::npos);
+  EXPECT_NE(summary.find("stream.s.resident_rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::monitor

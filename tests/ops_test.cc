@@ -1,0 +1,341 @@
+// Unit tests for the bulk kernel operators: select, arith maps, join,
+// group/aggregate (incl. the mergeable partial states), sort.
+
+#include <gtest/gtest.h>
+
+#include "bat/ops_aggregate.h"
+#include "bat/ops_arith.h"
+#include "bat/ops_group.h"
+#include "bat/ops_join.h"
+#include "bat/ops_select.h"
+#include "bat/ops_sort.h"
+
+namespace dc {
+namespace {
+
+using ops::AggKind;
+
+TEST(SelectTest, CmpOnI64) {
+  auto col = Bat::MakeI64({5, 1, 9, 3, 7});
+  auto c = ops::SelectCmp(*col, CmpOp::kGt, Value::I64(4));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{0, 2, 4}));
+  c = ops::SelectCmp(*col, CmpOp::kEq, Value::I64(3));
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{3}));
+  c = ops::SelectCmp(*col, CmpOp::kLe, Value::I64(3));
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{1, 3}));
+}
+
+TEST(SelectTest, CmpWithCandidates) {
+  auto col = Bat::MakeI64({5, 1, 9, 3, 7});
+  auto base = Candidates::FromVector({0, 1, 2});
+  auto c = ops::SelectCmp(*col, CmpOp::kGt, Value::I64(4), &base);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{0, 2}));
+}
+
+TEST(SelectTest, F64LiteralAgainstIntColumn) {
+  auto col = Bat::MakeI64({1, 2, 3});
+  auto c = ops::SelectCmp(*col, CmpOp::kGt, Value::F64(1.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 2u);
+}
+
+TEST(SelectTest, StringCmp) {
+  auto col = Bat::MakeStr({"pear", "apple", "fig"});
+  auto c = ops::SelectCmp(*col, CmpOp::kEq, Value::Str("fig"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{2}));
+  EXPECT_FALSE(ops::SelectCmp(*col, CmpOp::kEq, Value::I64(1)).ok());
+}
+
+TEST(SelectTest, Range) {
+  auto col = Bat::MakeI64({1, 5, 10, 15, 20});
+  auto c = ops::SelectRange(*col, Value::I64(5), true, Value::I64(15), false);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{1, 2}));
+}
+
+TEST(SelectTest, CmpColVsCol) {
+  auto a = Bat::MakeI64({1, 5, 3});
+  auto b = Bat::MakeI64({2, 4, 3});
+  auto c = ops::SelectCmpCol(*a, CmpOp::kLt, *b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{0}));
+  c = ops::SelectCmpCol(*a, CmpOp::kGe, *b);
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{1, 2}));
+}
+
+TEST(SelectTest, SelectTrue) {
+  auto col = Bat::MakeBool({1, 0, 1, 0});
+  auto c = ops::SelectTrue(*col);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToVector(), (std::vector<Oid>{0, 2}));
+}
+
+TEST(ArithTest, IntAddMul) {
+  auto a = Bat::MakeI64({1, 2, 3});
+  auto b = Bat::MakeI64({10, 20, 30});
+  auto sum = ops::MapArith(*a, ArithOp::kAdd, *b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->type(), TypeId::kI64);
+  EXPECT_EQ((*sum)->I64Data()[2], 33);
+  auto mul = ops::MapArithConst(*a, ArithOp::kMul, Value::I64(5));
+  EXPECT_EQ((*mul)->I64Data()[1], 10);
+}
+
+TEST(ArithTest, DivisionAlwaysF64) {
+  auto a = Bat::MakeI64({10, 9});
+  auto d = ops::MapArithConst(*a, ArithOp::kDiv, Value::I64(4));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->type(), TypeId::kF64);
+  EXPECT_EQ((*d)->F64Data()[0], 2.5);
+}
+
+TEST(ArithTest, DivByZeroSaturates) {
+  auto a = Bat::MakeI64({10});
+  auto d = ops::MapArithConst(*a, ArithOp::kDiv, Value::I64(0));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->F64Data()[0], 0.0);
+  auto m = ops::MapArithConst(*a, ArithOp::kMod, Value::I64(0));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->I64Data()[0], 0);
+}
+
+TEST(ArithTest, LiteralLeft) {
+  auto a = Bat::MakeI64({1, 2});
+  auto r = ops::MapArithConst(*a, ArithOp::kSub, Value::I64(10),
+                              /*literal_left=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->I64Data()[0], 9);
+  EXPECT_EQ((*r)->I64Data()[1], 8);
+}
+
+TEST(ArithTest, MixedPromotesToF64) {
+  auto a = Bat::MakeI64({1, 2});
+  auto b = Bat::MakeF64({0.5, 0.5});
+  auto r = ops::MapArith(*a, ArithOp::kAdd, *b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), TypeId::kF64);
+  EXPECT_EQ((*r)->F64Data()[0], 1.5);
+}
+
+TEST(ArithTest, BoolMaps) {
+  auto a = Bat::MakeBool({1, 1, 0, 0});
+  auto b = Bat::MakeBool({1, 0, 1, 0});
+  EXPECT_EQ((*ops::MapAnd(*a, *b))->BoolData()[0], 1);
+  EXPECT_EQ((*ops::MapAnd(*a, *b))->BoolData()[1], 0);
+  EXPECT_EQ((*ops::MapOr(*a, *b))->BoolData()[2], 1);
+  EXPECT_EQ((*ops::MapNot(*a))->BoolData()[3], 1);
+  EXPECT_FALSE(ops::MapAnd(*a, *Bat::MakeI64({1, 2, 3, 4})).ok());
+}
+
+TEST(ArithTest, CmpMaps) {
+  auto a = Bat::MakeI64({1, 5, 3});
+  auto r = ops::MapCmpConst(*a, CmpOp::kGe, Value::I64(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->BoolData()[0], 0);
+  EXPECT_EQ((*r)->BoolData()[1], 1);
+  EXPECT_EQ((*r)->BoolData()[2], 1);
+}
+
+TEST(ArithTest, Cast) {
+  auto a = Bat::MakeI64({1, 2});
+  auto f = ops::MapCast(*a, TypeId::kF64);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->F64Data()[1], 2.0);
+  auto s = ops::MapCast(*a, TypeId::kStr);
+  EXPECT_EQ((*s)->StrAt(0), "1");
+}
+
+TEST(ArithTest, ConstColumn) {
+  auto c = ops::MakeConstColumn(Value::Str("x"), 3);
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_EQ(c->StrAt(2), "x");
+}
+
+TEST(JoinTest, IntInnerJoin) {
+  auto l = Bat::MakeI64({1, 2, 3, 2});
+  auto r = Bat::MakeI64({2, 4, 2});
+  auto jr = ops::HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  // Left rows 1 and 3 (value 2) each match right rows 0 and 2.
+  EXPECT_EQ(jr->size(), 4u);
+  for (size_t i = 0; i < jr->size(); ++i) {
+    EXPECT_EQ(l->I64Data()[jr->left[i]], r->I64Data()[jr->right[i]]);
+  }
+}
+
+TEST(JoinTest, StringJoin) {
+  auto l = Bat::MakeStr({"a", "b", "c"});
+  auto r = Bat::MakeStr({"b", "c", "d"});
+  auto jr = ops::HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr->size(), 2u);
+}
+
+TEST(JoinTest, MixedNumericJoinViaDouble) {
+  auto l = Bat::MakeI64({1, 2});
+  auto r = Bat::MakeF64({2.0, 3.0});
+  auto jr = ops::HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr->size(), 1u);
+  EXPECT_EQ(jr->left[0], 1u);
+}
+
+TEST(JoinTest, WithCandidates) {
+  auto l = Bat::MakeI64({1, 2, 2});
+  auto r = Bat::MakeI64({2, 2});
+  auto lcand = Candidates::FromVector({0, 1});
+  auto rcand = Candidates::FromVector({1});
+  auto jr = ops::HashJoin(*l, *r, &lcand, &rcand);
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr->size(), 1u);
+  EXPECT_EQ(jr->left[0], 1u);
+  EXPECT_EQ(jr->right[0], 1u);
+}
+
+TEST(JoinTest, TypeMismatchFails) {
+  auto l = Bat::MakeStr({"a"});
+  auto r = Bat::MakeI64({1});
+  EXPECT_FALSE(ops::HashJoin(*l, *r).ok());
+}
+
+TEST(JoinTest, FetchOids) {
+  auto col = Bat::MakeStr({"x", "y", "z"});
+  auto out = ops::FetchOids(*col, {2, 0, 2});
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->StrAt(0), "z");
+  EXPECT_EQ(out->StrAt(2), "z");
+}
+
+TEST(GroupTest, SingleKey) {
+  auto key = Bat::MakeI64({1, 2, 1, 3, 2});
+  auto groups = ops::GroupBy({key.get()});
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups, 3u);
+  EXPECT_EQ(groups->group_ids,
+            (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(GroupTest, MultiKey) {
+  auto k1 = Bat::MakeI64({1, 1, 2, 1});
+  auto k2 = Bat::MakeStr({"a", "b", "a", "a"});
+  auto groups = ops::GroupBy({k1.get(), k2.get()});
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups, 3u);
+  EXPECT_EQ(groups->group_ids[3], groups->group_ids[0]);
+}
+
+TEST(GroupTest, GroupedAggregates) {
+  auto key = Bat::MakeI64({1, 2, 1, 2});
+  auto val = Bat::MakeI64({10, 20, 30, 40});
+  auto groups = ops::GroupBy({key.get()});
+  ASSERT_TRUE(groups.ok());
+  auto sums = ops::GroupedAgg(AggKind::kSum, val.get(), nullptr, *groups);
+  ASSERT_TRUE(sums.ok());
+  EXPECT_EQ((*sums)->I64Data()[0], 40);
+  EXPECT_EQ((*sums)->I64Data()[1], 60);
+  auto counts = ops::GroupedAgg(AggKind::kCount, nullptr, nullptr, *groups);
+  EXPECT_EQ((*counts)->I64Data()[0], 2);
+  auto avgs = ops::GroupedAgg(AggKind::kAvg, val.get(), nullptr, *groups);
+  EXPECT_EQ((*avgs)->F64Data()[0], 20.0);
+}
+
+TEST(AggStateTest, ScalarAggregates) {
+  auto col = Bat::MakeI64({4, 8, 2, 6});
+  EXPECT_EQ(ops::ScalarAgg(AggKind::kSum, col.get(), nullptr, 4)->AsI64(),
+            20);
+  EXPECT_EQ(ops::ScalarAgg(AggKind::kMin, col.get(), nullptr, 4)->AsI64(), 2);
+  EXPECT_EQ(ops::ScalarAgg(AggKind::kMax, col.get(), nullptr, 4)->AsI64(), 8);
+  EXPECT_EQ(ops::ScalarAgg(AggKind::kAvg, col.get(), nullptr, 4)->AsF64(),
+            5.0);
+  EXPECT_EQ(ops::ScalarAgg(AggKind::kCount, nullptr, nullptr, 4)->AsI64(), 4);
+}
+
+TEST(AggStateTest, MergeEqualsWhole) {
+  // The incremental invariant in miniature: folding two halves and merging
+  // must equal folding the whole.
+  auto whole = Bat::MakeF64({1.5, -2.0, 7.25, 0.0, 3.5, 9.0});
+  auto a = whole->Slice(0, 3);
+  auto b = whole->Slice(3, 6);
+  ops::AggState sa, sb, sw;
+  sa.AddColumn(*a, nullptr);
+  sb.AddColumn(*b, nullptr);
+  sw.AddColumn(*whole, nullptr);
+  sa.Merge(sb);
+  for (AggKind k : {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                    AggKind::kMin, AggKind::kMax}) {
+    EXPECT_EQ(sa.Finalize(k, TypeId::kF64).ToString(),
+              sw.Finalize(k, TypeId::kF64).ToString())
+        << ops::AggKindName(k);
+  }
+}
+
+TEST(AggStateTest, EmptyInputConventions) {
+  ops::AggState s;
+  EXPECT_EQ(s.Finalize(AggKind::kCount, TypeId::kI64).AsI64(), 0);
+  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kI64).AsI64(), 0);
+  EXPECT_EQ(s.Finalize(AggKind::kAvg, TypeId::kI64).AsF64(), 0.0);
+  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kStr).AsStr(), "");
+}
+
+TEST(GroupedMergerTest, MergePartialsEqualsWhole) {
+  const std::vector<TypeId> key_types{TypeId::kStr};
+  const std::vector<std::pair<AggKind, TypeId>> aggs{
+      {AggKind::kSum, TypeId::kI64}, {AggKind::kCount, TypeId::kI64}};
+
+  auto keys = Bat::MakeStr({"a", "b", "a", "c", "b", "a"});
+  auto vals = Bat::MakeI64({1, 2, 3, 4, 5, 6});
+
+  ops::GroupedAggMerger whole(key_types, aggs);
+  ASSERT_TRUE(whole.AddPartial({keys.get()}, {vals.get(), nullptr}).ok());
+
+  ops::GroupedAggMerger m1(key_types, aggs), m2(key_types, aggs);
+  auto k1 = keys->Slice(0, 3);
+  auto v1 = vals->Slice(0, 3);
+  auto k2 = keys->Slice(3, 6);
+  auto v2 = vals->Slice(3, 6);
+  ASSERT_TRUE(m1.AddPartial({k1.get()}, {v1.get(), nullptr}).ok());
+  ASSERT_TRUE(m2.AddPartial({k2.get()}, {v2.get(), nullptr}).ok());
+  ASSERT_TRUE(m1.MergeFrom(m2).ok());
+
+  auto cw = std::move(whole).Finalize();
+  auto cm = m1.Finalize();
+  ASSERT_TRUE(cw.ok() && cm.ok());
+  ASSERT_EQ((*cw)[0]->size(), (*cm)[0]->size());
+  for (uint64_t i = 0; i < (*cw)[0]->size(); ++i) {
+    EXPECT_EQ((*cw)[0]->GetValue(i).ToString(),
+              (*cm)[0]->GetValue(i).ToString());
+    EXPECT_EQ((*cw)[1]->GetValue(i).AsI64(), (*cm)[1]->GetValue(i).AsI64());
+    EXPECT_EQ((*cw)[2]->GetValue(i).AsI64(), (*cm)[2]->GetValue(i).AsI64());
+  }
+}
+
+TEST(SortTest, SingleKeyAscDesc) {
+  auto col = Bat::MakeI64({3, 1, 2});
+  auto asc = ops::SortOrder({{col.get(), true}});
+  ASSERT_TRUE(asc.ok());
+  EXPECT_EQ(*asc, (std::vector<Oid>{1, 2, 0}));
+  auto desc = ops::SortOrder({{col.get(), false}});
+  EXPECT_EQ(*desc, (std::vector<Oid>{0, 2, 1}));
+}
+
+TEST(SortTest, MultiKeyStable) {
+  auto k1 = Bat::MakeI64({1, 2, 1, 2});
+  auto k2 = Bat::MakeStr({"z", "a", "a", "z"});
+  auto order = ops::SortOrder({{k1.get(), true}, {k2.get(), true}});
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<Oid>{2, 0, 1, 3}));
+}
+
+TEST(SortTest, WithCandidates) {
+  auto col = Bat::MakeI64({9, 3, 7, 1});
+  auto cand = Candidates::FromVector({0, 2, 3});
+  auto order = ops::SortOrder({{col.get(), true}}, &cand);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<Oid>{3, 2, 0}));
+}
+
+}  // namespace
+}  // namespace dc

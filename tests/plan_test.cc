@@ -1,0 +1,213 @@
+// Unit tests for the plan stack: binder (resolution, typing, predicate
+// classification), optimizer rules, compiler output, explain rendering.
+
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "plan/compiler.h"
+#include "plan/explain.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace dc::plan {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema trades;
+    ASSERT_TRUE(trades.AddColumn("ts", TypeId::kTs).ok());
+    ASSERT_TRUE(trades.AddColumn("sym", TypeId::kStr).ok());
+    ASSERT_TRUE(trades.AddColumn("px", TypeId::kF64).ok());
+    ASSERT_TRUE(trades.AddColumn("qty", TypeId::kI64).ok());
+    StreamDef def;
+    def.name = "trades";
+    def.schema = trades;
+    def.ts_column = 0;
+    ASSERT_TRUE(catalog_.RegisterStream(def).ok());
+
+    Schema ref;
+    ASSERT_TRUE(ref.AddColumn("sym", TypeId::kStr).ok());
+    ASSERT_TRUE(ref.AddColumn("sector", TypeId::kStr).ok());
+    ASSERT_TRUE(ref.AddColumn("cap", TypeId::kF64).ok());
+    ASSERT_TRUE(
+        catalog_.RegisterTable(std::make_shared<Table>("ref", ref)).ok());
+  }
+
+  Result<BoundQuery> BindSql(const std::string& sql) {
+    DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+    return Bind(std::get<sql::SelectStmt>(stmt), catalog_);
+  }
+
+  Result<CompiledQuery> CompileSql(const std::string& sql) {
+    DC_ASSIGN_OR_RETURN(BoundQuery q, BindSql(sql));
+    Optimize(&q);
+    return Compile(std::move(q));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlanTest, ResolvesColumnsAndTypes) {
+  auto q = BindSql("SELECT sym, px * 2 FROM trades WHERE qty > 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_continuous);
+  EXPECT_FALSE(q->is_aggregate);
+  ASSERT_EQ(q->select_exprs.size(), 2u);
+  EXPECT_EQ(q->select_exprs[0]->type, TypeId::kStr);
+  EXPECT_EQ(q->select_exprs[1]->type, TypeId::kF64);
+  EXPECT_EQ(q->out_names[0], "sym");
+  ASSERT_EQ(q->rel_filters[0].size(), 1u);
+}
+
+TEST_F(PlanTest, UnknownAndAmbiguousColumns) {
+  EXPECT_TRUE(BindSql("SELECT nosuch FROM trades").status().IsNotFound());
+  // 'sym' exists in both relations.
+  auto q = BindSql(
+      "SELECT sym FROM trades JOIN ref ON trades.sym = ref.sym");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST_F(PlanTest, TypeChecks) {
+  EXPECT_TRUE(BindSql("SELECT sym + 1 FROM trades").status().IsTypeError());
+  EXPECT_TRUE(
+      BindSql("SELECT px FROM trades WHERE sym > 5").status().IsTypeError());
+  EXPECT_TRUE(BindSql("SELECT px FROM trades WHERE px").status().ok() ==
+              false);
+  EXPECT_TRUE(BindSql("SELECT sum(sym) FROM trades").status().IsTypeError());
+}
+
+TEST_F(PlanTest, AggregateRules) {
+  // Bare column without GROUP BY.
+  EXPECT_FALSE(BindSql("SELECT sym, sum(px) FROM trades").ok());
+  // Grouped column is fine; aggregate dedup happens.
+  auto q = BindSql(
+      "SELECT sym, sum(px), sum(px) FROM trades GROUP BY sym "
+      "HAVING sum(px) > 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_aggregate);
+  EXPECT_EQ(q->aggs.size(), 1u);  // deduplicated
+  ASSERT_NE(q->having, nullptr);
+  // HAVING without aggregation is rejected.
+  EXPECT_FALSE(BindSql("SELECT px FROM trades HAVING px > 1").ok());
+}
+
+TEST_F(PlanTest, JoinKeyExtraction) {
+  auto q = BindSql(
+      "SELECT px, cap FROM trades JOIN ref ON trades.sym = ref.sym "
+      "WHERE px > 1 AND cap > 2 AND px < cap");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->join.has_value());
+  EXPECT_EQ(q->join->left->rel, 0);
+  EXPECT_EQ(q->join->right->rel, 1);
+  EXPECT_EQ(q->rel_filters[0].size(), 1u);       // px > 1 pushed to trades
+  EXPECT_EQ(q->rel_filters[1].size(), 1u);       // cap > 2 pushed to ref
+  EXPECT_EQ(q->post_join_filters.size(), 1u);    // px < cap after join
+}
+
+TEST_F(PlanTest, CrossProductRejected) {
+  EXPECT_FALSE(BindSql("SELECT px FROM trades, ref").ok());
+  EXPECT_FALSE(BindSql("SELECT px FROM trades, ref WHERE px > cap").ok());
+}
+
+TEST_F(PlanTest, WindowValidation) {
+  auto q = BindSql("SELECT sum(px) FROM trades [ROWS 100 SLIDE 10]");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->rels[0].window.has_value());
+  EXPECT_TRUE(q->rels[0].window->rows);
+  // Window on a table is invalid.
+  EXPECT_FALSE(BindSql("SELECT cap FROM ref [ROWS 10]").ok());
+}
+
+TEST_F(PlanTest, BetweenDesugarsToRange) {
+  auto q = BindSql("SELECT px FROM trades WHERE px BETWEEN 1 AND 2");
+  ASSERT_TRUE(q.ok());
+  // Split into two conjuncts by the binder's AND flattening.
+  EXPECT_EQ(q->rel_filters[0].size(), 2u);
+}
+
+TEST_F(PlanTest, ConstantFolding) {
+  auto q = BindSql("SELECT px * (2 + 3) FROM trades");
+  ASSERT_TRUE(q.ok());
+  // (2+3) folded to a literal, so the expression is px * 5.
+  const BExpr& e = *q->select_exprs[0];
+  ASSERT_EQ(e.kind, BKind::kArith);
+  EXPECT_EQ(e.children[1]->kind, BKind::kLiteral);
+  EXPECT_EQ(e.children[1]->literal.AsI64(), 5);
+}
+
+TEST_F(PlanTest, OptimizerNotPushdownAndTrivial) {
+  auto q = BindSql(
+      "SELECT px FROM trades WHERE NOT px > 3 AND 1 = 1 AND qty > 0");
+  ASSERT_TRUE(q.ok());
+  OptimizerReport report = Optimize(&*q);
+  // NOT(px > 3) became px <= 3; 1=1 was folded and removed.
+  bool has_not = false;
+  for (const auto& f : q->rel_filters[0]) {
+    if (f->kind == BKind::kNot) has_not = true;
+  }
+  EXPECT_FALSE(has_not);
+  EXPECT_EQ(q->rel_filters[0].size(), 2u);
+  EXPECT_FALSE(report.applied.empty());
+}
+
+TEST_F(PlanTest, OptimizerOrdersFiltersCheapestFirst) {
+  auto q = BindSql(
+      "SELECT px FROM trades WHERE px + 1 > 2 AND sym = 'aa' AND qty > 3");
+  ASSERT_TRUE(q.ok());
+  Optimize(&*q);
+  const auto& filters = q->rel_filters[0];
+  ASSERT_EQ(filters.size(), 3u);
+  // Equality first, range second, computed comparison last.
+  EXPECT_EQ(filters[0]->cmp_op, CmpOp::kEq);
+  EXPECT_EQ(filters[2]->children[0]->kind, BKind::kArith);
+}
+
+TEST_F(PlanTest, CompiledStagesHaveExpectedShape) {
+  auto cq = CompileSql(
+      "SELECT sym, count(*), avg(px) FROM trades [ROWS 100 SLIDE 10] "
+      "WHERE qty > 5 GROUP BY sym");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->prejoin.size(), 1u);
+  EXPECT_EQ(cq->num_keys, 1);
+  ASSERT_EQ(cq->agg_arg_slots.size(), 2u);
+  EXPECT_EQ(cq->agg_arg_slots[0], -1);  // count(*)
+  EXPECT_GE(cq->agg_arg_slots[1], 0);   // avg arg column
+  EXPECT_TRUE(cq->finish.is_aggregate);
+  // Projection pruning: only sym/px/qty are touched; prejoin outputs
+  // exclude ts.
+  for (const std::string& name : cq->prejoin[0].output_names) {
+    EXPECT_NE(name, "ts");
+  }
+}
+
+TEST_F(PlanTest, ExplainRendersAllModes) {
+  auto cq = CompileSql(
+      "SELECT sym, sum(px * qty) FROM trades [RANGE 60 SECONDS SLIDE 10 "
+      "SECONDS] WHERE px > 0 GROUP BY sym ORDER BY sym LIMIT 5");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  const std::string onetime = Explain(*cq, PlanMode::kOneTime);
+  const std::string full = Explain(*cq, PlanMode::kContinuousFull);
+  const std::string inc = Explain(*cq, PlanMode::kContinuousIncremental);
+  EXPECT_NE(onetime.find("algebra.select"), std::string::npos);
+  EXPECT_NE(full.find("basket"), std::string::npos);
+  EXPECT_NE(inc.find("per basic window"), std::string::npos);
+  EXPECT_NE(inc.find("merge"), std::string::npos);
+  EXPECT_NE(inc.find("limit"), std::string::npos);
+}
+
+TEST_F(PlanTest, WindowSpecHelpers) {
+  WindowSpec w;
+  w.rows = true;
+  w.size = 100;
+  w.slide = 25;
+  EXPECT_FALSE(w.tumbling());
+  EXPECT_EQ(w.NumBasicWindows(), 4);
+  w.slide = 100;
+  EXPECT_TRUE(w.tumbling());
+  EXPECT_NE(w.ToString().find("ROWS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::plan

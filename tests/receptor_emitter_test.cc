@@ -1,0 +1,151 @@
+// Unit tests for receptors (ingestion threads, pacing, pause, CSV source)
+// and emitters (boundary-preserving delivery, collector sink).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/emitter.h"
+#include "core/receptor.h"
+
+namespace dc {
+namespace {
+
+Schema TwoCol() {
+  Schema s;
+  DC_CHECK_OK(s.AddColumn("ts", TypeId::kTs));
+  DC_CHECK_OK(s.AddColumn("v", TypeId::kI64));
+  return s;
+}
+
+Receptor::RowGen CountingGen(int64_t n) {
+  auto i = std::make_shared<int64_t>(0);
+  return [n, i](std::vector<Value>* row) {
+    if (*i >= n) return false;
+    row->resize(2);
+    (*row)[0] = Value::Ts(*i);
+    (*row)[1] = Value::I64(*i);
+    ++*i;
+    return true;
+  };
+}
+
+TEST(ReceptorTest, IngestsEverythingAndSeals) {
+  Basket basket("s", TwoCol(), 0);
+  Receptor::Options opts;
+  opts.batch_rows = 7;  // deliberately not a divisor of 100
+  Receptor r("r", &basket, CountingGen(100), opts);
+  r.Start();
+  r.WaitFinished();
+  EXPECT_EQ(basket.HighSeq(), 100u);
+  EXPECT_TRUE(basket.sealed());
+  EXPECT_TRUE(r.Stats().finished);
+  EXPECT_EQ(r.Stats().rows, 100u);
+  // Values arrived in order.
+  BasketView view = basket.Read(0);
+  EXPECT_EQ(view.cols[1]->I64Data()[99], 99);
+}
+
+TEST(ReceptorTest, RateControlApproximatesTarget) {
+  Basket basket("s", TwoCol(), 0);
+  Receptor::Options opts;
+  opts.rows_per_sec = 20000;
+  opts.batch_rows = 100;
+  Receptor r("r", &basket, CountingGen(4000), opts);
+  const Micros start = SteadyMicros();
+  r.Start();
+  r.WaitFinished();
+  const double secs =
+      static_cast<double>(SteadyMicros() - start) / kMicrosPerSecond;
+  // 4000 rows at 20k/s should take ~0.2 s; allow generous slack.
+  EXPECT_GT(secs, 0.1);
+  EXPECT_LT(secs, 1.0);
+}
+
+TEST(ReceptorTest, PauseStopsIngestion) {
+  Basket basket("s", TwoCol(), 0);
+  Receptor::Options opts;
+  opts.rows_per_sec = 5000;
+  opts.batch_rows = 10;
+  Receptor r("r", &basket, CountingGen(1000000), opts);
+  r.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  r.Pause();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const uint64_t at_pause = basket.HighSeq();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(basket.HighSeq(), at_pause);
+  r.Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  r.Stop();
+  EXPECT_GT(basket.HighSeq(), at_pause);
+}
+
+TEST(ReceptorTest, CsvSourceParsesAndCoerces) {
+  const char* path = "/tmp/dc_receptor_test.csv";
+  {
+    std::ofstream f(path);
+    f << "100,1\n200,2\n\nbadline\n300,3\n";
+  }
+  Schema schema = TwoCol();
+  auto gen = CsvRowGen(path, schema);
+  ASSERT_TRUE(gen.ok());
+  Basket basket("s", schema, 0);
+  Receptor r("r", &basket, *gen, Receptor::Options{});
+  r.Start();
+  r.WaitFinished();
+  EXPECT_EQ(basket.HighSeq(), 3u);  // blank + malformed lines skipped
+  EXPECT_EQ(basket.Read(0).cols[0]->I64Data()[2], 300);
+  std::remove(path);
+  EXPECT_FALSE(CsvRowGen("/nonexistent/x.csv", schema).ok());
+}
+
+TEST(EmitterTest, PreservesEmissionBoundaries) {
+  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  ResultCollector collector;
+  Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
+  // Three "emissions" of different sizes.
+  DC_CHECK_OK(basket->Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}));
+  DC_CHECK_OK(basket->Append({Bat::MakeTs({3}), Bat::MakeI64({3})}));
+  DC_CHECK_OK(
+      basket->Append({Bat::MakeTs({4, 5, 6}), Bat::MakeI64({4, 5, 6})}));
+  EXPECT_EQ(emitter.Drain(), 3);
+  auto emissions = collector.TakeAll();
+  ASSERT_EQ(emissions.size(), 3u);
+  EXPECT_EQ(emissions[0].NumRows(), 2u);
+  EXPECT_EQ(emissions[1].NumRows(), 1u);
+  EXPECT_EQ(emissions[2].NumRows(), 3u);
+  EXPECT_EQ(emissions[2].names[1], "v");
+  // Delivered tuples are consumed from the output basket.
+  EXPECT_EQ(basket->Stats().resident_rows, 0u);
+  EXPECT_EQ(emitter.Stats().emissions, 3u);
+  EXPECT_EQ(emitter.Stats().rows, 6u);
+}
+
+TEST(EmitterTest, ThreadedDeliveryOnAppend) {
+  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  ResultCollector collector;
+  Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
+  emitter.Start();
+  for (int i = 0; i < 10; ++i) {
+    DC_CHECK_OK(basket->Append({Bat::MakeTs({i}), Bat::MakeI64({i})}));
+  }
+  const Micros deadline = SteadyMicros() + 5 * kMicrosPerSecond;
+  while (collector.EmissionCount() < 10 && SteadyMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  emitter.Stop();
+  EXPECT_EQ(collector.EmissionCount(), 10u);
+}
+
+TEST(EmitterTest, DrainOnEmptyBasketIsNoop) {
+  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  ResultCollector collector;
+  Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
+  EXPECT_EQ(emitter.Drain(), 0);
+  EXPECT_EQ(collector.EmissionCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dc

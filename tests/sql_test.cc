@@ -1,0 +1,201 @@
+// Unit tests for the SQL front-end: lexer and parser (incl. the DataCell
+// window extension).
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/token.h"
+
+namespace dc::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT x, 42 FROM t WHERE y >= 1.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "select");  // lower-cased
+  EXPECT_EQ((*tokens)[3].int_val, 42);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kGe);
+  EXPECT_EQ((*tokens)[9].float_val, 1.5);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_FALSE(Lex("'unterminated").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("select x -- trailing comment\nfrom t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "from");
+}
+
+TEST(LexerTest, OperatorsAndBrackets) {
+  auto tokens = Lex("<> != <= >= [ ] ( ) . ; %");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kGe);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kLBracket);
+  EXPECT_EQ((*tokens)[10].type, TokenType::kPercent);
+}
+
+const SelectStmt& AsSelect(const Statement& s) {
+  return std::get<SelectStmt>(s);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT a, b FROM t WHERE a > 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  EXPECT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].name, "t");
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->ToString(), "(a > 5)");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(AsSelect(*stmt).items[0].star);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto stmt = ParseStatement("SELECT a + b * 2 - c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).items[0].expr->ToString(),
+            "((a + (b * 2)) - c)");
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  auto stmt =
+      ParseStatement("SELECT a FROM t WHERE a > 1 AND b < 2 OR NOT c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).where->ToString(),
+            "(((a > 1) AND (b < 2)) OR (NOT (c = 3)))");
+}
+
+TEST(ParserTest, BetweenAndAliases) {
+  auto stmt = ParseStatement(
+      "SELECT price * 2 AS dbl FROM trades t WHERE price BETWEEN 1 AND 9");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& sel = AsSelect(*stmt);
+  EXPECT_EQ(sel.items[0].alias, "dbl");
+  EXPECT_EQ(sel.from[0].alias, "t");
+  EXPECT_EQ(sel.where->ToString(), "(price BETWEEN 1 AND 9)");
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = ParseStatement(
+      "SELECT g, count(*), sum(v), avg(v) FROM t GROUP BY g "
+      "HAVING count(*) > 2 ORDER BY sum(v) DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  EXPECT_EQ(sel.items[1].expr->ToString(), "count(*)");
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  ASSERT_NE(sel.having, nullptr);
+  EXPECT_EQ(sel.order_by.size(), 1u);
+  EXPECT_FALSE(sel.order_by[0].ascending);
+  EXPECT_EQ(sel.limit, 10);
+}
+
+TEST(ParserTest, CountStarOnlyForCount) {
+  EXPECT_FALSE(ParseStatement("SELECT sum(*) FROM t").ok());
+}
+
+TEST(ParserTest, JoinOn) {
+  auto stmt = ParseStatement(
+      "SELECT a.x FROM a JOIN b ON a.k = b.k WHERE a.x > 0");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& sel = AsSelect(*stmt);
+  EXPECT_EQ(sel.from.size(), 2u);
+  // Join condition folded into WHERE.
+  EXPECT_EQ(sel.where->ToString(), "((a.x > 0) AND (a.k = b.k))");
+}
+
+TEST(ParserTest, CommaJoin) {
+  auto stmt = ParseStatement("SELECT a.x FROM a, b WHERE a.k = b.k");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).from.size(), 2u);
+}
+
+TEST(ParserTest, RowsWindow) {
+  auto stmt = ParseStatement("SELECT sum(v) FROM s [ROWS 100 SLIDE 10]");
+  ASSERT_TRUE(stmt.ok());
+  const auto& w = AsSelect(*stmt).from[0].window;
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->rows);
+  EXPECT_EQ(w->size, 100);
+  EXPECT_EQ(w->slide, 10);
+}
+
+TEST(ParserTest, RangeWindowUnits) {
+  auto stmt = ParseStatement(
+      "SELECT sum(v) FROM s [RANGE 2 MINUTES SLIDE 30 SECONDS]");
+  ASSERT_TRUE(stmt.ok());
+  const auto& w = AsSelect(*stmt).from[0].window;
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(w->rows);
+  EXPECT_EQ(w->size, 2 * kMicrosPerMinute);
+  EXPECT_EQ(w->slide, 30 * kMicrosPerSecond);
+}
+
+TEST(ParserTest, TumblingWindowDefaultsSlide) {
+  auto stmt = ParseStatement("SELECT sum(v) FROM s [ROWS 50]");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).from[0].window->slide, 50);
+}
+
+TEST(ParserTest, WindowValidation) {
+  EXPECT_FALSE(ParseStatement("SELECT v FROM s [ROWS 0]").ok());
+  EXPECT_FALSE(ParseStatement("SELECT v FROM s [ROWS 5 SLIDE 10]").ok());
+  EXPECT_FALSE(ParseStatement("SELECT v FROM s [RANGE 5 PARSECS]").ok());
+}
+
+TEST(ParserTest, CreateTableAndStream) {
+  auto t = ParseStatement("CREATE TABLE t (a int, b varchar, c double)");
+  ASSERT_TRUE(t.ok());
+  const auto& ct = std::get<CreateStmt>(*t);
+  EXPECT_FALSE(ct.is_stream);
+  EXPECT_EQ(ct.columns.size(), 3u);
+  EXPECT_EQ(ct.columns[1].second, TypeId::kStr);
+
+  auto s = ParseStatement("CREATE STREAM s (ts timestamp, v int)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(std::get<CreateStmt>(*s).is_stream);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 'x', 2.5), (-2, 'y', 0.5)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[1][0].AsI64(), -2);
+  EXPECT_EQ(ins.rows[0][1].AsStr(), "x");
+}
+
+TEST(ParserTest, Script) {
+  auto script = ParseScript(
+      "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT a FROM t;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a").ok());                 // no FROM
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("FROB x").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT -1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM a JOIN b").ok());   // missing ON
+}
+
+}  // namespace
+}  // namespace dc::sql

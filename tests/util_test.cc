@@ -1,0 +1,195 @@
+// Unit tests for the utility layer: Status/Result, strings, CSV, RNG,
+// histogram, clock.
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dc {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("thing is missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing is missing");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Result<int> Chain(int v) {
+  DC_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto ok = Chain(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+  auto err = Chain(-5);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%s", std::string(500, 'a').c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrTrim("  x y \t"), "x y");
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("selec", "select"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(-1.0), "-1");
+}
+
+TEST(CsvTest, SimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto fields = ParseCsvLine(R"("a,b",plain,"say ""hi""")");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a,b", "plain", "say \"hi\""}));
+}
+
+TEST(CsvTest, TrailingSeparator) {
+  auto fields = ParseCsvLine("a,b,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"abc").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::string> fields{"plain", "with,comma", "with\"quote"};
+  auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleMoments) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  uint64_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // With theta=0.99 the top-10 of 1000 items receive far more than the
+  // uniform 1%.
+  EXPECT_GT(head, static_cast<uint64_t>(0.3 * n));
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(100, 0.0, 4);
+  uint64_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / n, 0.10, 0.03);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 0.01);
+  // Log-bucketed: percentile has bounded relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50, 10);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 99, 14);
+}
+
+TEST(HistogramTest, MergeAndReset) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(ClockTest, ManualClock) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, SteadyMonotonic) {
+  const Micros a = SteadyMicros();
+  const Micros b = SteadyMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500 us");
+  EXPECT_EQ(FormatDuration(2500), "2.50 ms");
+  EXPECT_EQ(FormatDuration(3 * kMicrosPerSecond), "3.000 s");
+}
+
+}  // namespace
+}  // namespace dc

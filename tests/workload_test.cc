@@ -1,0 +1,190 @@
+// Tests for the workload generators (determinism, batch/rowgen agreement,
+// distribution shape) and the Linear Road lite pipeline, validated against
+// an independent offline reference computation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "workload/generators.h"
+#include "workload/linear_road.h"
+
+namespace dc::workload {
+namespace {
+
+TEST(GeneratorTest, SensorBatchMatchesRowGen) {
+  SensorConfig config;
+  config.rows = 100;
+  auto gen = MakeSensorGen(config);
+  auto batch = SensorBatch(config, 0, 100);
+  std::vector<Value> row;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(gen(&row));
+    EXPECT_EQ(row[0].AsI64(), batch[0]->GetValue(i).AsI64());
+    EXPECT_EQ(row[1].AsI64(), batch[1]->GetValue(i).AsI64());
+    EXPECT_EQ(row[2].AsF64(), batch[2]->GetValue(i).AsF64());
+  }
+  EXPECT_FALSE(gen(&row));  // row limit respected
+}
+
+TEST(GeneratorTest, OffsetBatchesAreConsistent) {
+  PacketConfig config;
+  auto whole = PacketBatch(config, 0, 200);
+  auto part = PacketBatch(config, 150, 50);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(whole[1]->GetValue(150 + i).AsI64(),
+              part[1]->GetValue(i).AsI64());
+  }
+}
+
+TEST(GeneratorTest, SeedsChangeData) {
+  WebLogConfig a, b;
+  b.seed = 777;
+  auto ba = WebLogBatch(a, 0, 50);
+  auto bb = WebLogBatch(b, 0, 50);
+  int diffs = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    if (ba[1]->GetValue(i).AsI64() != bb[1]->GetValue(i).AsI64()) ++diffs;
+  }
+  EXPECT_GT(diffs, 25);
+}
+
+TEST(GeneratorTest, TimestampsAreMonotone) {
+  TradesConfig config;
+  auto batch = TradesBatch(config, 0, 1000);
+  auto ts = batch[0]->I64Data();
+  for (size_t i = 1; i < ts.size(); ++i) EXPECT_GE(ts[i], ts[i - 1]);
+}
+
+TEST(GeneratorTest, PacketSourcesAreSkewed) {
+  PacketConfig config;
+  config.num_hosts = 1000;
+  config.src_skew = 0.99;
+  auto batch = PacketBatch(config, 0, 20000);
+  std::map<int64_t, int> counts;
+  auto src = batch[1]->I64Data();
+  for (int64_t s : src) counts[s]++;
+  int head = 0;
+  for (int64_t s = 0; s < 50; ++s) head += counts.count(s) ? counts[s] : 0;
+  // Top 5% of hosts should carry far more than 5% of the traffic.
+  EXPECT_GT(head, 20000 / 5);
+}
+
+TEST(GeneratorTest, WebLogErrorRateApproximatesConfig) {
+  WebLogConfig config;
+  config.error_rate = 0.1;
+  auto batch = WebLogBatch(config, 0, 20000);
+  auto status = batch[4]->I64Data();
+  int errors = 0;
+  for (int64_t s : status) errors += s >= 500 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(errors) / 20000.0, 0.1, 0.02);
+}
+
+TEST(LinearRoadTest, GeneratorShape) {
+  LrConfig config;
+  config.xways = 2;
+  config.vehicles_per_xway = 10;
+  config.duration_sec = 5;
+  LinearRoadGenerator gen(config);
+  EXPECT_EQ(gen.TotalReports(), 100u);
+  std::vector<Value> row;
+  uint64_t n = 0;
+  int64_t prev_ts = INT64_MIN;
+  while (gen.NextRow(&row)) {
+    ++n;
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_GE(row[0].AsI64(), prev_ts);
+    prev_ts = row[0].AsI64();
+    const int64_t xway = row[3].AsI64();
+    EXPECT_GE(xway, 0);
+    EXPECT_LT(xway, 2);
+    const int64_t seg = row[5].AsI64();
+    EXPECT_GE(seg, 0);
+    EXPECT_LT(seg, kLrSegments);
+    EXPECT_GE(row[2].AsF64(), 0.0);
+  }
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(LinearRoadTest, DeterministicAcrossInstances) {
+  LrConfig config;
+  config.vehicles_per_xway = 20;
+  config.duration_sec = 10;
+  LinearRoadGenerator g1(config), g2(config);
+  std::vector<Value> r1, r2;
+  while (true) {
+    const bool a = g1.NextRow(&r1);
+    const bool b = g2.NextRow(&r2);
+    ASSERT_EQ(a, b);
+    if (!a) break;
+    for (size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].ToString(), r2[i].ToString());
+    }
+  }
+}
+
+TEST(LinearRoadTest, TollFormula) {
+  EXPECT_EQ(LrToll(60.0, 500), 0.0);   // traffic flowing
+  EXPECT_EQ(LrToll(20.0, 30), 0.0);    // too few vehicles
+  EXPECT_GT(LrToll(20.0, 200), 0.0);
+  EXPECT_GT(LrToll(20.0, 400), LrToll(20.0, 200));  // quadratic growth
+}
+
+// The flagship integration check: the DataCell accident query produces
+// exactly the accidents an independent offline computation finds.
+TEST(LinearRoadTest, AccidentQueryMatchesReference) {
+  LrConfig config;
+  config.xways = 1;
+  config.vehicles_per_xway = 80;
+  config.duration_sec = 60;
+  config.stop_prob = 0.01;  // plenty of breakdowns
+
+  EngineOptions opts;
+  opts.scheduler_workers = 0;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.Execute(LrPositionDdl("pos")).ok());
+  auto queries = SetupLrQueries(engine, "pos", ExecMode::kIncremental);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  LinearRoadGenerator gen(config);
+  std::vector<Value> row;
+  while (gen.NextRow(&row)) {
+    ASSERT_TRUE(engine.PushRow("pos", row).ok());
+  }
+  ASSERT_TRUE(engine.SealStream("pos").ok());
+  engine.Pump();
+
+  // Emissions with zero rows leave no trace in the output basket, so the
+  // engine's visible emission sequence is exactly the sequence of windows
+  // with at least one accident, in boundary order. Compare that sequence
+  // against the reference (restricted to the boundaries the factory fired
+  // before going dormant: event horizon + window).
+  auto emissions = engine.TakeResults(queries->accidents);
+  ASSERT_TRUE(emissions.ok());
+  std::vector<std::vector<std::tuple<int64_t, int64_t, int64_t>>> engine_seq;
+  for (const ColumnSet& e : *emissions) {
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> segs;
+    for (uint64_t r = 0; r < e.NumRows(); ++r) {
+      segs.emplace_back(e.cols[0]->GetValue(r).AsI64(),
+                        e.cols[1]->GetValue(r).AsI64(),
+                        e.cols[2]->GetValue(r).AsI64());
+    }
+    engine_seq.push_back(std::move(segs));
+  }
+
+  const auto reference = ReferenceAccidents(config, 30, 10);
+  ASSERT_FALSE(reference.empty()) << "workload produced no accidents; "
+                                     "raise stop_prob";
+  // Sealed-stream dormancy: windows whose start lies past the last event
+  // never fire. Last event is at duration_sec - 1.
+  std::vector<std::vector<std::tuple<int64_t, int64_t, int64_t>>> ref_seq;
+  for (const auto& [boundary, segs] : reference) {
+    if (boundary - 30 > config.duration_sec - 1) continue;  // dormant
+    ref_seq.push_back(segs);
+  }
+  EXPECT_EQ(engine_seq, ref_seq);
+}
+
+}  // namespace
+}  // namespace dc::workload
