@@ -11,6 +11,7 @@
 // both continuous shapes, and one-time query throughput during streaming.
 
 #include <atomic>
+#include <string_view>
 
 #include "bench/bench_common.h"
 #include "workload/generators.h"
@@ -23,13 +24,17 @@ using bench::QueryOpts;
 using bench::Threaded;
 
 constexpr uint64_t kRows = 200000;
+constexpr uint64_t kSmokeRows = 20000;  // --smoke: ctest anti-bit-rot run
 constexpr Micros kTsStep = 100;
 
 }  // namespace
 }  // namespace dc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dc;
+  const bool smoke =
+      argc > 1 && std::string_view(argv[1]) == std::string_view("--smoke");
+  const uint64_t rows = smoke ? kSmokeRows : kRows;
   Banner("E1", "two query paradigms in one fabric (stream + persistent)");
 
   Engine engine(Threaded(3));
@@ -59,7 +64,7 @@ int main() {
   DC_CHECK_OK(join_q.status());
 
   workload::PacketConfig config;
-  config.rows = kRows;
+  config.rows = rows;
   config.ts_step = kTsStep;
   dc::Receptor::Options ropts;
   ropts.rows_per_sec = 0;  // as fast as possible
@@ -97,8 +102,8 @@ int main() {
   const double secs =
       static_cast<double>(stream_wall) / kMicrosPerSecond;
   printf("\nstream rows ingested      : %llu in %.2f s  (%.0f rows/s)\n",
-         static_cast<unsigned long long>(kRows), secs,
-         static_cast<double>(kRows) / secs);
+         static_cast<unsigned long long>(rows), secs,
+         static_cast<double>(rows) / secs);
   printf("stream_agg (basket only)  : %llu emissions, %.1f us/emission\n",
          static_cast<unsigned long long>(fs.emissions),
          fs.emissions ? static_cast<double>(fs.total_exec_micros) /

@@ -322,10 +322,17 @@ Result<int> Engine::AttachReceptor(std::string_view stream,
 }
 
 Status Engine::PauseReceptor(int receptor_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = receptors_.find(receptor_id);
-  if (it == receptors_.end()) return Status::NotFound("no such receptor");
-  it->second->Pause();
+  // Pause() blocks until the ingestion thread acknowledges; resolve the
+  // receptor under mu_ but wait outside it (same pattern as WaitReceptor)
+  // so other Engine calls are not stalled behind the handshake.
+  Receptor* r = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = receptors_.find(receptor_id);
+    if (it == receptors_.end()) return Status::NotFound("no such receptor");
+    r = it->second.get();
+  }
+  r->Pause();
   return Status::OK();
 }
 

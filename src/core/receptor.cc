@@ -25,6 +25,7 @@ void Receptor::Start() {
 
 void Receptor::Stop() {
   stop_.store(true);
+  pause_cv_.notify_all();  // interrupt a pacing sleep
   if (thread_.joinable()) thread_.join();
 }
 
@@ -32,8 +33,23 @@ void Receptor::WaitFinished() {
   if (thread_.joinable()) thread_.join();
 }
 
-void Receptor::Pause() { paused_.store(true); }
-void Receptor::Resume() { paused_.store(false); }
+void Receptor::Pause() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  paused_.store(true);
+  pause_cv_.notify_all();  // interrupt a pacing sleep so the ack is prompt
+  // Wait for the ingestion thread to acknowledge (or to have finished):
+  // an in-flight batch may still land during this wait, but once Pause()
+  // returns nothing more reaches the basket until Resume().
+  pause_cv_.wait(lock, [this] {
+    return pause_acked_ || finished_.load() || !thread_.joinable();
+  });
+}
+
+void Receptor::Resume() {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  paused_.store(false);
+  pause_acked_ = false;
+}
 
 ReceptorStats Receptor::Stats() const {
   ReceptorStats s;
@@ -80,6 +96,11 @@ void Receptor::Run() {
 
   while (!stop_.load() && !source_done) {
     if (paused_.load()) {
+      {
+        std::lock_guard<std::mutex> lock(pause_mu_);
+        pause_acked_ = true;
+      }
+      pause_cv_.notify_all();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;
     }
@@ -107,15 +128,23 @@ void Receptor::Run() {
           options_.batch_rows / rate * kMicrosPerSecond);
       const Micros now = SteadyMicros();
       if (next_deadline > now) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(next_deadline - now));
+        // Interruptible pacing sleep: Pause()/Stop() must not have to wait
+        // out the full inter-batch gap (batch_rows/rate can be seconds).
+        std::unique_lock<std::mutex> lock(pause_mu_);
+        pause_cv_.wait_for(lock, std::chrono::microseconds(next_deadline - now),
+                           [this] { return paused_.load() || stop_.load(); });
       } else if (now - next_deadline > kMicrosPerSecond) {
         next_deadline = now;  // fell behind badly; do not burst-catch-up
       }
     }
   }
   flush();
-  finished_.store(true);
+  {
+    // Under pause_mu_ so a concurrent Pause() cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    finished_.store(true);
+  }
+  pause_cv_.notify_all();
   if (options_.seal_on_finish && !stop_.load()) basket_->Seal();
 }
 

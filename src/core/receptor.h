@@ -11,8 +11,10 @@
 #define DATACELL_CORE_RECEPTOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,6 +61,8 @@ class Receptor {
   /// Blocks until the source is exhausted and everything is appended.
   void WaitFinished();
 
+  /// Blocks until the ingestion thread acknowledges the pause: once this
+  /// returns, no further rows reach the basket until Resume().
   void Pause();
   void Resume();
 
@@ -76,6 +80,9 @@ class Receptor {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> finished_{false};
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool pause_acked_ = false;  // guarded by pause_mu_
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> batches_{0};
   Micros start_time_ = 0;

@@ -5,19 +5,15 @@
 
 #include "core/basket.h"
 #include "core/window.h"
+#include "tests/test_util.h"
 
 namespace dc {
 namespace {
 
-Schema EventSchema() {
-  Schema s;
-  EXPECT_TRUE(s.AddColumn("ts", TypeId::kTs).ok());
-  EXPECT_TRUE(s.AddColumn("v", TypeId::kI64).ok());
-  return s;
-}
+using testutil::TsI64Schema;
 
 TEST(BasketTest, AppendAndRead) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   ASSERT_TRUE(b.AppendRow({Value::Ts(10), Value::I64(1)}).ok());
   ASSERT_TRUE(b.AppendRow({Value::Ts(20), Value::I64(2)}).ok());
   EXPECT_EQ(b.HighSeq(), 2u);
@@ -28,7 +24,7 @@ TEST(BasketTest, AppendAndRead) {
 }
 
 TEST(BasketTest, TypeAndArityChecks) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   EXPECT_FALSE(b.Append({Bat::MakeI64({1})}).ok());  // wrong arity
   EXPECT_FALSE(
       b.Append({Bat::MakeI64({1}), Bat::MakeI64({1})}).ok());  // ts type
@@ -37,7 +33,7 @@ TEST(BasketTest, TypeAndArityChecks) {
 }
 
 TEST(BasketTest, OutOfOrderTimestampsClamped) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   ASSERT_TRUE(b.AppendRow({Value::Ts(100), Value::I64(1)}).ok());
   ASSERT_TRUE(b.AppendRow({Value::Ts(50), Value::I64(2)}).ok());
   BasketView view = b.Read(0);
@@ -46,7 +42,7 @@ TEST(BasketTest, OutOfOrderTimestampsClamped) {
 }
 
 TEST(BasketTest, ReadersGateDropping) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   const int r1 = b.RegisterReader(true);
   const int r2 = b.RegisterReader(true);
   for (int i = 0; i < 10; ++i) {
@@ -68,7 +64,7 @@ TEST(BasketTest, ReadersGateDropping) {
 }
 
 TEST(BasketTest, NoReadersMeansNoDropping) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(b.AppendRow({Value::Ts(i), Value::I64(i)}).ok());
   }
@@ -77,7 +73,7 @@ TEST(BasketTest, NoReadersMeansNoDropping) {
 }
 
 TEST(BasketTest, ReaderFromNowVsStart) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   ASSERT_TRUE(b.AppendRow({Value::Ts(1), Value::I64(1)}).ok());
   const int from_start = b.RegisterReader(true);
   const int from_now = b.RegisterReader(false);
@@ -86,7 +82,7 @@ TEST(BasketTest, ReaderFromNowVsStart) {
 }
 
 TEST(BasketTest, SeqRangeForTs) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   for (int64_t ts : {10, 20, 20, 30, 40}) {
     ASSERT_TRUE(b.AppendRow({Value::Ts(ts), Value::I64(0)}).ok());
   }
@@ -104,7 +100,7 @@ TEST(BasketTest, SeqRangeForTs) {
 }
 
 TEST(BasketTest, BatchBoundariesSurviveUpToDrop) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
   ASSERT_TRUE(b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})}).ok());
   EXPECT_EQ(b.BatchBoundariesAfter(0), (std::vector<uint64_t>{2, 3}));
@@ -115,7 +111,7 @@ TEST(BasketTest, BatchBoundariesSurviveUpToDrop) {
 }
 
 TEST(BasketTest, HeartbeatAndSeal) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   b.Heartbeat(500);
   EXPECT_EQ(b.EventWatermark(), 500);
   EXPECT_FALSE(b.sealed());
@@ -124,7 +120,7 @@ TEST(BasketTest, HeartbeatAndSeal) {
 }
 
 TEST(BasketTest, ListenersFire) {
-  Basket b("s", EventSchema(), 0);
+  Basket b("s", TsI64Schema(), 0);
   int pulses = 0;
   b.AddListener([&] { ++pulses; });
   ASSERT_TRUE(b.AppendRow({Value::Ts(1), Value::I64(1)}).ok());

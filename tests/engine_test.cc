@@ -1,176 +1,109 @@
 // End-to-end tests of the Engine facade: DDL, one-time queries, continuous
 // queries in both execution modes, pause/resume, stream-table joins.
 // The engine runs in synchronous mode (0 workers) and is driven by Pump()
-// for determinism.
+// for determinism (see tests/test_util.h).
 
 #include "core/engine.h"
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
 #include "util/string_util.h"
 
 namespace dc {
 namespace {
 
-EngineOptions SyncOptions() {
-  EngineOptions o;
-  o.scheduler_workers = 0;
-  return o;
-}
+using testutil::RowStrings;
 
-Engine::ContinuousOptions WithMode(ExecMode mode) {
-  Engine::ContinuousOptions o;
-  o.mode = mode;
-  return o;
-}
-
-// Collects all rows of a set of emissions as printable row strings.
-std::vector<std::string> RowStrings(const std::vector<ColumnSet>& emissions) {
-  std::vector<std::string> out;
-  for (const ColumnSet& e : emissions) {
-    for (uint64_t r = 0; r < e.NumRows(); ++r) {
-      std::string row;
-      for (const Value& v : e.Row(r)) row += v.ToString() + "|";
-      out.push_back(row);
-    }
-  }
-  return out;
-}
-
-class EngineTest : public ::testing::Test {
- protected:
-  EngineTest() : engine_(SyncOptions()) {}
-  Engine engine_;
-};
+class EngineTest : public testutil::SyncEngineTest {};
 
 TEST_F(EngineTest, CreateTableInsertAndQuery) {
-  ASSERT_TRUE(engine_
-                  .Execute("CREATE TABLE items (id int, name string, "
-                           "price double)")
-                  .ok());
-  ASSERT_TRUE(engine_
-                  .Execute("INSERT INTO items VALUES (1, 'apple', 1.5), "
-                           "(2, 'pear', 2.0), (3, 'fig', 9.0)")
-                  .ok());
-  auto result = engine_.Query(
+  Exec("CREATE TABLE items (id int, name string, price double)");
+  Exec("INSERT INTO items VALUES (1, 'apple', 1.5), (2, 'pear', 2.0), "
+       "(3, 'fig', 9.0)");
+  const ColumnSet result = MustQuery(
       "SELECT name, price FROM items WHERE price > 1.7 ORDER BY price");
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  ASSERT_EQ(result->NumRows(), 2u);
-  EXPECT_EQ(result->cols[0]->GetValue(0).AsStr(), "pear");
-  EXPECT_EQ(result->cols[0]->GetValue(1).AsStr(), "fig");
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_EQ(result.cols[0]->GetValue(0).AsStr(), "pear");
+  EXPECT_EQ(result.cols[0]->GetValue(1).AsStr(), "fig");
 }
 
 TEST_F(EngineTest, OneTimeAggregation) {
-  ASSERT_TRUE(engine_.Execute("CREATE TABLE t (g int, v int)").ok());
-  ASSERT_TRUE(engine_
-                  .Execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5), "
-                           "(2, 7), (3, 100)")
-                  .ok());
-  auto result = engine_.Query(
+  Exec("CREATE TABLE t (g int, v int)");
+  Exec("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5), (2, 7), (3, 100)");
+  const ColumnSet result = MustQuery(
       "SELECT g, sum(v) AS s, count(*) AS c FROM t GROUP BY g "
       "HAVING count(*) > 1 ORDER BY s DESC");
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  ASSERT_EQ(result->NumRows(), 2u);
-  EXPECT_EQ(result->cols[0]->GetValue(0).AsI64(), 1);  // sum 30
-  EXPECT_EQ(result->cols[1]->GetValue(0).AsI64(), 30);
-  EXPECT_EQ(result->cols[0]->GetValue(1).AsI64(), 2);  // sum 12
-  EXPECT_EQ(result->cols[2]->GetValue(1).AsI64(), 2);
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_EQ(result.cols[0]->GetValue(0).AsI64(), 1);  // sum 30
+  EXPECT_EQ(result.cols[1]->GetValue(0).AsI64(), 30);
+  EXPECT_EQ(result.cols[0]->GetValue(1).AsI64(), 2);  // sum 12
+  EXPECT_EQ(result.cols[2]->GetValue(1).AsI64(), 2);
 }
 
 TEST_F(EngineTest, OneTimeJoin) {
-  ASSERT_TRUE(engine_.Execute("CREATE TABLE a (k int, x string)").ok());
-  ASSERT_TRUE(engine_.Execute("CREATE TABLE b (k int, y double)").ok());
-  ASSERT_TRUE(
-      engine_.Execute("INSERT INTO a VALUES (1,'one'), (2,'two'), (3,'three')")
-          .ok());
-  ASSERT_TRUE(
-      engine_.Execute("INSERT INTO b VALUES (2, 2.5), (3, 3.5), (4, 4.5)")
-          .ok());
-  auto result = engine_.Query(
+  Exec("CREATE TABLE a (k int, x string)");
+  Exec("CREATE TABLE b (k int, y double)");
+  Exec("INSERT INTO a VALUES (1,'one'), (2,'two'), (3,'three')");
+  Exec("INSERT INTO b VALUES (2, 2.5), (3, 3.5), (4, 4.5)");
+  const ColumnSet result = MustQuery(
       "SELECT a.x, b.y FROM a JOIN b ON a.k = b.k ORDER BY b.y");
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  ASSERT_EQ(result->NumRows(), 2u);
-  EXPECT_EQ(result->cols[0]->GetValue(0).AsStr(), "two");
-  EXPECT_EQ(result->cols[0]->GetValue(1).AsStr(), "three");
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_EQ(result.cols[0]->GetValue(0).AsStr(), "two");
+  EXPECT_EQ(result.cols[0]->GetValue(1).AsStr(), "three");
 }
 
 TEST_F(EngineTest, PerBatchContinuousQuery) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (v int)").ok());
-  auto qid = engine_.SubmitContinuous(
-      "SELECT v FROM s WHERE v >= 10", WithMode(ExecMode::kFullReeval));
-  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
-
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(5)}).ok());
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(15)}).ok());
-  engine_.Pump();
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(25)}).ok());
-  engine_.Pump();
-
-  auto results = engine_.TakeResults(*qid);
-  ASSERT_TRUE(results.ok());
-  auto rows = RowStrings(*results);
+  Exec("CREATE STREAM s (v int)");
+  const int qid = Submit("SELECT v FROM s WHERE v >= 10",
+                         ExecMode::kFullReeval);
+  Push("s", {Value::I64(5)});
+  PushPump("s", {Value::I64(15)});
+  PushPump("s", {Value::I64(25)});
+  auto rows = RowStrings(Take(qid));
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0], "15|");
   EXPECT_EQ(rows[1], "25|");
 }
 
 TEST_F(EngineTest, RowsWindowAggregation) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (v int)").ok());
+  Exec("CREATE STREAM s (v int)");
   // Tumbling window of 4 rows: sum per window.
-  auto qid = engine_.SubmitContinuous("SELECT sum(v) FROM s [ROWS 4]",
-                                      WithMode(ExecMode::kFullReeval));
-  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
-  for (int i = 1; i <= 10; ++i) {
-    ASSERT_TRUE(engine_.PushRow("s", {Value::I64(i)}).ok());
-  }
+  const int qid = Submit("SELECT sum(v) FROM s [ROWS 4]",
+                         ExecMode::kFullReeval);
+  for (int i = 1; i <= 10; ++i) Push("s", {Value::I64(i)});
   engine_.Pump();
-  auto results = engine_.TakeResults(*qid);
-  ASSERT_TRUE(results.ok());
-  ASSERT_EQ(results->size(), 2u);  // rows 1-4 and 5-8; 9,10 pending
-  EXPECT_EQ((*results)[0].cols[0]->GetValue(0).AsI64(), 10);
-  EXPECT_EQ((*results)[1].cols[0]->GetValue(0).AsI64(), 26);
+  const std::vector<ColumnSet> results = Take(qid);
+  ASSERT_EQ(results.size(), 2u);  // rows 1-4 and 5-8; 9,10 pending
+  EXPECT_EQ(results[0].cols[0]->GetValue(0).AsI64(), 10);
+  EXPECT_EQ(results[1].cols[0]->GetValue(0).AsI64(), 26);
 }
 
 TEST_F(EngineTest, SlidingRowsWindowFullVsIncremental) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (v int)").ok());
-  auto full = engine_.SubmitContinuous(
+  Exec("CREATE STREAM s (v int)");
+  const char* sql =
       "SELECT sum(v), count(*), min(v), max(v), avg(v) "
-      "FROM s [ROWS 6 SLIDE 2]",
-      WithMode(ExecMode::kFullReeval));
-  auto inc = engine_.SubmitContinuous(
-      "SELECT sum(v), count(*), min(v), max(v), avg(v) "
-      "FROM s [ROWS 6 SLIDE 2]",
-      WithMode(ExecMode::kIncremental));
-  ASSERT_TRUE(full.ok() && inc.ok());
-  for (int i = 0; i < 25; ++i) {
-    ASSERT_TRUE(engine_.PushRow("s", {Value::I64(i * 7 % 13)}).ok());
-    engine_.Pump();
-  }
-  auto fr = engine_.TakeResults(*full);
-  auto ir = engine_.TakeResults(*inc);
-  ASSERT_TRUE(fr.ok() && ir.ok());
-  ASSERT_GT(fr->size(), 0u);
-  EXPECT_EQ(RowStrings(*fr), RowStrings(*ir));
+      "FROM s [ROWS 6 SLIDE 2]";
+  const int full = Submit(sql, ExecMode::kFullReeval);
+  const int inc = Submit(sql, ExecMode::kIncremental);
+  for (int i = 0; i < 25; ++i) PushPump("s", {Value::I64(i * 7 % 13)});
+  const auto fr = Take(full);
+  ASSERT_GT(fr.size(), 0u);
+  EXPECT_EQ(RowStrings(fr), RowStrings(Take(inc)));
   // Incremental mode must actually be active (not the fallback).
-  EXPECT_FALSE(engine_.GetFactory(*inc)->Stats().fell_back_to_full);
+  EXPECT_FALSE(engine_.GetFactory(inc)->Stats().fell_back_to_full);
 }
 
 TEST_F(EngineTest, RangeWindowGroupedAggregation) {
-  ASSERT_TRUE(
-      engine_.Execute("CREATE STREAM m (ts timestamp, sym string, px double)")
-          .ok());
-  auto qid = engine_.SubmitContinuous(
+  Exec("CREATE STREAM m (ts timestamp, sym string, px double)");
+  const int qid = Submit(
       "SELECT sym, count(*) AS n, avg(px) AS apx "
       "FROM m [RANGE 10 SECONDS SLIDE 5 SECONDS] "
-      "GROUP BY sym ORDER BY sym",
-      WithMode(ExecMode::kIncremental));
-  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+      "GROUP BY sym ORDER BY sym");
 
   auto push = [&](int64_t sec, const char* sym, double px) {
-    ASSERT_TRUE(engine_
-                    .PushRow("m", {Value::Ts(sec * kMicrosPerSecond),
-                                   Value::Str(sym), Value::F64(px)})
-                    .ok());
+    Push("m", {Value::Ts(sec * kMicrosPerSecond), Value::Str(sym),
+               Value::F64(px)});
   };
   push(1, "aa", 10);
   push(2, "bb", 20);
@@ -182,105 +115,74 @@ TEST_F(EngineTest, RangeWindowGroupedAggregation) {
   // that one fired; [0,10) needs wm>=10).
   push(11, "aa", 70);
   engine_.Pump();
-  auto results = engine_.TakeResults(*qid);
-  ASSERT_TRUE(results.ok());
+  const std::vector<ColumnSet> results = Take(qid);
   // Boundary 5s: window [-5,5) = rows at 1,2,4 -> aa:2, bb:1.
   // Boundary 10s: window [0,10) = rows 1..9 -> aa:3, bb:2.
-  ASSERT_EQ(results->size(), 2u);
-  const ColumnSet& w1 = (*results)[0];
+  ASSERT_EQ(results.size(), 2u);
+  const ColumnSet& w1 = results[0];
   ASSERT_EQ(w1.NumRows(), 2u);
   EXPECT_EQ(w1.cols[0]->GetValue(0).AsStr(), "aa");
   EXPECT_EQ(w1.cols[1]->GetValue(0).AsI64(), 2);
-  const ColumnSet& w2 = (*results)[1];
+  const ColumnSet& w2 = results[1];
   EXPECT_EQ(w2.cols[1]->GetValue(0).AsI64(), 3);
   EXPECT_EQ(w2.cols[1]->GetValue(1).AsI64(), 2);
 }
 
 TEST_F(EngineTest, StreamTableJoinContinuous) {
-  ASSERT_TRUE(engine_.Execute("CREATE TABLE ref (k int, label string)").ok());
-  ASSERT_TRUE(
-      engine_.Execute("INSERT INTO ref VALUES (1,'one'), (2,'two')").ok());
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (k int, v int)").ok());
-  auto qid = engine_.SubmitContinuous(
-      "SELECT label, v FROM s JOIN ref ON s.k = ref.k",
-      WithMode(ExecMode::kFullReeval));
-  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(1), Value::I64(100)}).ok());
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(9), Value::I64(200)}).ok());
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(2), Value::I64(300)}).ok());
+  Exec("CREATE TABLE ref (k int, label string)");
+  Exec("INSERT INTO ref VALUES (1,'one'), (2,'two')");
+  Exec("CREATE STREAM s (k int, v int)");
+  const int qid = Submit("SELECT label, v FROM s JOIN ref ON s.k = ref.k",
+                         ExecMode::kFullReeval);
+  Push("s", {Value::I64(1), Value::I64(100)});
+  Push("s", {Value::I64(9), Value::I64(200)});
+  Push("s", {Value::I64(2), Value::I64(300)});
   engine_.Pump();
-  auto results = engine_.TakeResults(*qid);
-  ASSERT_TRUE(results.ok());
-  auto rows = RowStrings(*results);
+  auto rows = RowStrings(Take(qid));
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0], "one|100|");
   EXPECT_EQ(rows[1], "two|300|");
 }
 
 TEST_F(EngineTest, PauseAndResumeQuery) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (v int)").ok());
-  auto qid = engine_.SubmitContinuous("SELECT v FROM s",
-                                      WithMode(ExecMode::kFullReeval));
-  ASSERT_TRUE(qid.ok());
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(1)}).ok());
+  Exec("CREATE STREAM s (v int)");
+  const int qid = Submit("SELECT v FROM s", ExecMode::kFullReeval);
+  PushPump("s", {Value::I64(1)});
+  ASSERT_TRUE(engine_.PauseQuery(qid).ok());
+  PushPump("s", {Value::I64(2)});
+  EXPECT_EQ(RowStrings(Take(qid)).size(), 1u);  // second row not processed
+  ASSERT_TRUE(engine_.ResumeQuery(qid).ok());
   engine_.Pump();
-  ASSERT_TRUE(engine_.PauseQuery(*qid).ok());
-  ASSERT_TRUE(engine_.PushRow("s", {Value::I64(2)}).ok());
-  engine_.Pump();
-  auto r1 = engine_.TakeResults(*qid);
-  ASSERT_TRUE(r1.ok());
-  EXPECT_EQ(RowStrings(*r1).size(), 1u);  // second row not processed
-  ASSERT_TRUE(engine_.ResumeQuery(*qid).ok());
-  engine_.Pump();
-  auto r2 = engine_.TakeResults(*qid);
-  ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(RowStrings(*r2).size(), 1u);  // row 2 arrives after resume
+  EXPECT_EQ(RowStrings(Take(qid)).size(), 1u);  // row 2 arrives after resume
 }
 
 TEST_F(EngineTest, SealFlushesRangeWindows) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (ts timestamp, v int)").ok());
-  auto qid = engine_.SubmitContinuous(
-      "SELECT sum(v) FROM s [RANGE 4 SECONDS SLIDE 2 SECONDS]",
-      WithMode(ExecMode::kIncremental));
-  ASSERT_TRUE(qid.ok());
-  ASSERT_TRUE(engine_
-                  .PushRow("s", {Value::Ts(1 * kMicrosPerSecond),
-                                 Value::I64(10)})
-                  .ok());
-  ASSERT_TRUE(engine_
-                  .PushRow("s", {Value::Ts(3 * kMicrosPerSecond),
-                                 Value::I64(20)})
-                  .ok());
-  engine_.Pump();
-  ASSERT_TRUE(engine_.SealStream("s").ok());
-  engine_.Pump();
-  auto results = engine_.TakeResults(*qid);
-  ASSERT_TRUE(results.ok());
+  Exec("CREATE STREAM s (ts timestamp, v int)");
+  const int qid =
+      Submit("SELECT sum(v) FROM s [RANGE 4 SECONDS SLIDE 2 SECONDS]");
+  Push("s", {Value::Ts(1 * kMicrosPerSecond), Value::I64(10)});
+  PushPump("s", {Value::Ts(3 * kMicrosPerSecond), Value::I64(20)});
+  Seal("s");
+  const std::vector<ColumnSet> results = Take(qid);
   // Windows: [-2,2)->10 (boundary 2 fired by watermark 3),
   // [0,4)->30, [2,6)->20 flushed by seal. Window [4,8) starts past the
   // last event: dormant.
-  ASSERT_EQ(results->size(), 3u);
-  EXPECT_EQ((*results)[0].cols[0]->GetValue(0).AsI64(), 10);
-  EXPECT_EQ((*results)[1].cols[0]->GetValue(0).AsI64(), 30);
-  EXPECT_EQ((*results)[2].cols[0]->GetValue(0).AsI64(), 20);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].cols[0]->GetValue(0).AsI64(), 10);
+  EXPECT_EQ(results[1].cols[0]->GetValue(0).AsI64(), 30);
+  EXPECT_EQ(results[2].cols[0]->GetValue(0).AsI64(), 20);
 }
 
 TEST_F(EngineTest, MultipleQueriesShareOneBasket) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (v int)").ok());
-  auto q1 = engine_.SubmitContinuous("SELECT v FROM s WHERE v % 2 = 0",
-                                     WithMode(ExecMode::kFullReeval));
-  auto q2 = engine_.SubmitContinuous("SELECT v FROM s WHERE v % 2 = 1",
-                                     WithMode(ExecMode::kFullReeval));
-  ASSERT_TRUE(q1.ok() && q2.ok());
-  for (int i = 0; i < 6; ++i) {
-    ASSERT_TRUE(engine_.PushRow("s", {Value::I64(i)}).ok());
-  }
+  Exec("CREATE STREAM s (v int)");
+  const int q1 = Submit("SELECT v FROM s WHERE v % 2 = 0",
+                        ExecMode::kFullReeval);
+  const int q2 = Submit("SELECT v FROM s WHERE v % 2 = 1",
+                        ExecMode::kFullReeval);
+  for (int i = 0; i < 6; ++i) Push("s", {Value::I64(i)});
   engine_.Pump();
-  auto r1 = engine_.TakeResults(*q1);
-  auto r2 = engine_.TakeResults(*q2);
-  ASSERT_TRUE(r1.ok() && r2.ok());
-  EXPECT_EQ(RowStrings(*r1).size(), 3u);
-  EXPECT_EQ(RowStrings(*r2).size(), 3u);
+  EXPECT_EQ(RowStrings(Take(q1)).size(), 3u);
+  EXPECT_EQ(RowStrings(Take(q2)).size(), 3u);
   // Both consumed everything: the basket dropped all tuples.
   auto stats = engine_.StreamStats("s");
   ASSERT_TRUE(stats.ok());
@@ -289,7 +191,7 @@ TEST_F(EngineTest, MultipleQueriesShareOneBasket) {
 }
 
 TEST_F(EngineTest, ExplainShowsPlanTransformation) {
-  ASSERT_TRUE(engine_.Execute("CREATE STREAM s (ts timestamp, v int)").ok());
+  Exec("CREATE STREAM s (ts timestamp, v int)");
   const std::string sql =
       "SELECT sum(v) FROM s [RANGE 10 SECONDS SLIDE 2 SECONDS] WHERE v > 3";
   auto onetime = engine_.ExplainSql(sql, plan::PlanMode::kOneTime);
@@ -304,7 +206,7 @@ TEST_F(EngineTest, ExplainShowsPlanTransformation) {
 TEST_F(EngineTest, ErrorsSurfaceCleanly) {
   EXPECT_FALSE(engine_.Query("SELECT v FROM nosuch").ok());
   EXPECT_FALSE(engine_.Execute("CREATE TABLE t (x whatever)").ok());
-  ASSERT_TRUE(engine_.Execute("CREATE TABLE t (x int)").ok());
+  Exec("CREATE TABLE t (x int)");
   EXPECT_FALSE(engine_.Query("SELECT y FROM t").ok());
   EXPECT_FALSE(engine_.Query("SELECT sum(x), y FROM t").ok());
   EXPECT_FALSE(engine_.SubmitContinuous("SELECT x FROM t").ok());

@@ -1,0 +1,289 @@
+// Two-paradigm equivalence — the paper's core claim, end-to-end: a
+// continuous query and a one-time query over identical data, through the
+// same binder/optimizer/compiler/executor stack, must produce identical
+// results.
+//
+// Every row is fed both to a stream (consumed by SubmitContinuous) and to a
+// persistent table (read by Query). For each continuous emission the test
+// derives the window's exact extent from WindowMath and replays it as a
+// one-time query:
+//  * RANGE windows: `WHERE ts >= start AND ts < end` over the table;
+//  * ROWS windows: a per-window table holding exactly that row chunk.
+// Swept over aggregate shapes × window geometries × both execution modes
+// (incremental and full re-evaluation).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/window.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace dc {
+namespace {
+
+using testutil::RowStrings;
+
+struct EquivCase {
+  const char* label;
+  const char* select;  // projection / aggregate list
+  const char* where;   // extra predicate ("" = none)
+  const char* tail;    // GROUP BY / ORDER BY clause ("" = none)
+  int64_t size;        // window size (seconds for RANGE, rows for ROWS)
+  int64_t slide;
+  ExecMode mode;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<EquivCase>& info) {
+  return StrFormat("%s_%lld_%lld_%s", info.param.label,
+                   static_cast<long long>(info.param.size),
+                   static_cast<long long>(info.param.slide),
+                   info.param.mode == ExecMode::kIncremental ? "inc" : "full");
+}
+
+/// Rows of one emission as printable strings.
+std::vector<std::string> Cells(const ColumnSet& cs) {
+  return RowStrings({cs});
+}
+
+/// Aligns the continuous emission sequence against the one-time replay of
+/// every window. Empty result sets are never emitted (a zero-row append is
+/// swallowed by the output basket), so a window absent from the emission
+/// sequence is legal exactly when its one-time replay is also empty; every
+/// delivered emission must match its window's replay cell-for-cell, in
+/// order.
+void CheckEmissionsMatchReplays(Engine& engine,
+                                const std::vector<ColumnSet>& emissions,
+                                const std::vector<std::string>& window_sqls,
+                                const std::string& continuous_sql) {
+  size_t i = 0;
+  for (const std::string& onetime : window_sqls) {
+    auto replay = engine.Query(onetime);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString()
+                             << "\nsql: " << onetime;
+    if (i < emissions.size() && Cells(emissions[i]) == Cells(*replay)) {
+      ++i;
+      continue;
+    }
+    EXPECT_EQ(replay->NumRows(), 0u)
+        << "window replay has rows but no matching emission (emission " << i
+        << " of " << emissions.size() << ")\ncontinuous: " << continuous_sql
+        << "\none-time:   " << onetime << "\nreplay:\n"
+        << replay->ToString(1 << 20)
+        << (i < emissions.size()
+                ? "\nnext emission:\n" + emissions[i].ToString(1 << 20)
+                : "\n(no emissions left)");
+  }
+  EXPECT_EQ(i, emissions.size())
+      << "unmatched trailing emissions\ncontinuous: " << continuous_sql;
+}
+
+std::string ContinuousSql(const EquivCase& c, bool rows_window) {
+  std::string sql = StrFormat(
+      rows_window ? "SELECT %s FROM s [ROWS %lld SLIDE %lld]"
+                  : "SELECT %s FROM s [RANGE %lld SECONDS SLIDE %lld SECONDS]",
+      c.select, static_cast<long long>(c.size),
+      static_cast<long long>(c.slide));
+  if (*c.where) sql += StrFormat(" WHERE %s", c.where);
+  if (*c.tail) sql += StrFormat(" %s", c.tail);
+  return sql;
+}
+
+// Both paradigms must agree bit-for-bit on doubles, so w values are dyadic
+// rationals (k/16) that round-trip exactly through the SQL literal below.
+struct Row {
+  int64_t ts_us;
+  int64_t g;
+  int64_t v;
+  int64_t w16;  // w = w16 / 16.0
+};
+
+std::vector<Row> MakeRows(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  int64_t ts_sec = 0;
+  for (int i = 0; i < n; ++i) {
+    ts_sec += rng.UniformInt(0, 3) / 2;  // 0 or 1 s per row, duplicates kept
+    rows.push_back(Row{ts_sec * kMicrosPerSecond, rng.UniformInt(0, 5),
+                       rng.UniformInt(-50, 50), rng.UniformInt(0, 160)});
+  }
+  return rows;
+}
+
+std::string ValuesList(const std::vector<Row>& rows, size_t lo, size_t hi) {
+  std::string values;
+  for (size_t i = lo; i < hi; ++i) {
+    values += StrFormat("%s(%lld, %lld, %lld, %.6f)", i == lo ? "" : ", ",
+                        static_cast<long long>(rows[i].ts_us),
+                        static_cast<long long>(rows[i].g),
+                        static_cast<long long>(rows[i].v),
+                        static_cast<double>(rows[i].w16) / 16.0);
+  }
+  return values;
+}
+
+class TwoParadigms : public testutil::SyncEngineTest,
+                     public ::testing::WithParamInterface<EquivCase> {};
+
+// --- RANGE windows: replayed as ts-interval predicates over the table ----
+
+TEST_P(TwoParadigms, RangeWindowMatchesOneTimeQuery) {
+  const EquivCase& c = GetParam();
+  Exec("CREATE STREAM s (ts timestamp, g int, v int, w double)");
+  Exec("CREATE TABLE t (ts timestamp, g int, v int, w double)");
+
+  const std::string sql = ContinuousSql(c, /*rows_window=*/false);
+  auto qid = engine_.SubmitContinuous(sql, testutil::WithMode(c.mode));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << sql;
+
+  const std::vector<Row> rows = MakeRows(7 * c.size + c.slide, 300);
+  for (size_t i = 0; i < rows.size(); i += 50) {
+    const size_t hi = std::min(i + 50, rows.size());
+    Exec(StrFormat("INSERT INTO t VALUES %s",
+                   ValuesList(rows, i, hi).c_str()));
+  }
+  for (const Row& r : rows) {
+    PushPump("s", {Value::Ts(r.ts_us), Value::I64(r.g), Value::I64(r.v),
+                   Value::F64(static_cast<double>(r.w16) / 16.0)});
+  }
+  Seal("s");
+
+  const std::vector<ColumnSet> emissions = Take(*qid);
+  ASSERT_GT(emissions.size(), 2u) << sql;
+
+  // Candidate windows end at boundaries m0*slide .. m_last*slide: from the
+  // first window containing an event through the last one flushed by seal
+  // (every window whose start lies at or before the last event).
+  plan::WindowSpec spec;
+  spec.size = c.size * kMicrosPerSecond;
+  spec.slide = c.slide * kMicrosPerSecond;
+  const WindowMath wm(spec);
+  const int64_t m0 = wm.FirstRangeEmission(rows.front().ts_us);
+  const int64_t m_last =
+      (rows.back().ts_us + spec.size) / spec.slide;  // non-negative ts
+  std::vector<std::string> window_sqls;
+  for (int64_t m = m0; m <= m_last; ++m) {
+    const auto [start, end] = wm.RangeExtent(m);
+    std::string onetime = StrFormat(
+        "SELECT %s FROM t WHERE ts >= %lld AND ts < %lld", c.select,
+        static_cast<long long>(start), static_cast<long long>(end));
+    if (*c.where) onetime += StrFormat(" AND %s", c.where);
+    if (*c.tail) onetime += StrFormat(" %s", c.tail);
+    window_sqls.push_back(std::move(onetime));
+  }
+  CheckEmissionsMatchReplays(engine_, emissions, window_sqls, sql);
+}
+
+constexpr const char* kScalar = "count(*), sum(v), min(v), max(v), avg(w)";
+constexpr const char* kGrouped = "g, count(*), sum(v), avg(w)";
+constexpr const char* kGroupTail = "GROUP BY g ORDER BY g";
+constexpr const char* kProjection = "ts, g, v";
+constexpr const char* kProjTail = "ORDER BY ts, g, v";
+
+std::vector<EquivCase> RangeCases() {
+  std::vector<EquivCase> cases;
+  // (size, slide) seconds: tumbling, divisible sliding (true incremental
+  // path), and non-divisible sliding (falls back to full re-evaluation).
+  const std::pair<int64_t, int64_t> windows[] = {{4, 4}, {8, 2}, {6, 4}};
+  const EquivCase shapes[] = {
+      {"scalar", kScalar, "", "", 0, 0, ExecMode::kIncremental},
+      {"grouped", kGrouped, "", kGroupTail, 0, 0, ExecMode::kIncremental},
+      {"filtered", kGrouped, "v > 0", kGroupTail, 0, 0,
+       ExecMode::kIncremental},
+      {"projection", kProjection, "v % 2 = 0", kProjTail, 0, 0,
+       ExecMode::kIncremental},
+  };
+  for (const EquivCase& shape : shapes) {
+    for (auto [size, slide] : windows) {
+      for (ExecMode mode : {ExecMode::kIncremental, ExecMode::kFullReeval}) {
+        EquivCase c = shape;
+        c.size = size;
+        c.slide = slide;
+        c.mode = mode;
+        cases.push_back(c);
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, TwoParadigms,
+                         ::testing::ValuesIn(RangeCases()), CaseName);
+
+// --- ROWS windows: replayed as per-window row-chunk tables ---------------
+
+class TwoParadigmsRows : public testutil::SyncEngineTest,
+                         public ::testing::WithParamInterface<EquivCase> {};
+
+TEST_P(TwoParadigmsRows, RowsWindowMatchesOneTimeQuery) {
+  const EquivCase& c = GetParam();
+  Exec("CREATE STREAM s (ts timestamp, g int, v int, w double)");
+
+  const std::string sql = ContinuousSql(c, /*rows_window=*/true);
+  auto qid = engine_.SubmitContinuous(sql, testutil::WithMode(c.mode));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << sql;
+
+  const std::vector<Row> rows = MakeRows(13 * c.size + c.slide, 120);
+  for (const Row& r : rows) {
+    PushPump("s", {Value::Ts(r.ts_us), Value::I64(r.g), Value::I64(r.v),
+                   Value::F64(static_cast<double>(r.w16) / 16.0)});
+  }
+  // No seal: ROWS emission k fires exactly when row k*slide + size arrives.
+  const std::vector<ColumnSet> emissions = Take(*qid);
+  ASSERT_GT(emissions.size(), 2u) << sql;
+
+  // Candidate window k covers the row chunk [k*slide, k*slide + size).
+  const size_t num_windows =
+      (rows.size() - static_cast<size_t>(c.size)) /
+          static_cast<size_t>(c.slide) +
+      1;
+  std::vector<std::string> window_sqls;
+  for (size_t k = 0; k < num_windows; ++k) {
+    const size_t lo = k * static_cast<size_t>(c.slide);
+    const size_t hi = lo + static_cast<size_t>(c.size);
+    const std::string table = StrFormat("w%lld", static_cast<long long>(k));
+    Exec(StrFormat("CREATE TABLE %s (ts timestamp, g int, v int, w double)",
+                   table.c_str()));
+    Exec(StrFormat("INSERT INTO %s VALUES %s", table.c_str(),
+                   ValuesList(rows, lo, hi).c_str()));
+    std::string onetime =
+        StrFormat("SELECT %s FROM %s", c.select, table.c_str());
+    if (*c.where) onetime += StrFormat(" WHERE %s", c.where);
+    if (*c.tail) onetime += StrFormat(" %s", c.tail);
+    window_sqls.push_back(std::move(onetime));
+  }
+  CheckEmissionsMatchReplays(engine_, emissions, window_sqls, sql);
+}
+
+std::vector<EquivCase> RowsCases() {
+  std::vector<EquivCase> cases;
+  const std::pair<int64_t, int64_t> windows[] = {{10, 10}, {12, 4}};
+  const EquivCase shapes[] = {
+      {"scalar", kScalar, "", "", 0, 0, ExecMode::kIncremental},
+      {"grouped", kGrouped, "", kGroupTail, 0, 0, ExecMode::kIncremental},
+      {"filtered", kGrouped, "v > 0", kGroupTail, 0, 0,
+       ExecMode::kIncremental},
+  };
+  for (const EquivCase& shape : shapes) {
+    for (auto [size, slide] : windows) {
+      for (ExecMode mode : {ExecMode::kIncremental, ExecMode::kFullReeval}) {
+        EquivCase c = shape;
+        c.size = size;
+        c.slide = slide;
+        c.mode = mode;
+        cases.push_back(c);
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, TwoParadigmsRows,
+                         ::testing::ValuesIn(RowsCases()), CaseName);
+
+}  // namespace
+}  // namespace dc

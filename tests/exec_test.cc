@@ -4,13 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "exec/executor.h"
 #include "exec/interpreter.h"
-#include "plan/binder.h"
-#include "plan/compiler.h"
-#include "plan/optimizer.h"
-#include "sql/parser.h"
 #include "storage/catalog.h"
+#include "tests/test_util.h"
 
 namespace dc::exec {
 namespace {
@@ -41,14 +40,13 @@ class ExecTest : public ::testing::Test {
   }
 
   QueryExecutor MakeExecutor(const std::string& sql) {
-    auto stmt = sql::ParseStatement(sql);
-    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
-    auto bound = plan::Bind(std::get<sql::SelectStmt>(*stmt), catalog_);
-    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
-    plan::Optimize(&*bound);
-    auto cq = plan::Compile(std::move(*bound));
-    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
-    return QueryExecutor(std::move(*cq));
+    auto ex = dc::testutil::CompileQuery(sql, catalog_);
+    if (!ex) {
+      // CompileQuery already recorded the gtest failure; throwing fails
+      // just this test instead of segfaulting the whole binary.
+      throw std::runtime_error("CompileQuery failed: " + sql);
+    }
+    return std::move(*ex);
   }
 
   // Stream data: g cycles 0..2, v = i, w = i/2.0.

@@ -5,11 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "plan/binder.h"
-#include "plan/compiler.h"
-#include "plan/optimizer.h"
-#include "sql/parser.h"
 #include "storage/catalog.h"
+#include "tests/test_util.h"
 #include "util/string_util.h"
 
 namespace dc {
@@ -18,9 +15,7 @@ namespace {
 class FactoryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    Schema s;
-    ASSERT_TRUE(s.AddColumn("ts", TypeId::kTs).ok());
-    ASSERT_TRUE(s.AddColumn("v", TypeId::kI64).ok());
+    const Schema s = testutil::TsI64Schema();
     StreamDef def;
     def.name = "s";
     def.schema = s;
@@ -34,14 +29,7 @@ class FactoryTest : public ::testing::Test {
   }
 
   std::shared_ptr<exec::QueryExecutor> MakeExecutor(const std::string& sql) {
-    auto stmt = sql::ParseStatement(sql);
-    EXPECT_TRUE(stmt.ok());
-    auto bound = plan::Bind(std::get<sql::SelectStmt>(*stmt), catalog_);
-    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
-    plan::Optimize(&*bound);
-    auto cq = plan::Compile(std::move(*bound));
-    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
-    return std::make_shared<exec::QueryExecutor>(std::move(*cq));
+    return testutil::CompileQuery(sql, catalog_);
   }
 
   FactoryInput StreamInput(std::optional<plan::WindowSpec> window) {

@@ -8,17 +8,14 @@
 #include <atomic>
 
 #include "core/engine.h"
+#include "tests/test_util.h"
 #include "util/string_util.h"
 #include "workload/generators.h"
 
 namespace dc {
 namespace {
 
-EngineOptions Threaded(int workers = 2) {
-  EngineOptions o;
-  o.scheduler_workers = workers;
-  return o;
-}
+using testutil::Threaded;
 
 TEST(IntegrationTest, ReceptorToEmitterPipeline) {
   Engine engine(Threaded());
@@ -65,22 +62,13 @@ TEST(IntegrationTest, ModeEquivalenceUnderThreading) {
   // interleavings.
   Engine engine(Threaded(3));
   ASSERT_TRUE(engine.Execute(workload::PacketDdl("p")).ok());
-  auto full = engine.SubmitContinuous(
+  const char* sql =
       "SELECT port, count(*), sum(bytes) FROM p "
-      "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] GROUP BY port ORDER BY port",
-      [] {
-        Engine::ContinuousOptions o;
-        o.mode = ExecMode::kFullReeval;
-        return o;
-      }());
+      "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] GROUP BY port ORDER BY port";
+  auto full =
+      engine.SubmitContinuous(sql, testutil::WithMode(ExecMode::kFullReeval));
   auto inc = engine.SubmitContinuous(
-      "SELECT port, count(*), sum(bytes) FROM p "
-      "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] GROUP BY port ORDER BY port",
-      [] {
-        Engine::ContinuousOptions o;
-        o.mode = ExecMode::kIncremental;
-        return o;
-      }());
+      sql, testutil::WithMode(ExecMode::kIncremental));
   ASSERT_TRUE(full.ok() && inc.ok());
 
   workload::PacketConfig config;
@@ -96,11 +84,7 @@ TEST(IntegrationTest, ModeEquivalenceUnderThreading) {
   auto ir = engine.TakeResults(*inc);
   ASSERT_TRUE(fr.ok() && ir.ok());
   ASSERT_GT(fr->size(), 0u);
-  ASSERT_EQ(fr->size(), ir->size());
-  for (size_t i = 0; i < fr->size(); ++i) {
-    EXPECT_EQ((*fr)[i].ToString(1 << 20), (*ir)[i].ToString(1 << 20))
-        << "emission " << i;
-  }
+  EXPECT_EQ(testutil::EmissionStrings(*fr), testutil::EmissionStrings(*ir));
 }
 
 TEST(IntegrationTest, ManyQueriesManyWorkers) {

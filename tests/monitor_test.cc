@@ -5,30 +5,23 @@
 
 #include "monitor/analysis.h"
 #include "monitor/network.h"
+#include "tests/test_util.h"
 
 namespace dc::monitor {
 namespace {
 
-EngineOptions Sync() {
-  EngineOptions o;
-  o.scheduler_workers = 0;
-  return o;
-}
-
 class MonitorTest : public ::testing::Test {
  protected:
-  MonitorTest() : engine_(Sync()) {
+  MonitorTest() : engine_(testutil::SyncOptions()) {
     DC_CHECK_OK(engine_.Execute(
         "CREATE STREAM s (ts timestamp, v int);"
         "CREATE TABLE dim (v int, label string);"
         "INSERT INTO dim VALUES (1, 'one')"));
-    Engine::ContinuousOptions o1;
-    o1.mode = ExecMode::kIncremental;
+    Engine::ContinuousOptions o1 = testutil::WithMode(ExecMode::kIncremental);
     o1.name = "agg";
     q1_ = *engine_.SubmitContinuous(
         "SELECT count(*) FROM s [RANGE 2 SECONDS SLIDE 1 SECONDS]", o1);
-    Engine::ContinuousOptions o2;
-    o2.mode = ExecMode::kFullReeval;
+    Engine::ContinuousOptions o2 = testutil::WithMode(ExecMode::kFullReeval);
     o2.name = "joiner";
     q2_ = *engine_.SubmitContinuous(
         "SELECT label FROM s JOIN dim ON s.v = dim.v", o2);

@@ -15,11 +15,14 @@
 #include "bat/ops_aggregate.h"
 #include "bat/ops_select.h"
 #include "core/engine.h"
+#include "tests/test_util.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
 namespace dc {
 namespace {
+
+using testutil::EmissionStrings;
 
 // --- P1: FULL == INCREMENTAL --------------------------------------------------
 
@@ -48,21 +51,11 @@ std::string CaseSql(const ModeCase& c) {
   return sql;
 }
 
-std::vector<std::string> EmissionStrings(const std::vector<ColumnSet>& es) {
-  std::vector<std::string> out;
-  for (const ColumnSet& e : es) out.push_back(e.ToString(1 << 20));
-  return out;
-}
-
 class FullVsIncremental : public ::testing::TestWithParam<ModeCase> {};
 
 TEST_P(FullVsIncremental, EmissionsIdentical) {
   const ModeCase& c = GetParam();
-  Engine engine([] {
-    EngineOptions o;
-    o.scheduler_workers = 0;
-    return o;
-  }());
+  Engine engine(testutil::SyncOptions());
   ASSERT_TRUE(
       engine.Execute("CREATE STREAM s (ts timestamp, g int, v int, w double)")
           .ok());
@@ -73,12 +66,10 @@ TEST_P(FullVsIncremental, EmissionsIdentical) {
                   .ok());
 
   const std::string sql = CaseSql(c);
-  Engine::ContinuousOptions full_opts;
-  full_opts.mode = ExecMode::kFullReeval;
-  auto full = engine.SubmitContinuous(sql, full_opts);
-  Engine::ContinuousOptions inc_opts;
-  inc_opts.mode = ExecMode::kIncremental;
-  auto inc = engine.SubmitContinuous(sql, inc_opts);
+  auto full =
+      engine.SubmitContinuous(sql, testutil::WithMode(ExecMode::kFullReeval));
+  auto inc = engine.SubmitContinuous(
+      sql, testutil::WithMode(ExecMode::kIncremental));
   ASSERT_TRUE(full.ok()) << full.status().ToString() << " sql: " << sql;
   ASSERT_TRUE(inc.ok()) << inc.status().ToString();
   ASSERT_FALSE(engine.GetFactory(*inc)->Stats().fell_back_to_full);
@@ -153,11 +144,7 @@ class DualStreamCase : public ::testing::TestWithParam<int> {};
 
 TEST_P(DualStreamCase, JoinFullVsIncremental) {
   const uint64_t seed = static_cast<uint64_t>(GetParam());
-  Engine engine([] {
-    EngineOptions o;
-    o.scheduler_workers = 0;
-    return o;
-  }());
+  Engine engine(testutil::SyncOptions());
   ASSERT_TRUE(
       engine.Execute("CREATE STREAM a (ts timestamp, k int, x int)").ok());
   ASSERT_TRUE(
@@ -166,13 +153,11 @@ TEST_P(DualStreamCase, JoinFullVsIncremental) {
       "SELECT count(*), sum(x), sum(y) FROM "
       "a [RANGE 4 SECONDS SLIDE 2 SECONDS] JOIN "
       "b [RANGE 6 SECONDS SLIDE 2 SECONDS] ON a.k = b.k";
-  Engine::ContinuousOptions full_opts;
-  full_opts.mode = ExecMode::kFullReeval;
-  auto full = engine.SubmitContinuous(sql, full_opts);
+  auto full =
+      engine.SubmitContinuous(sql, testutil::WithMode(ExecMode::kFullReeval));
   ASSERT_TRUE(full.ok()) << full.status().ToString();
-  Engine::ContinuousOptions inc_opts;
-  inc_opts.mode = ExecMode::kIncremental;
-  auto inc = engine.SubmitContinuous(sql, inc_opts);
+  auto inc = engine.SubmitContinuous(
+      sql, testutil::WithMode(ExecMode::kIncremental));
   ASSERT_TRUE(inc.ok());
 
   Rng rng(seed);

@@ -8,16 +8,12 @@
 
 #include "core/emitter.h"
 #include "core/receptor.h"
+#include "tests/test_util.h"
 
 namespace dc {
 namespace {
 
-Schema TwoCol() {
-  Schema s;
-  DC_CHECK_OK(s.AddColumn("ts", TypeId::kTs));
-  DC_CHECK_OK(s.AddColumn("v", TypeId::kI64));
-  return s;
-}
+using testutil::TsI64Schema;
 
 Receptor::RowGen CountingGen(int64_t n) {
   auto i = std::make_shared<int64_t>(0);
@@ -32,7 +28,7 @@ Receptor::RowGen CountingGen(int64_t n) {
 }
 
 TEST(ReceptorTest, IngestsEverythingAndSeals) {
-  Basket basket("s", TwoCol(), 0);
+  Basket basket("s", TsI64Schema(), 0);
   Receptor::Options opts;
   opts.batch_rows = 7;  // deliberately not a divisor of 100
   Receptor r("r", &basket, CountingGen(100), opts);
@@ -48,7 +44,7 @@ TEST(ReceptorTest, IngestsEverythingAndSeals) {
 }
 
 TEST(ReceptorTest, RateControlApproximatesTarget) {
-  Basket basket("s", TwoCol(), 0);
+  Basket basket("s", TsI64Schema(), 0);
   Receptor::Options opts;
   opts.rows_per_sec = 20000;
   opts.batch_rows = 100;
@@ -58,26 +54,30 @@ TEST(ReceptorTest, RateControlApproximatesTarget) {
   r.WaitFinished();
   const double secs =
       static_cast<double>(SteadyMicros() - start) / kMicrosPerSecond;
-  // 4000 rows at 20k/s should take ~0.2 s; allow generous slack.
+  // 4000 rows at 20k/s should take ~0.2 s; the upper bound is generous so
+  // sanitizer builds under parallel ctest load stay comfortably inside it.
   EXPECT_GT(secs, 0.1);
-  EXPECT_LT(secs, 1.0);
+  EXPECT_LT(secs, 2.0);
 }
 
 TEST(ReceptorTest, PauseStopsIngestion) {
-  Basket basket("s", TwoCol(), 0);
+  Basket basket("s", TsI64Schema(), 0);
   Receptor::Options opts;
   opts.rows_per_sec = 5000;
   opts.batch_rows = 10;
   Receptor r("r", &basket, CountingGen(1000000), opts);
   r.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Pause() is synchronous: once it returns, nothing more is appended.
   r.Pause();
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
   const uint64_t at_pause = basket.HighSeq();
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   EXPECT_EQ(basket.HighSeq(), at_pause);
   r.Resume();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const Micros deadline = SteadyMicros() + 5 * kMicrosPerSecond;
+  while (basket.HighSeq() <= at_pause && SteadyMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   r.Stop();
   EXPECT_GT(basket.HighSeq(), at_pause);
 }
@@ -88,7 +88,7 @@ TEST(ReceptorTest, CsvSourceParsesAndCoerces) {
     std::ofstream f(path);
     f << "100,1\n200,2\n\nbadline\n300,3\n";
   }
-  Schema schema = TwoCol();
+  Schema schema = TsI64Schema();
   auto gen = CsvRowGen(path, schema);
   ASSERT_TRUE(gen.ok());
   Basket basket("s", schema, 0);
@@ -102,7 +102,7 @@ TEST(ReceptorTest, CsvSourceParsesAndCoerces) {
 }
 
 TEST(EmitterTest, PreservesEmissionBoundaries) {
-  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  auto basket = std::make_shared<Basket>("out", TsI64Schema(), SIZE_MAX);
   ResultCollector collector;
   Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
   // Three "emissions" of different sizes.
@@ -124,7 +124,7 @@ TEST(EmitterTest, PreservesEmissionBoundaries) {
 }
 
 TEST(EmitterTest, ThreadedDeliveryOnAppend) {
-  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  auto basket = std::make_shared<Basket>("out", TsI64Schema(), SIZE_MAX);
   ResultCollector collector;
   Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
   emitter.Start();
@@ -140,7 +140,7 @@ TEST(EmitterTest, ThreadedDeliveryOnAppend) {
 }
 
 TEST(EmitterTest, DrainOnEmptyBasketIsNoop) {
-  auto basket = std::make_shared<Basket>("out", TwoCol(), SIZE_MAX);
+  auto basket = std::make_shared<Basket>("out", TsI64Schema(), SIZE_MAX);
   ResultCollector collector;
   Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
   EXPECT_EQ(emitter.Drain(), 0);

@@ -5,11 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "plan/binder.h"
-#include "plan/compiler.h"
-#include "plan/optimizer.h"
-#include "sql/parser.h"
 #include "storage/catalog.h"
+#include "tests/test_util.h"
 #include "util/string_util.h"
 
 namespace dc {
@@ -29,11 +26,7 @@ class SchedulerTest : public ::testing::Test {
   }
 
   FactoryPtr MakeFactory(int id) {
-    auto stmt = sql::ParseStatement("SELECT v FROM s");
-    auto bound = plan::Bind(std::get<sql::SelectStmt>(*stmt), catalog_);
-    plan::Optimize(&*bound);
-    auto cq = plan::Compile(std::move(*bound));
-    auto ex = std::make_shared<exec::QueryExecutor>(std::move(*cq));
+    auto ex = testutil::CompileQuery("SELECT v FROM s", catalog_);
     Schema out;
     DC_CHECK_OK(out.AddColumn("v", TypeId::kI64));
     auto out_basket = std::make_shared<Basket>("out", out);

@@ -1,0 +1,216 @@
+// Shared gtest harness for the DataCell suites.
+//
+// Provides the pieces every engine-facing suite needs:
+//  * SyncOptions()/Threaded(): EngineOptions for a deterministic threadless
+//    engine (driven by Pump()) or a threaded one (driven by WaitIdle()).
+//  * SyncEngineTest: fixture owning a synchronous engine plus must-succeed
+//    helpers (Exec / Push / PushPump / Seal / Submit / Take).
+//  * EventClock: manual event-time source handing out monotone timestamps.
+//  * RowStrings / EmissionStrings / ColumnSetMatches: golden comparators
+//    for emission sequences and ColumnSet contents.
+
+#ifndef DATACELL_TESTS_TEST_UTIL_H_
+#define DATACELL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "plan/binder.h"
+#include "plan/compiler.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+#include "util/clock.h"
+
+namespace dc {
+namespace testutil {
+
+/// Synchronous mode: no threads anywhere; the test drives execution with
+/// Pump() so factory firings interleave deterministically.
+inline EngineOptions SyncOptions() {
+  EngineOptions o;
+  o.scheduler_workers = 0;
+  return o;
+}
+
+/// Threaded mode for concurrency suites; drive with WaitIdle().
+inline EngineOptions Threaded(int workers = 2) {
+  EngineOptions o;
+  o.scheduler_workers = workers;
+  return o;
+}
+
+/// ContinuousOptions with just the mode (buffered results, default name).
+inline Engine::ContinuousOptions WithMode(ExecMode mode) {
+  Engine::ContinuousOptions o;
+  o.mode = mode;
+  return o;
+}
+
+/// Schema (ts timestamp, v int) — the minimal event shape the basket/
+/// receptor/factory unit suites feed through the pipeline.
+inline Schema TsI64Schema() {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn("ts", TypeId::kTs).ok());
+  EXPECT_TRUE(s.AddColumn("v", TypeId::kI64).ok());
+  return s;
+}
+
+/// Compiles a SELECT through the full parse→bind→optimize→compile stack,
+/// recording a gtest failure (and returning null) on any stage error.
+inline std::shared_ptr<exec::QueryExecutor> CompileQuery(
+    std::string_view sql, const Catalog& catalog) {
+  auto stmt = sql::ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << "\nsql: " << sql;
+  if (!stmt.ok()) return nullptr;
+  auto bound = plan::Bind(std::get<sql::SelectStmt>(*stmt), catalog);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString() << "\nsql: " << sql;
+  if (!bound.ok()) return nullptr;
+  plan::Optimize(&*bound);
+  auto cq = plan::Compile(std::move(*bound));
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString() << "\nsql: " << sql;
+  if (!cq.ok()) return nullptr;
+  return std::make_shared<exec::QueryExecutor>(std::move(*cq));
+}
+
+/// Manual event-time source: hands out monotone Value::Ts timestamps for
+/// feeding streams; the test advances time explicitly.
+class EventClock {
+ public:
+  explicit EventClock(Micros start = 0) : clock_(start) {}
+
+  Micros Now() const { return clock_.Now(); }
+  Value Ts() const { return Value::Ts(clock_.Now()); }
+
+  void Advance(Micros delta) { clock_.Advance(delta); }
+  void AdvanceMillis(int64_t ms) { clock_.Advance(ms * kMicrosPerMilli); }
+  void AdvanceSeconds(int64_t s) { clock_.Advance(s * kMicrosPerSecond); }
+  void Set(Micros t) { clock_.Set(t); }
+
+ private:
+  ManualClock clock_;
+};
+
+/// All rows across all emissions as "v1|v2|...|" strings (order-sensitive).
+inline std::vector<std::string> RowStrings(
+    const std::vector<ColumnSet>& emissions) {
+  std::vector<std::string> out;
+  for (const ColumnSet& e : emissions) {
+    for (uint64_t r = 0; r < e.NumRows(); ++r) {
+      std::string row;
+      for (const Value& v : e.Row(r)) row += v.ToString() + "|";
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+/// Each emission rendered as a full (untruncated) ASCII table — the golden
+/// form for comparing whole emission sequences across execution modes.
+inline std::vector<std::string> EmissionStrings(
+    const std::vector<ColumnSet>& emissions) {
+  std::vector<std::string> out;
+  out.reserve(emissions.size());
+  for (const ColumnSet& e : emissions) out.push_back(e.ToString(1 << 20));
+  return out;
+}
+
+/// Golden comparator: cell-by-cell match of a ColumnSet against expected
+/// rows (each cell in its Value::ToString() rendering). Produces a readable
+/// diff naming the first mismatching cell.
+inline ::testing::AssertionResult ColumnSetMatches(
+    const ColumnSet& got, const std::vector<std::vector<std::string>>& want) {
+  if (got.NumRows() != want.size()) {
+    return ::testing::AssertionFailure()
+           << "row count " << got.NumRows() << " != expected " << want.size()
+           << "\n"
+           << got.ToString(1 << 20);
+  }
+  for (uint64_t r = 0; r < want.size(); ++r) {
+    const std::vector<Value> row = got.Row(r);
+    if (row.size() != want[r].size()) {
+      return ::testing::AssertionFailure()
+             << "row " << r << ": column count " << row.size()
+             << " != expected " << want[r].size();
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].ToString() != want[r][c]) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << "," << c << "): got '" << row[c].ToString()
+               << "', expected '" << want[r][c] << "'\n"
+               << got.ToString(1 << 20);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Fixture owning a deterministic (synchronous) engine. All helpers record
+/// a gtest failure on error, so tests read as straight-line scripts:
+///
+///   Exec("CREATE STREAM s (v int)");
+///   const int q = Submit("SELECT v FROM s", ExecMode::kFullReeval);
+///   PushPump("s", {Value::I64(1)});
+///   auto rows = RowStrings(Take(q));
+class SyncEngineTest : public ::testing::Test {
+ protected:
+  SyncEngineTest() : engine_(SyncOptions()) {}
+
+  /// Runs DDL/DML (or a ';' script); fails the test on error.
+  void Exec(std::string_view sql) {
+    const Status s = engine_.Execute(sql);
+    ASSERT_TRUE(s.ok()) << s.ToString() << "\nsql: " << sql;
+  }
+
+  /// Appends one row; no pump.
+  void Push(std::string_view stream, const std::vector<Value>& row) {
+    const Status s = engine_.PushRow(stream, row);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Appends one row and pumps, so windows fire exactly as time advances.
+  void PushPump(std::string_view stream, const std::vector<Value>& row) {
+    Push(stream, row);
+    engine_.Pump();
+  }
+
+  /// Declares end-of-stream and pumps the flushed windows.
+  void Seal(std::string_view stream) {
+    const Status s = engine_.SealStream(stream);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    engine_.Pump();
+  }
+
+  /// Registers a continuous query; returns its id (-1 on failure, which is
+  /// recorded as a test failure).
+  int Submit(std::string_view sql, ExecMode mode = ExecMode::kIncremental) {
+    auto r = engine_.SubmitContinuous(sql, WithMode(mode));
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nsql: " << sql;
+    return r.ok() ? *r : -1;
+  }
+
+  /// Buffered emissions of `query_id` (empty on error, recorded).
+  std::vector<ColumnSet> Take(int query_id) {
+    auto r = engine_.TakeResults(query_id);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : std::vector<ColumnSet>{};
+  }
+
+  /// One-time query that must succeed.
+  ColumnSet MustQuery(std::string_view sql) {
+    auto r = engine_.Query(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nsql: " << sql;
+    return r.ok() ? std::move(*r) : ColumnSet{};
+  }
+
+  Engine engine_;
+};
+
+}  // namespace testutil
+}  // namespace dc
+
+#endif  // DATACELL_TESTS_TEST_UTIL_H_

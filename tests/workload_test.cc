@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/engine.h"
+#include "tests/test_util.h"
 #include "workload/generators.h"
 #include "workload/linear_road.h"
 
@@ -140,9 +141,7 @@ TEST(LinearRoadTest, AccidentQueryMatchesReference) {
   config.duration_sec = 60;
   config.stop_prob = 0.01;  // plenty of breakdowns
 
-  EngineOptions opts;
-  opts.scheduler_workers = 0;
-  Engine engine(opts);
+  Engine engine(testutil::SyncOptions());
   ASSERT_TRUE(engine.Execute(LrPositionDdl("pos")).ok());
   auto queries = SetupLrQueries(engine, "pos", ExecMode::kIncremental);
   ASSERT_TRUE(queries.ok()) << queries.status().ToString();
