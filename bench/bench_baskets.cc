@@ -6,8 +6,20 @@
 //   * COW table append (why baskets exist: tables are read-optimized)
 //   * full append->read->advance->shrink cycle at steady state
 //   * indexed table lookup vs basket scan (the indexing trade)
+//   * bounded-basket producer/consumer throughput (the backpressure path)
+//
+// `--smoke` runs the suite at a tiny time budget and writes
+// BENCH_baskets.json next to the binary (the CI anti-bit-rot entry that
+// tracks ingest throughput under bounded memory).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "core/basket.h"
 #include "storage/table.h"
@@ -94,6 +106,48 @@ void BM_BasketWindowReadCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_BasketWindowReadCycle)->Arg(1024)->Arg(8192);
 
+void BM_BasketBackpressureCycle(benchmark::State& state) {
+  // Producer/consumer through a bounded basket: the producer blocks when
+  // the bound is hit, the consumer thread drains in window-sized chunks.
+  // Items/s is end-to-end ingest throughput under bounded memory.
+  const uint64_t cap_rows = state.range(0);
+  constexpr uint64_t kBatchRows = 256;
+  workload::SensorConfig config;
+  auto batch = workload::SensorBatch(config, 0, kBatchRows);
+  BasketLimits limits;
+  limits.max_rows = cap_rows;
+  Basket basket("s", SensorSchema(), 0, limits);
+  const int reader = basket.RegisterReader(true);
+
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    uint64_t cursor = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t high = basket.HighSeq();
+      if (high == cursor) {
+        std::this_thread::yield();
+        continue;
+      }
+      BasketView view = basket.Read(cursor, high - cursor);
+      benchmark::DoNotOptimize(view.rows);
+      cursor = view.first_seq + view.rows;
+      basket.AdvanceReader(reader, cursor);
+    }
+  });
+  for (auto _ : state) {
+    DC_CHECK_OK(basket.Append(batch));  // blocks at the bound
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatchRows));
+  state.counters["stalls"] =
+      static_cast<double>(basket.Stats().append_stalls);
+  state.counters["hwm_rows"] =
+      static_cast<double>(basket.Stats().resident_hwm_rows);
+}
+BENCHMARK(BM_BasketBackpressureCycle)->Arg(1024)->Arg(10000)->UseRealTime();
+
 void BM_TableIndexedLookup(benchmark::State& state) {
   Table table("t", SensorSchema());
   workload::SensorConfig config;
@@ -113,4 +167,27 @@ BENCHMARK(BM_TableIndexedLookup);
 }  // namespace
 }  // namespace dc
 
-BENCHMARK_MAIN();
+// `--smoke` expands to a tiny time budget plus a JSON report, so CI can run
+// the suite cheaply and archive BENCH_baskets.json for the perf trajectory.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> smoke_flags;
+  const auto smoke_it = std::find_if(args.begin(), args.end(), [](char* a) {
+    return std::string_view(a) == "--smoke";
+  });
+  if (smoke_it != args.end()) {
+    args.erase(smoke_it);
+    smoke_flags = {"--benchmark_min_time=0.01",
+                   "--benchmark_out=BENCH_baskets.json",
+                   "--benchmark_out_format=json"};
+    for (std::string& f : smoke_flags) args.push_back(f.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,29 +6,38 @@
 
 namespace dc {
 
-Basket::Basket(std::string name, Schema schema, size_t ts_col)
-    : name_(std::move(name)), schema_(std::move(schema)), ts_col_(ts_col) {
+Basket::Basket(std::string name, Schema schema, size_t ts_col,
+               BasketLimits limits)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      ts_col_(ts_col),
+      limits_(limits) {
   for (const ColumnDef& c : schema_.columns()) {
     cols_.push_back(Bat::MakeEmpty(c.type));
   }
 }
 
-Status Basket::Append(const std::vector<BatPtr>& cols) {
+void Basket::SetLimits(BasketLimits limits) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    DC_RETURN_NOT_OK(AppendLocked(cols));
+    limits_ = limits;
   }
-  NotifyAll();
-  return Status::OK();
+  space_cv_.notify_all();
 }
 
-Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
+BasketLimits Basket::limits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limits_;
+}
+
+Status Basket::ValidateBatch(const std::vector<BatPtr>& cols,
+                             uint64_t* n) const {
   if (cols.size() != cols_.size()) {
     return Status::InvalidArgument(
         StrFormat("basket %s: expected %zu columns, got %zu", name_.c_str(),
                   cols_.size(), cols.size()));
   }
-  const uint64_t n = cols.empty() ? 0 : cols[0]->size();
+  *n = cols.empty() ? 0 : cols[0]->size();
   for (size_t i = 0; i < cols.size(); ++i) {
     if (cols[i]->type() != schema_.column(i).type) {
       return Status::TypeError(
@@ -36,11 +45,105 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
                     name_.c_str(), i, TypeName(schema_.column(i).type),
                     TypeName(cols[i]->type())));
     }
-    if (cols[i]->size() != n) {
+    if (cols[i]->size() != *n) {
       return Status::InvalidArgument("ragged basket append");
     }
   }
-  if (n == 0) return Status::OK();
+  return Status::OK();
+}
+
+size_t Basket::MemoryBytesLocked() const {
+  size_t total = 0;
+  for (const BatPtr& c : cols_) total += c->MemoryBytes();
+  return total;
+}
+
+bool Basket::AtCapacityLocked() const {
+  if (limits_.max_rows > 0 && high_ - base_ >= limits_.max_rows) return true;
+  if (limits_.max_bytes > 0 && MemoryBytesLocked() >= limits_.max_bytes) {
+    return true;
+  }
+  return false;
+}
+
+Status Basket::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
+                                  uint64_t n, Micros timeout_micros) {
+  // Admission control: a batch is admitted as soon as the basket is below
+  // the bound, so occupancy overshoots by at most the one in-flight batch
+  // (and batches larger than the bound still make progress).
+  if (n == 0 || !limits_.bounded() || !AtCapacityLocked()) return Status::OK();
+  ++append_stalls_;
+  bool admitted;
+  if (timeout_micros < 0) {  // kBlockForever
+    // An unbounded wait is satisfiable only if a reader exists to free
+    // space; with none, fail fast instead of deadlocking the producer.
+    // (Bounded waits below still sleep out their slice — pollers like the
+    // parked receptor rely on that for pacing.)
+    if (readers_.empty()) {
+      ++append_timeouts_;
+      return Status::ResourceExhausted(StrFormat(
+          "basket %s full with no readers to drain it", name_.c_str()));
+    }
+    const Micros wait_start = SteadyMicros();
+    space_cv_.wait(lock, [this] {
+      return !AtCapacityLocked() || readers_.empty();
+    });
+    stall_micros_ += SteadyMicros() - wait_start;
+    admitted = !AtCapacityLocked();
+    if (!admitted) {
+      // Still at capacity, so the wake came from the readers_.empty() arm:
+      // the last reader unregistered mid-wait and nothing can free space.
+      ++append_timeouts_;
+      return Status::ResourceExhausted(StrFormat(
+          "basket %s full with no readers to drain it", name_.c_str()));
+    }
+  } else {
+    const Micros wait_start = SteadyMicros();
+    admitted = space_cv_.wait_for(
+        lock, std::chrono::microseconds(timeout_micros),
+        [this] { return !AtCapacityLocked(); });
+    stall_micros_ += SteadyMicros() - wait_start;
+  }
+  if (admitted) return Status::OK();
+  ++append_timeouts_;
+  return Status::ResourceExhausted(
+      StrFormat("basket %s full (%llu resident rows, cap %llu rows/%zu B)",
+                name_.c_str(),
+                static_cast<unsigned long long>(high_ - base_),
+                static_cast<unsigned long long>(limits_.max_rows),
+                limits_.max_bytes));
+}
+
+Status Basket::Append(const std::vector<BatPtr>& cols, Micros timeout_micros) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    DC_RETURN_NOT_OK(ValidateBatch(cols, &n));
+    DC_RETURN_NOT_OK(WaitForSpaceLocked(lock, n, timeout_micros));
+    DC_RETURN_NOT_OK(AppendLocked(cols));
+  }
+  NotifyAll();
+  return Status::OK();
+}
+
+Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
+  const uint64_t n = cols.empty() ? 0 : cols[0]->size();
+  if (n == 0) {
+    // A zero-row batch carries no data but its boundary is an emission:
+    // record it in the batch log so emitters deliver the empty result set.
+    // With no batch-tracking reader the boundary has no consumer and is
+    // not retained — otherwise repeated empty appends on a reader-less
+    // basket would grow the log without bound (bypassing the capacity
+    // gate, which zero-row batches are exempt from).
+    bool any_tracker = false;
+    for (const auto& [id, st] : readers_) any_tracker |= st.tracks_batches;
+    if (any_tracker) {
+      batches_.push_back(BasketBatch{append_batches_, high_, high_});
+    }
+    ++append_batches_;
+    ++empty_batches_;
+    return Status::OK();
+  }
   for (size_t i = 0; i < cols.size(); ++i) {
     if (i == ts_col_) {
       // Clamp event time to be non-decreasing (documented simplification).
@@ -69,13 +172,16 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
       cols_[i]->AppendRange(*cols[i], 0, n);
     }
   }
-  high_ += n;
-  batch_ends_.push_back(high_);
+  batches_.push_back(BasketBatch{append_batches_, high_, high_ + n});
   ++append_batches_;
+  high_ += n;
+  resident_hwm_rows_ = std::max(resident_hwm_rows_, high_ - base_);
+  memory_hwm_bytes_ = std::max(memory_hwm_bytes_, MemoryBytesLocked());
   return Status::OK();
 }
 
-Status Basket::AppendRow(const std::vector<Value>& row) {
+Status Basket::AppendRow(const std::vector<Value>& row,
+                         Micros timeout_micros) {
   std::vector<BatPtr> cols;
   if (row.size() != schema_.NumColumns()) {
     return Status::InvalidArgument(
@@ -88,7 +194,7 @@ Status Basket::AppendRow(const std::vector<Value>& row) {
     col->AppendValue(v);
     cols.push_back(std::move(col));
   }
-  return Append(cols);
+  return Append(cols, timeout_micros);
 }
 
 void Basket::Heartbeat(Micros event_ts) {
@@ -127,23 +233,32 @@ void Basket::NotifyAll() {
   for (auto& fn : fns) fn();
 }
 
-int Basket::RegisterReader(bool from_start) {
+int Basket::RegisterReader(bool from_start, bool track_batches) {
   std::lock_guard<std::mutex> lock(mu_);
   const int id = next_reader_++;
-  readers_[id] = from_start ? base_ : high_;
+  ReaderState st;
+  st.cursor = from_start ? base_ : high_;
+  st.tracks_batches = track_batches;
+  st.batch_ord = from_start ? (batches_.empty() ? append_batches_
+                                                : batches_.front().ordinal)
+                            : append_batches_;
+  readers_[id] = st;
   return id;
 }
 
 uint64_t Basket::ReaderCursor(int reader_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = readers_.find(reader_id);
-  return it == readers_.end() ? 0 : it->second;
+  return it == readers_.end() ? 0 : it->second.cursor;
 }
 
 void Basket::UnregisterReader(int reader_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  readers_.erase(reader_id);
-  ShrinkLocked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readers_.erase(reader_id);
+    ShrinkLocked();
+  }
+  space_cv_.notify_all();
 }
 
 BasketView Basket::Read(uint64_t from_seq, uint64_t max_rows) const {
@@ -177,11 +292,23 @@ Result<std::pair<uint64_t, uint64_t>> Basket::SeqRangeForTs(
 }
 
 void Basket::AdvanceReader(int reader_id, uint64_t upto_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = readers_.find(reader_id);
-  if (it == readers_.end()) return;
-  it->second = std::max(it->second, std::min(upto_seq, high_));
-  ShrinkLocked();
+  // upto_ordinal=0 is a no-op on the batch cursor (it only ever advances).
+  AdvanceReaderBatches(reader_id, upto_seq, 0);
+}
+
+void Basket::AdvanceReaderBatches(int reader_id, uint64_t upto_seq,
+                                  uint64_t upto_ordinal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = readers_.find(reader_id);
+    if (it == readers_.end()) return;
+    it->second.cursor =
+        std::max(it->second.cursor, std::min(upto_seq, high_));
+    it->second.batch_ord =
+        std::max(it->second.batch_ord, std::min(upto_ordinal, append_batches_));
+    ShrinkLocked();
+  }
+  space_cv_.notify_all();
 }
 
 void Basket::ShrinkLocked() {
@@ -189,13 +316,28 @@ void Basket::ShrinkLocked() {
   // dropped (one-time queries may still want to peek).
   if (readers_.empty()) return;
   uint64_t min_cursor = high_;
-  for (const auto& [id, cur] : readers_) min_cursor = std::min(min_cursor, cur);
-  if (min_cursor <= base_) return;
-  const uint64_t drop = min_cursor - base_;
-  for (BatPtr& c : cols_) c->DropHead(drop);
-  base_ = min_cursor;
-  while (!batch_ends_.empty() && batch_ends_.front() <= base_) {
-    batch_ends_.pop_front();
+  uint64_t min_batch_ord = UINT64_MAX;
+  bool any_tracker = false;
+  for (const auto& [id, st] : readers_) {
+    min_cursor = std::min(min_cursor, st.cursor);
+    if (st.tracks_batches) {
+      any_tracker = true;
+      min_batch_ord = std::min(min_batch_ord, st.batch_ord);
+    }
+  }
+  if (min_cursor > base_) {
+    const uint64_t drop = min_cursor - base_;
+    for (BatPtr& c : cols_) c->DropHead(drop);
+    base_ = min_cursor;
+  }
+  // Trim the batch log: an entry goes once its rows are below the drop
+  // horizon AND every batch-tracking reader has acknowledged its ordinal.
+  // The ordinal condition is what keeps a zero-row boundary sitting exactly
+  // at the horizon alive until its emitter delivers it (and, being
+  // monotone, makes double delivery impossible).
+  while (!batches_.empty() && batches_.front().end_seq <= base_ &&
+         (!any_tracker || batches_.front().ordinal < min_batch_ord)) {
+    batches_.pop_front();
   }
 }
 
@@ -214,11 +356,11 @@ Micros Basket::EventWatermark() const {
   return watermark_;
 }
 
-std::vector<uint64_t> Basket::BatchBoundariesAfter(uint64_t from_seq) const {
+std::vector<BasketBatch> Basket::BatchesAfter(uint64_t from_ordinal) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<uint64_t> out;
-  for (uint64_t end : batch_ends_) {
-    if (end > from_seq) out.push_back(end);
+  std::vector<BasketBatch> out;
+  for (const BasketBatch& b : batches_) {
+    if (b.ordinal >= from_ordinal) out.push_back(b);
   }
   return out;
 }
@@ -230,8 +372,16 @@ BasketStats Basket::Stats() const {
   s.dropped_total = base_;
   s.resident_rows = high_ - base_;
   s.append_batches = append_batches_;
-  for (const BatPtr& c : cols_) s.memory_bytes += c->MemoryBytes();
+  s.empty_batches = empty_batches_;
+  s.memory_bytes = MemoryBytesLocked();
   s.event_watermark = watermark_ == INT64_MIN ? 0 : watermark_;
+  s.capacity_rows = limits_.max_rows;
+  s.capacity_bytes = limits_.max_bytes;
+  s.resident_hwm_rows = resident_hwm_rows_;
+  s.memory_hwm_bytes = memory_hwm_bytes_;
+  s.append_stalls = append_stalls_;
+  s.append_timeouts = append_timeouts_;
+  s.stall_micros = stall_micros_;
   return s;
 }
 

@@ -8,13 +8,27 @@
 // Responsibilities:
 //  * columnar append (receptor side), with monotone per-tuple sequence
 //    numbers surviving physical shrinks,
+//  * capacity discipline: an optional row/byte bound (BasketLimits) turns
+//    Append into a blocking-with-timeout call, so producers experience
+//    backpressure instead of growing the basket without bound,
 //  * multi-reader consumption cursors: a tuple is dropped only after every
 //    registered reader (factory/emitter) has consumed it,
 //  * event-time watermark (max event ts seen; heartbeats advance it
 //    without data) used by RANGE-window firing,
-//  * batch boundaries so emitters can deliver exactly the emissions the
-//    factory produced,
-//  * occupancy/throughput statistics for the monitor pane.
+//  * a batch log so emitters can deliver exactly the emissions the factory
+//    produced — including zero-row emissions, whose boundaries survive even
+//    though they carry no data (SQL-faithful empty result sets),
+//  * occupancy/throughput/stall statistics for the monitor pane.
+//
+// Capacity semantics: a batch is admitted whenever the basket is below its
+// bound, so occupancy may overshoot by at most one in-flight batch (this
+// guarantees progress for batches larger than the bound). When full, Append
+// waits on an internal condition variable that is pulsed whenever a reader
+// frees space (AdvanceReader/UnregisterReader -> shrink); with a timeout it
+// returns Status::ResourceExhausted so callers like the receptor can park
+// in interruptible slices. Heartbeat/Seal are never blocked by capacity —
+// watermarks keep advancing under backpressure. Zero-row appends record a
+// batch boundary but no rows, so they bypass the capacity gate too.
 //
 // Event timestamps are required to be non-decreasing per stream; receptors
 // clamp out-of-order input (documented simplification).
@@ -22,6 +36,7 @@
 #ifndef DATACELL_CORE_BASKET_H_
 #define DATACELL_CORE_BASKET_H_
 
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -36,14 +51,36 @@
 
 namespace dc {
 
+/// Capacity bound of one basket. Zero means unbounded in that dimension
+/// (the pre-backpressure behavior).
+struct BasketLimits {
+  uint64_t max_rows = 0;  // resident-row bound
+  size_t max_bytes = 0;   // resident-memory bound
+
+  bool bounded() const { return max_rows > 0 || max_bytes > 0; }
+};
+
 /// Statistics snapshot of one basket (monitor pane / Fig. 4).
 struct BasketStats {
   uint64_t appended_total = 0;
   uint64_t dropped_total = 0;
   uint64_t resident_rows = 0;
   uint64_t append_batches = 0;
+  uint64_t empty_batches = 0;  // zero-row boundaries (empty emissions)
   size_t memory_bytes = 0;
   Micros event_watermark = 0;
+  // Capacity / backpressure figures:
+  uint64_t capacity_rows = 0;       // 0 = unbounded
+  size_t capacity_bytes = 0;        // 0 = unbounded
+  uint64_t resident_hwm_rows = 0;   // occupancy high watermark
+  size_t memory_hwm_bytes = 0;
+  // Append attempts that had to wait for space / wait slices that expired
+  // with ResourceExhausted. A parked producer retrying in timeout slices
+  // (the receptor) counts once per slice — see ReceptorStats::parks for
+  // per-batch park episodes.
+  uint64_t append_stalls = 0;
+  uint64_t append_timeouts = 0;
+  Micros stall_micros = 0;          // total time producers spent waiting
 };
 
 /// A contiguous, copied-out view of basket rows (factories never hold
@@ -54,27 +91,52 @@ struct BasketView {
   std::vector<BatPtr> cols;
 };
 
+/// One entry of the basket's batch log. Ordinals are assigned densely in
+/// append order and never reused; begin_seq == end_seq for a zero-row batch.
+struct BasketBatch {
+  uint64_t ordinal = 0;
+  uint64_t begin_seq = 0;
+  uint64_t end_seq = 0;
+};
+
 /// Thread-safe columnar stream buffer.
 class Basket {
  public:
+  /// Blocking sentinel for Append's timeout parameter.
+  static constexpr Micros kBlockForever = -1;
+
   /// `ts_col` designates the event-time column, or SIZE_MAX.
-  Basket(std::string name, Schema schema, size_t ts_col = SIZE_MAX);
+  Basket(std::string name, Schema schema, size_t ts_col = SIZE_MAX,
+         BasketLimits limits = {});
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   size_t ts_col() const { return ts_col_; }
   bool HasEventTime() const { return ts_col_ != SIZE_MAX; }
 
+  /// Replaces the capacity bound; wakes producers blocked on space (a
+  /// raised/removed bound may admit them immediately).
+  void SetLimits(BasketLimits limits);
+  BasketLimits limits() const;
+
   // --- Producer side ---------------------------------------------------------
 
-  /// Appends a batch of typed columns (one append = one batch boundary).
-  /// Event timestamps are clamped to be non-decreasing.
-  Status Append(const std::vector<BatPtr>& cols);
+  /// Appends a batch of typed columns (one append = one batch boundary,
+  /// including for zero-row batches). Event timestamps are clamped to be
+  /// non-decreasing. If the basket is at capacity, waits up to
+  /// `timeout_micros` for readers to free space (kBlockForever = wait
+  /// indefinitely, 0 = fail immediately) and returns
+  /// Status::ResourceExhausted when the wait expires.
+  Status Append(const std::vector<BatPtr>& cols,
+                Micros timeout_micros = kBlockForever);
 
-  /// Appends one row of values (type-coerced to the schema).
-  Status AppendRow(const std::vector<Value>& row);
+  /// Appends one row of values (type-coerced to the schema). Capacity
+  /// semantics as Append.
+  Status AppendRow(const std::vector<Value>& row,
+                   Micros timeout_micros = kBlockForever);
 
-  /// Advances the event watermark without data (stream keep-alive).
+  /// Advances the event watermark without data (stream keep-alive). Never
+  /// blocked by capacity.
   void Heartbeat(Micros event_ts);
 
   /// Marks the stream as ended: no further appends will come. Factories
@@ -91,8 +153,11 @@ class Basket {
 
   /// Registers a reader; its cursor starts at the current high sequence
   /// (readers only see tuples that arrive after registration) unless
-  /// `from_start` is true.
-  int RegisterReader(bool from_start = false);
+  /// `from_start` is true. A reader that consumes the batch log (an
+  /// emitter) passes `track_batches`: batch entries are then retained until
+  /// it acknowledges them via AdvanceReaderBatches, so zero-row boundaries
+  /// at the drop horizon cannot be trimmed before delivery.
+  int RegisterReader(bool from_start = false, bool track_batches = false);
   void UnregisterReader(int reader_id);
 
   /// Current consumed-up-to cursor of a reader (its registration origin
@@ -112,8 +177,14 @@ class Basket {
                                                       Micros ts_hi) const;
 
   /// Marks rows below `upto_seq` as consumed by `reader_id`; physically
-  /// drops any prefix consumed by all readers.
+  /// drops any prefix consumed by all readers and wakes producers waiting
+  /// for space.
   void AdvanceReader(int reader_id, uint64_t upto_seq);
+
+  /// AdvanceReader for batch-tracking readers: additionally acknowledges
+  /// batch-log entries with ordinal < `upto_ordinal` as delivered.
+  void AdvanceReaderBatches(int reader_id, uint64_t upto_seq,
+                            uint64_t upto_ordinal);
 
   /// Total appended so far; row sequence numbers are [0, HighSeq).
   uint64_t HighSeq() const;
@@ -124,14 +195,29 @@ class Basket {
   /// Event-time watermark (max event ts observed, or heartbeat).
   Micros EventWatermark() const;
 
-  /// Batch end-sequences in (from_seq, high] — lets emitters deliver whole
-  /// emissions. Boundaries below the drop horizon are trimmed.
-  std::vector<uint64_t> BatchBoundariesAfter(uint64_t from_seq) const;
+  /// Batch log entries with ordinal >= `from_ordinal` (delivery cursor for
+  /// emitters; includes zero-row batches). Entries are trimmed once their
+  /// rows fall below the drop horizon and every batch-tracking reader has
+  /// acknowledged them; zero-row entries are retained only when a
+  /// batch-tracking reader exists to deliver them.
+  std::vector<BasketBatch> BatchesAfter(uint64_t from_ordinal) const;
 
   BasketStats Stats() const;
 
  private:
+  struct ReaderState {
+    uint64_t cursor = 0;     // consumed-up-to row sequence
+    uint64_t batch_ord = 0;  // acknowledged batch ordinals < this
+    bool tracks_batches = false;
+  };
+
   Status AppendLocked(const std::vector<BatPtr>& cols);
+  Status ValidateBatch(const std::vector<BatPtr>& cols, uint64_t* n) const;
+  /// Blocks until the basket can admit `n` more rows; see Append.
+  Status WaitForSpaceLocked(std::unique_lock<std::mutex>& lock, uint64_t n,
+                            Micros timeout_micros);
+  bool AtCapacityLocked() const;
+  size_t MemoryBytesLocked() const;
   void ShrinkLocked();
   void NotifyAll();
 
@@ -140,15 +226,25 @@ class Basket {
   const size_t ts_col_;
 
   mutable std::mutex mu_;
+  std::condition_variable space_cv_;  // pulsed when readers free space
+  BasketLimits limits_;
   std::vector<BatPtr> cols_;         // resident rows, seq [base_, high_)
   uint64_t base_ = 0;                // dropped prefix length
   uint64_t high_ = 0;                // total appended
   Micros watermark_ = INT64_MIN;
-  std::map<int, uint64_t> readers_;  // reader id -> consumed-up-to seq
+  std::map<int, ReaderState> readers_;
   int next_reader_ = 0;
-  std::deque<uint64_t> batch_ends_;
-  uint64_t append_batches_ = 0;
+  std::deque<BasketBatch> batches_;  // batch log, trimmed in ShrinkLocked
+  uint64_t append_batches_ = 0;      // == next batch ordinal
+  uint64_t empty_batches_ = 0;
   bool sealed_ = false;
+
+  // Backpressure statistics (guarded by mu_).
+  uint64_t resident_hwm_rows_ = 0;
+  size_t memory_hwm_bytes_ = 0;
+  uint64_t append_stalls_ = 0;
+  uint64_t append_timeouts_ = 0;
+  Micros stall_micros_ = 0;
 
   std::vector<std::function<void()>> listeners_;  // append-only
 };

@@ -10,8 +10,10 @@ Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
       basket_(std::move(basket)),
       column_names_(std::move(column_names)),
       sink_(std::move(sink)) {
-  reader_id_ = basket_->RegisterReader(/*from_start=*/true);
+  reader_id_ =
+      basket_->RegisterReader(/*from_start=*/true, /*track_batches=*/true);
   cursor_ = basket_->ReaderCursor(reader_id_);
+  batch_cursor_ = 0;
   basket_->AddListener([this] {
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
@@ -29,16 +31,20 @@ Emitter::~Emitter() {
 int Emitter::Drain() {
   std::lock_guard<std::mutex> lock(drain_mu_);
   int delivered = 0;
-  for (uint64_t end : basket_->BatchBoundariesAfter(cursor_)) {
-    BasketView view = basket_->Read(cursor_, end - cursor_);
+  for (const BasketBatch& b : basket_->BatchesAfter(batch_cursor_)) {
+    // A zero-row batch reads back as typed empty columns, so the sink sees
+    // the emission with its schema intact.
+    BasketView view = basket_->Read(cursor_, b.end_seq - cursor_);
     ColumnSet emission;
     emission.names = column_names_;
     emission.cols = std::move(view.cols);
     if (sink_) sink_(emission);
     rows_.fetch_add(view.rows);
     emissions_.fetch_add(1);
-    cursor_ = end;
-    basket_->AdvanceReader(reader_id_, cursor_);
+    if (view.rows == 0) empty_emissions_.fetch_add(1);
+    cursor_ = b.end_seq;
+    batch_cursor_ = b.ordinal + 1;
+    basket_->AdvanceReaderBatches(reader_id_, cursor_, batch_cursor_);
     ++delivered;
   }
   return delivered;
@@ -73,6 +79,7 @@ void Emitter::Run() {
 EmitterStats Emitter::Stats() const {
   EmitterStats s;
   s.emissions = emissions_.load();
+  s.empty_emissions = empty_emissions_.load();
   s.rows = rows_.load();
   return s;
 }

@@ -2,8 +2,10 @@
 //
 // Emitter: the per-client delivery process (paper §3) draining a query's
 // output basket and handing complete emissions to a result sink. Emission
-// boundaries are preserved through the basket's batch boundaries, so a
-// sink sees exactly the result sets the factory produced.
+// boundaries are preserved through the basket's batch log, so a sink sees
+// exactly the result sets the factory produced — including zero-row result
+// sets (SQL count=0 windows), which are delivered as empty ColumnSets with
+// the correct schema rather than silently swallowed.
 
 #ifndef DATACELL_CORE_EMITTER_H_
 #define DATACELL_CORE_EMITTER_H_
@@ -24,7 +26,8 @@ namespace dc {
 
 /// Emitter statistics.
 struct EmitterStats {
-  uint64_t emissions = 0;
+  uint64_t emissions = 0;        // delivered emissions, empty ones included
+  uint64_t empty_emissions = 0;  // delivered zero-row emissions
   uint64_t rows = 0;
 };
 
@@ -56,10 +59,12 @@ class Emitter {
   const std::vector<std::string> column_names_;
   Sink sink_;
   int reader_id_;
-  uint64_t cursor_;
+  uint64_t cursor_;        // consumed-up-to row sequence
+  uint64_t batch_cursor_;  // delivered batch ordinals < this
 
   std::mutex drain_mu_;  // serializes Drain callers
   std::atomic<uint64_t> emissions_{0};
+  std::atomic<uint64_t> empty_emissions_{0};
   std::atomic<uint64_t> rows_{0};
 
   std::thread thread_;

@@ -54,8 +54,8 @@ Status Engine::ExecuteOne(const sql::Statement& stmt) {
       }
     }
     DC_RETURN_NOT_OK(catalog_.RegisterStream(def));
-    auto basket =
-        std::make_shared<Basket>(create.name, schema, def.ts_column);
+    auto basket = std::make_shared<Basket>(create.name, schema, def.ts_column,
+                                           options_.basket_limits);
     basket->AddListener([this] { scheduler_.Notify(); });
     std::lock_guard<std::mutex> lock(mu_);
     baskets_[create.name] = std::move(basket);
@@ -281,14 +281,22 @@ Status Engine::PushRow(std::string_view stream,
                                       static_cast<int>(stream.size()),
                                       stream.data()));
   }
-  return basket->AppendRow(row);
+  return basket->AppendRow(row, PushTimeout());
 }
 
 Status Engine::PushColumns(std::string_view stream,
                            const std::vector<BatPtr>& cols) {
   Basket* basket = GetBasket(stream);
   if (basket == nullptr) return Status::NotFound("no such stream");
-  return basket->Append(cols);
+  return basket->Append(cols, PushTimeout());
+}
+
+Micros Engine::PushTimeout() const {
+  // In synchronous mode only the pushing thread can drain the basket (via
+  // Pump()), so blocking on space would self-deadlock: fail fast with
+  // ResourceExhausted instead. Threaded engines block — the scheduler's
+  // drain cycle frees space.
+  return options_.scheduler_workers > 0 ? Basket::kBlockForever : 0;
 }
 
 Status Engine::Heartbeat(std::string_view stream, Micros event_ts) {
@@ -402,6 +410,7 @@ std::vector<ContinuousQueryInfo> Engine::Queries() const {
     info.mode = q.mode;
     info.factory = q.factory->Stats();
     if (q.emitter) info.emitter = q.emitter->Stats();
+    if (q.out_basket) info.out_basket = q.out_basket->Stats();
     for (const FactoryInput& in : q.factory->inputs()) {
       if (in.is_stream) {
         info.input_streams.push_back(in.basket->name());

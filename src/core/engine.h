@@ -41,6 +41,19 @@ struct EngineOptions {
   /// Scheduler worker threads. 0 = synchronous mode: no threads anywhere;
   /// the caller drives execution with Pump() (deterministic, for tests).
   int scheduler_workers = 2;
+
+  /// Capacity bound applied to every stream basket (CREATE STREAM):
+  /// producers — receptors, PushRow/PushColumns — block when a basket is
+  /// full until its queries consume, keeping engine RSS bounded at any
+  /// ingest rate. Pushes fail fast with ResourceExhausted instead of
+  /// blocking when waiting could never succeed: a full stream no query
+  /// reads, or any full stream in synchronous mode (only the pushing
+  /// thread could Pump()). The
+  /// default is generous (tuples are consumed long before it bites);
+  /// {0, 0} restores unbounded pre-backpressure behavior.
+  /// Query output baskets stay unbounded: they are drained by emitters,
+  /// and blocking a factory mid-fire would stall the scheduler.
+  BasketLimits basket_limits{/*max_rows=*/1 << 20, /*max_bytes=*/0};
 };
 
 /// One registered continuous query (introspection snapshot).
@@ -51,6 +64,7 @@ struct ContinuousQueryInfo {
   ExecMode mode = ExecMode::kFullReeval;
   FactoryStats factory;
   EmitterStats emitter;
+  BasketStats out_basket;  // emission buffer occupancy/backlog
   std::vector<std::string> input_streams;
   std::vector<std::string> input_tables;
 };
@@ -148,6 +162,10 @@ class Engine {
 
   Status ExecuteOne(const sql::Statement& stmt);
   Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
+  /// Space-wait budget for PushRow/PushColumns: block in threaded mode,
+  /// fail fast in synchronous mode (blocking would self-deadlock — only
+  /// the pushing thread could ever Pump()).
+  Micros PushTimeout() const;
 
   const EngineOptions options_;
   Catalog catalog_;

@@ -239,9 +239,13 @@ exec::StageInput Factory::TableInput(int rel) const {
 }
 
 Status Factory::EmitResult(const ColumnSet& result) {
+  // Zero-row results are appended too: the basket records their batch
+  // boundary, so the emitter delivers the empty result set and `emissions`
+  // stays equal to emitter-delivered emissions.
   DC_RETURN_NOT_OK(output_->Append(result.cols));
   stats_.tuples_out += result.NumRows();
   stats_.emissions++;
+  if (result.NumRows() == 0) stats_.empty_emissions++;
   return Status::OK();
 }
 

@@ -50,7 +50,11 @@ struct FactoryInput {
 /// Monitoring snapshot (demo's per-query analysis pane).
 struct FactoryStats {
   uint64_t invocations = 0;
+  /// Emissions appended to the output basket. Zero-row emissions keep
+  /// their batch boundary there, so this equals what the emitter delivers
+  /// (EmitterStats::emissions once drained).
   uint64_t emissions = 0;
+  uint64_t empty_emissions = 0;  // of which zero-row result sets
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
   Micros total_exec_micros = 0;

@@ -57,6 +57,9 @@ ReceptorStats Receptor::Stats() const {
   s.batches = batches_.load();
   s.finished = finished_.load();
   s.paused = paused_.load();
+  s.parked = parked_.load();
+  s.parks = parks_.load();
+  s.parked_micros = parked_micros_.load();
   s.running_micros = start_time_ == 0 ? 0 : SteadyMicros() - start_time_;
   return s;
 }
@@ -81,27 +84,69 @@ void Receptor::Run() {
   uint64_t in_batch = 0;
   bool source_done = false;
 
+  // When the basket is full the receptor parks: it retries the append in
+  // short slices so a concurrent Pause()/Stop() is honored within one
+  // slice. While paused it does not attempt the append at all — Pause()'s
+  // contract ("nothing reaches the basket after the ack") must hold even
+  // with a batch pending; the batch lands after Resume(), so backpressure
+  // never loses tuples.
+  constexpr Micros kParkSliceMicros = 5 * kMicrosPerMilli;
+
+  // Pause gate shared by the main loop and the flush park loop: ack the
+  // pause and idle briefly. The ack is set only after re-checking paused_
+  // under pause_mu_ (Pause/Resume mutate it under that mutex) — acking
+  // after a concurrent Resume would let the *next* Pause() return on the
+  // stale ack with an append still landing.
+  auto ack_pause_and_idle = [&] {
+    {
+      std::lock_guard<std::mutex> lock(pause_mu_);
+      if (paused_.load()) pause_acked_ = true;
+    }
+    pause_cv_.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+
   auto flush = [&]() {
     if (in_batch == 0) return;
-    const Status st = basket_->Append(batch);
-    if (!st.ok()) {
-      DC_LOG(kError) << "receptor " << name_
-                     << " append failed: " << st.ToString();
+    bool counted_park = false;
+    while (true) {
+      // During a Stop() the pause gate is bypassed (matching the pre-
+      // backpressure final flush): the batch gets one bounded append
+      // attempt below so shutdown with a non-full basket stays loss-free.
+      if (paused_.load() && !stop_.load()) {
+        ack_pause_and_idle();
+        continue;
+      }
+      const Micros slice_start = SteadyMicros();
+      const Status st = basket_->Append(batch, kParkSliceMicros);
+      if (st.ok()) {
+        rows_.fetch_add(in_batch);
+        batches_.fetch_add(1);
+        break;
+      }
+      if (!st.IsResourceExhausted()) {
+        DC_LOG(kError) << "receptor " << name_
+                       << " append failed: " << st.ToString();
+        break;  // malformed batch: drop it, keep ingesting
+      }
+      // Only time actually spent against the full basket counts as parked
+      // time — a Pause() during the park must not inflate it.
+      parked_micros_.fetch_add(SteadyMicros() - slice_start);
+      if (stop_.load()) break;  // stopping against a full basket: drop
+      if (!counted_park) {
+        counted_park = true;
+        parks_.fetch_add(1);
+        parked_.store(true);
+      }
     }
-    rows_.fetch_add(in_batch);
-    batches_.fetch_add(1);
+    if (counted_park) parked_.store(false);
     in_batch = 0;
     reset_batch();
   };
 
   while (!stop_.load() && !source_done) {
     if (paused_.load()) {
-      {
-        std::lock_guard<std::mutex> lock(pause_mu_);
-        pause_acked_ = true;
-      }
-      pause_cv_.notify_all();
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ack_pause_and_idle();
       continue;
     }
     // Fill one batch.

@@ -6,6 +6,12 @@
 // configurable rate and batch-appending them into the stream's basket —
 // the same code path a socket-fed receptor would exercise (DESIGN.md §2
 // substitutions).
+//
+// Backpressure: when the basket is bounded (BasketLimits) and full, the
+// receptor parks — it retries the append in short interruptible slices so
+// Pause()/Stop() stay responsive (the same handshake that makes Pause()
+// synchronous), and resumes without tuple loss as soon as readers free
+// space. Park episodes and parked time are visible in ReceptorStats.
 
 #ifndef DATACELL_CORE_RECEPTOR_H_
 #define DATACELL_CORE_RECEPTOR_H_
@@ -31,6 +37,11 @@ struct ReceptorStats {
   uint64_t batches = 0;
   bool finished = false;
   bool paused = false;
+  /// Backpressure: currently waiting for basket space / total park episodes
+  /// / total time spent parked.
+  bool parked = false;
+  uint64_t parks = 0;
+  Micros parked_micros = 0;
   Micros running_micros = 0;
 };
 
@@ -85,6 +96,9 @@ class Receptor {
   bool pause_acked_ = false;  // guarded by pause_mu_
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<bool> parked_{false};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<int64_t> parked_micros_{0};
   Micros start_time_ = 0;
 };
 

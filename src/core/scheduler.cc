@@ -126,6 +126,10 @@ int Scheduler::DrainReady() {
         if (e.factory.get() == f.get()) e.busy = false;
       }
     }
+    // A concurrent RemoveFactory() may be waiting for this entry to stop
+    // being busy; without the wakeup it would block until some unrelated
+    // notification (or forever in pure manual mode).
+    cv_.notify_all();
     ++fires;
   }
   return fires;

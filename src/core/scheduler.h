@@ -44,6 +44,9 @@ class Scheduler {
   ~Scheduler();
 
   void AddFactory(FactoryPtr factory);
+  /// Unlinks the factory; blocks until any in-flight Fire() completes so a
+  /// busy entry is never destroyed mid-fire. Must not be called from inside
+  /// a Fire() (e.g. an emitter sink) — that would self-deadlock.
   void RemoveFactory(int factory_id);
   std::vector<FactoryPtr> Factories() const;
 

@@ -41,6 +41,13 @@ void AnalysisPane::Sample(Engine& engine) {
     Record("stream." + s + ".rate_rows_per_s", now,
            rate("stream." + s + ".appended",
                 static_cast<double>(stats->appended_total)));
+    // Backpressure pane: occupancy high watermark and producer stalls.
+    Record("stream." + s + ".resident_hwm_rows", now,
+           static_cast<double>(stats->resident_hwm_rows));
+    Record("stream." + s + ".append_stalls", now,
+           static_cast<double>(stats->append_stalls));
+    Record("stream." + s + ".stall_micros", now,
+           static_cast<double>(stats->stall_micros));
     net_in += static_cast<double>(stats->appended_total);
   }
 
@@ -59,6 +66,10 @@ void AnalysisPane::Sample(Engine& engine) {
     Record(p + ".emission_rate_per_s", now,
            rate(p + ".emissions_counter",
                 static_cast<double>(q.factory.emissions)));
+    Record(p + ".empty_emissions", now,
+           static_cast<double>(q.factory.empty_emissions));
+    Record(p + ".out_resident_rows", now,
+           static_cast<double>(q.out_basket.resident_rows));
     net_out += static_cast<double>(q.factory.tuples_out);
   }
   Record("net.total_tuples_in", now, net_in);

@@ -25,6 +25,7 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kAborted,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +86,9 @@ class Status {
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/basket.h"
 #include "core/window.h"
 #include "tests/test_util.h"
@@ -99,15 +102,160 @@ TEST(BasketTest, SeqRangeForTs) {
   EXPECT_EQ(range->second, 4u);
 }
 
-TEST(BasketTest, BatchBoundariesSurviveUpToDrop) {
+TEST(BasketTest, BatchLogSurvivesUpToDrop) {
   Basket b("s", TsI64Schema(), 0);
   ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
   ASSERT_TRUE(b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})}).ok());
-  EXPECT_EQ(b.BatchBoundariesAfter(0), (std::vector<uint64_t>{2, 3}));
-  EXPECT_EQ(b.BatchBoundariesAfter(2), (std::vector<uint64_t>{3}));
+  auto batches = b.BatchesAfter(0);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].end_seq, 2u);
+  EXPECT_EQ(batches[1].end_seq, 3u);
+  ASSERT_EQ(b.BatchesAfter(1).size(), 1u);
+  EXPECT_EQ(b.BatchesAfter(1)[0].end_seq, 3u);
+  // Entries below the drop horizon are trimmed (no tracking reader here).
   const int r = b.RegisterReader(true);
   b.AdvanceReader(r, 2);
-  EXPECT_EQ(b.BatchBoundariesAfter(0), (std::vector<uint64_t>{3}));
+  batches = b.BatchesAfter(0);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].end_seq, 3u);
+}
+
+TEST(BasketTest, EmptyBatchKeepsBoundaryForTrackingReader) {
+  Basket b("s", TsI64Schema(), 0);
+  b.RegisterReader(/*from_start=*/true, /*track_batches=*/true);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
+  ASSERT_TRUE(
+      b.Append({Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64)})
+          .ok());
+  ASSERT_TRUE(b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})}).ok());
+  EXPECT_EQ(b.HighSeq(), 3u);  // the empty batch added no rows
+  EXPECT_EQ(b.Stats().append_batches, 3u);
+  EXPECT_EQ(b.Stats().empty_batches, 1u);
+  const auto batches = b.BatchesAfter(0);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[1].begin_seq, 2u);
+  EXPECT_EQ(batches[1].end_seq, 2u);  // zero-row boundary preserved
+  EXPECT_EQ(batches[2].end_seq, 3u);
+}
+
+TEST(BasketTest, EmptyBatchNotRetainedWithoutTrackingReader) {
+  // With nobody consuming the batch log, zero-row boundaries have no
+  // consumer: they count in stats but are not retained, so keep-alive
+  // empty appends cannot grow the log without bound.
+  Basket b("s", TsI64Schema(), 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        b.Append({Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64)})
+            .ok());
+  }
+  EXPECT_EQ(b.Stats().empty_batches, 3u);
+  EXPECT_TRUE(b.BatchesAfter(0).empty());
+}
+
+TEST(BasketTest, EmptyBatchAtDropHorizonSurvivesUntilAcked) {
+  Basket b("s", TsI64Schema(), 0);
+  const int r = b.RegisterReader(/*from_start=*/true, /*track_batches=*/true);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
+  ASSERT_TRUE(
+      b.Append({Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64)})
+          .ok());
+  ASSERT_TRUE(b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})}).ok());
+  // Deliver batch 0 only: rows [0,2) drop, leaving the zero-row boundary
+  // sitting exactly at the drop horizon (seq 2). It must not be trimmed.
+  b.AdvanceReaderBatches(r, 2, 1);
+  EXPECT_EQ(b.DropHorizon(), 2u);
+  auto pending = b.BatchesAfter(1);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].ordinal, 1u);
+  EXPECT_EQ(pending[0].end_seq, 2u);  // the empty boundary, still alive
+  // Acking it trims it without touching the following data batch — a
+  // delivered empty batch can never reappear (no double delivery).
+  b.AdvanceReaderBatches(r, 2, 2);
+  pending = b.BatchesAfter(0);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].ordinal, 2u);
+}
+
+TEST(BasketTest, BoundedAppendTimesOutWhenFull) {
+  BasketLimits limits;
+  limits.max_rows = 4;
+  Basket b("s", TsI64Schema(), 0, limits);
+  const int r = b.RegisterReader(true);
+  // Below the bound: admitted even though the batch overshoots it.
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2, 3}), Bat::MakeI64({1, 2, 3})},
+                       /*timeout_micros=*/0)
+                  .ok());
+  ASSERT_TRUE(b.Append({Bat::MakeTs({4, 5}), Bat::MakeI64({4, 5})},
+                       /*timeout_micros=*/0)
+                  .ok());
+  EXPECT_EQ(b.Stats().resident_rows, 5u);  // cap + one in-flight batch
+  // At capacity: a non-blocking append fails, a short wait times out.
+  const Status st = b.Append({Bat::MakeTs({6}), Bat::MakeI64({6})},
+                             /*timeout_micros=*/0);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_TRUE(b.Append({Bat::MakeTs({6}), Bat::MakeI64({6})},
+                       /*timeout_micros=*/2 * kMicrosPerMilli)
+                  .IsResourceExhausted());
+  const BasketStats stats = b.Stats();
+  EXPECT_EQ(stats.capacity_rows, 4u);
+  EXPECT_EQ(stats.resident_hwm_rows, 5u);
+  EXPECT_GE(stats.append_stalls, 2u);
+  EXPECT_GE(stats.append_timeouts, 2u);
+  // Draining frees space; the append is admitted again.
+  b.AdvanceReader(r, 3);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({6}), Bat::MakeI64({6})},
+                       /*timeout_micros=*/0)
+                  .ok());
+  // Zero-row batches bypass the capacity gate entirely.
+  ASSERT_TRUE(
+      b.Append({Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64)},
+               /*timeout_micros=*/0)
+          .ok());
+}
+
+TEST(BasketTest, BlockingAppendFailsFastWithNoReaders) {
+  // An unbounded wait on a reader-less basket can never be satisfied
+  // (nothing frees space): Append must fail fast instead of deadlocking
+  // the producer — e.g. Engine::PushRow into a stream no query consumes.
+  BasketLimits limits;
+  limits.max_rows = 2;
+  Basket b("s", TsI64Schema(), 0, limits);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
+  const Status st = b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})});
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+TEST(BasketTest, BlockedAppendWakesWhenReaderFreesSpace) {
+  BasketLimits limits;
+  limits.max_rows = 2;
+  Basket b("s", TsI64Schema(), 0, limits);
+  const int r = b.RegisterReader(true);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    b.AdvanceReader(r, 2);
+  });
+  // Blocks until the consumer drains, then lands without loss.
+  ASSERT_TRUE(b.Append({Bat::MakeTs({3}), Bat::MakeI64({3})}).ok());
+  consumer.join();
+  EXPECT_EQ(b.HighSeq(), 3u);
+  EXPECT_GE(b.Stats().append_stalls, 1u);
+  EXPECT_EQ(b.Stats().append_timeouts, 0u);
+}
+
+TEST(BasketTest, SetLimitsWakesBlockedProducer) {
+  BasketLimits limits;
+  limits.max_rows = 1;
+  Basket b("s", TsI64Schema(), 0, limits);
+  b.RegisterReader(true);
+  ASSERT_TRUE(b.Append({Bat::MakeTs({1}), Bat::MakeI64({1})}).ok());
+  std::thread lifter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    b.SetLimits(BasketLimits{});  // unbounded
+  });
+  ASSERT_TRUE(b.Append({Bat::MakeTs({2}), Bat::MakeI64({2})}).ok());
+  lifter.join();
+  EXPECT_EQ(b.HighSeq(), 2u);
 }
 
 TEST(BasketTest, HeartbeatAndSeal) {

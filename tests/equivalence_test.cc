@@ -50,36 +50,29 @@ std::vector<std::string> Cells(const ColumnSet& cs) {
   return RowStrings({cs});
 }
 
-/// Aligns the continuous emission sequence against the one-time replay of
-/// every window. Empty result sets are never emitted (a zero-row append is
-/// swallowed by the output basket), so a window absent from the emission
-/// sequence is legal exactly when its one-time replay is also empty; every
-/// delivered emission must match its window's replay cell-for-cell, in
-/// order.
+/// Matches the continuous emission sequence 1:1 against the one-time
+/// replay of every window. Since zero-row emissions keep their batch
+/// boundary in the output basket and emitters deliver them, every window —
+/// empty or not — must produce exactly one emission equal to its replay,
+/// cell-for-cell and in order.
 void CheckEmissionsMatchReplays(Engine& engine,
                                 const std::vector<ColumnSet>& emissions,
                                 const std::vector<std::string>& window_sqls,
                                 const std::string& continuous_sql) {
-  size_t i = 0;
-  for (const std::string& onetime : window_sqls) {
+  ASSERT_EQ(emissions.size(), window_sqls.size())
+      << "one emission per window expected\ncontinuous: " << continuous_sql;
+  for (size_t i = 0; i < window_sqls.size(); ++i) {
+    const std::string& onetime = window_sqls[i];
     auto replay = engine.Query(onetime);
     ASSERT_TRUE(replay.ok()) << replay.status().ToString()
                              << "\nsql: " << onetime;
-    if (i < emissions.size() && Cells(emissions[i]) == Cells(*replay)) {
-      ++i;
-      continue;
-    }
-    EXPECT_EQ(replay->NumRows(), 0u)
-        << "window replay has rows but no matching emission (emission " << i
-        << " of " << emissions.size() << ")\ncontinuous: " << continuous_sql
-        << "\none-time:   " << onetime << "\nreplay:\n"
-        << replay->ToString(1 << 20)
-        << (i < emissions.size()
-                ? "\nnext emission:\n" + emissions[i].ToString(1 << 20)
-                : "\n(no emissions left)");
+    EXPECT_EQ(Cells(emissions[i]), Cells(*replay))
+        << "emission " << i << " differs from its window replay"
+        << "\ncontinuous: " << continuous_sql << "\none-time:   " << onetime
+        << "\nreplay:\n"
+        << replay->ToString(1 << 20) << "\nemission:\n"
+        << emissions[i].ToString(1 << 20);
   }
-  EXPECT_EQ(i, emissions.size())
-      << "unmatched trailing emissions\ncontinuous: " << continuous_sql;
 }
 
 std::string ContinuousSql(const EquivCase& c, bool rows_window) {

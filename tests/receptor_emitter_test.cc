@@ -139,6 +139,29 @@ TEST(EmitterTest, ThreadedDeliveryOnAppend) {
   EXPECT_EQ(collector.EmissionCount(), 10u);
 }
 
+TEST(EmitterTest, DeliversZeroRowEmissions) {
+  auto basket = std::make_shared<Basket>("out", TsI64Schema(), SIZE_MAX);
+  ResultCollector collector;
+  Emitter emitter("e", basket, {"ts", "v"}, collector.AsSink());
+  DC_CHECK_OK(basket->Append({Bat::MakeTs({1}), Bat::MakeI64({1})}));
+  DC_CHECK_OK(basket->Append(
+      {Bat::MakeEmpty(TypeId::kTs), Bat::MakeEmpty(TypeId::kI64)}));
+  DC_CHECK_OK(basket->Append({Bat::MakeTs({2}), Bat::MakeI64({2})}));
+  EXPECT_EQ(emitter.Drain(), 3);
+  auto emissions = collector.TakeAll();
+  ASSERT_EQ(emissions.size(), 3u);
+  EXPECT_EQ(emissions[0].NumRows(), 1u);
+  EXPECT_EQ(emissions[1].NumRows(), 0u);  // empty emission, schema intact
+  ASSERT_EQ(emissions[1].cols.size(), 2u);
+  EXPECT_EQ(emissions[1].cols[1]->type(), TypeId::kI64);
+  EXPECT_EQ(emissions[2].NumRows(), 1u);
+  EXPECT_EQ(emitter.Stats().emissions, 3u);
+  EXPECT_EQ(emitter.Stats().empty_emissions, 1u);
+  EXPECT_EQ(emitter.Stats().rows, 2u);
+  // Draining again delivers nothing: the empty boundary is not replayed.
+  EXPECT_EQ(emitter.Drain(), 0);
+}
+
 TEST(EmitterTest, DrainOnEmptyBasketIsNoop) {
   auto basket = std::make_shared<Basket>("out", TsI64Schema(), SIZE_MAX);
   ResultCollector collector;

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "storage/catalog.h"
 #include "tests/test_util.h"
 #include "util/string_util.h"
@@ -106,6 +110,63 @@ TEST_F(SchedulerTest, StartStopIdempotent) {
   sched.Stop();
   sched.Start();
   sched.Stop();
+}
+
+TEST_F(SchedulerTest, RemoveFactoryWhileDrainReadyFires) {
+  // RemoveFactory from another thread must not hang while a manual-mode
+  // DrainReady loop is firing the factory: clearing the busy flag has to
+  // wake the remover (regression: DrainReady never notified the cv).
+  Scheduler sched;
+  auto f1 = MakeFactory(1);
+  sched.AddFactory(f1);
+  std::atomic<bool> done{false};
+  std::thread driver([&] {
+    while (!done.load()) {
+      sched.DrainReady();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  std::thread feeder([&] {
+    for (int i = 0; i < 2000 && !done.load(); ++i) {
+      ASSERT_TRUE(basket_->AppendRow({Value::I64(i)}).ok());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sched.RemoveFactory(1);  // must return despite concurrent firing
+  done.store(true);
+  feeder.join();
+  driver.join();
+  EXPECT_EQ(sched.Factories().size(), 0u);
+}
+
+TEST_F(SchedulerTest, ConcurrentAddRemoveUnderFire) {
+  // A busy entry must never be destroyed mid-fire: workers fire factories
+  // while another thread churns add/remove. TSan + repeat-until-fail in CI
+  // make this a race hunt.
+  Scheduler::Options opts;
+  opts.num_workers = 4;
+  Scheduler sched(opts);
+  basket_->AddListener([&] { sched.Notify(); });
+  sched.Start();
+  std::atomic<bool> done{false};
+  std::thread feeder([&] {
+    int64_t i = 0;
+    while (!done.load()) {
+      ASSERT_TRUE(basket_->AppendRow({Value::I64(i++)}).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    auto f = MakeFactory(100 + round);
+    sched.AddFactory(f);
+    // Give workers a chance to claim and fire it, then rip it out.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    sched.RemoveFactory(100 + round);
+  }
+  done.store(true);
+  feeder.join();
+  sched.Stop();
+  EXPECT_EQ(sched.Factories().size(), 0u);
 }
 
 TEST_F(SchedulerTest, PausedFactoriesAreSkipped) {
