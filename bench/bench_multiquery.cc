@@ -1,16 +1,27 @@
 // E5 — "Query Network Characteristics" (paper §4, Fig. 3): many standing
 // queries sharing one stream basket.
 //
-// N queries (mixed shapes) register on one packet stream; the harness
-// feeds a fixed input and reports total processing time, per-query cost,
-// and the shared basket's drop behaviour (tuples leave only after the
-// slowest reader consumed them). With --dot, also emits the Graphviz
-// query network (Fig. 1/Fig. 3 reproduction).
+// Part 1 (sync engine): N queries (mixed shapes) register on one packet
+// stream; the harness feeds a fixed input and reports total processing
+// time, per-query cost, and the shared basket's drop behaviour (tuples
+// leave only after the slowest reader consumed them). With --dot, also
+// emits the Graphviz query network (Fig. 1/Fig. 3 reproduction).
+//
+// Part 2 (threaded engines): the scheduler scaling sweep — fixed query
+// count, worker count swept — measuring fire throughput of the sharded
+// ready-queue scheduler (fires/s should grow with workers instead of
+// plateauing at 2, the failure mode of the old single-mutex design).
+// Emits BENCH_scheduler.json (see docs/BENCHMARKS.md for the schema).
+//
+// `--smoke` shrinks the row count and skips the sync table so CI can run
+// the sweep cheaply and archive the JSON.
 //
 // Expected shape: ingestion is shared (one basket append per batch
 // regardless of N); total execution grows ~linearly with N; resident
-// basket size is bounded by the largest window, not by N.
+// basket size is bounded by the largest window, not by N; sweep fires/s
+// monotone in worker count (given the cores to back it).
 
+#include <cstdio>
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -49,20 +60,123 @@ std::string QuerySql(int i) {
   }
 }
 
+/// One measured point of the worker-count sweep.
+struct SweepPoint {
+  int workers = 0;
+  Micros wall = 0;
+  SchedulerStats sched;
+};
+
+SweepPoint RunSweep(int workers, int queries,
+                    const std::vector<std::vector<BatPtr>>& batches) {
+  EngineOptions o;
+  o.scheduler_workers = workers;  // shards default to one per worker
+  Engine engine(o);
+  DC_CHECK_OK(engine.Execute(workload::PacketDdl("pkts")));
+  for (int i = 0; i < queries; ++i) {
+    DC_CHECK_OK(engine
+                    .SubmitContinuous(QuerySql(i),
+                                      QueryOpts(ExecMode::kIncremental,
+                                                StrFormat("q%d", i),
+                                                bench::NullSink()))
+                    .status());
+  }
+  Stopwatch watch;
+  for (const auto& batch : batches) {
+    DC_CHECK_OK(engine.PushColumns("pkts", batch));
+  }
+  DC_CHECK_OK(engine.SealStream("pkts"));
+  if (!engine.WaitIdle(120000)) {
+    printf("  !! WaitIdle timed out at %d workers\n", workers);
+  }
+  SweepPoint p;
+  p.workers = workers;
+  p.wall = watch.ElapsedMicros();
+  p.sched = engine.SchedStats();
+  return p;
+}
+
+void WriteSchedulerJson(const std::vector<SweepPoint>& points, int queries,
+                        uint64_t rows) {
+  FILE* f = fopen("BENCH_scheduler.json", "w");
+  if (f == nullptr) {
+    printf("  !! cannot write BENCH_scheduler.json\n");
+    return;
+  }
+  fprintf(f, "{\n  \"bench\": \"scheduler\",\n");
+  fprintf(f, "  \"generated_by\": \"bench_multiquery\",\n");
+  fprintf(f, "  \"rows\": %llu,\n  \"queries\": %d,\n  \"sweep\": [\n",
+          static_cast<unsigned long long>(rows), queries);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const double wall_s =
+        static_cast<double>(p.wall) / static_cast<double>(kMicrosPerSecond);
+    fprintf(f,
+            "    {\"workers\": %d, \"shards\": %zu, \"wall_ms\": %.3f, "
+            "\"fires\": %llu, \"fires_per_s\": %.1f, \"rows_per_s\": %.1f, "
+            "\"steals\": %llu, \"enqueues\": %llu, \"spurious_pops\": %llu, "
+            "\"notifications\": %llu}%s\n",
+            p.workers, p.sched.shards.size(),
+            static_cast<double>(p.wall) / 1000.0,
+            static_cast<unsigned long long>(p.sched.fires),
+            static_cast<double>(p.sched.fires) / wall_s,
+            static_cast<double>(rows) / wall_s,
+            static_cast<unsigned long long>(p.sched.steals),
+            static_cast<unsigned long long>(p.sched.enqueues),
+            static_cast<unsigned long long>(p.sched.spurious_pops),
+            static_cast<unsigned long long>(p.sched.notifications),
+            i + 1 < points.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("\nwrote BENCH_scheduler.json (%zu sweep points)\n", points.size());
+}
+
 }  // namespace
 }  // namespace dc
 
 int main(int argc, char** argv) {
   using namespace dc;
   const bool want_dot = argc > 1 && strcmp(argv[1], "--dot") == 0;
-  Banner("E5", "multi-query networks over one shared basket");
+  const bool smoke = argc > 1 && strcmp(argv[1], "--smoke") == 0;
+  const uint64_t rows = smoke ? 8000 : kRows;
 
   workload::PacketConfig config;
   config.ts_step = kTsStep;
   std::vector<std::vector<BatPtr>> batches;
-  for (uint64_t off = 0; off < kRows; off += 1000) {
+  for (uint64_t off = 0; off < rows; off += 1000) {
     batches.push_back(workload::PacketBatch(config, off, 1000));
   }
+
+  // E5b: the scheduler scaling sweep. Skipped under --dot, which only
+  // wants the query-network graph from the E5 section below.
+  if (!want_dot) {
+    Banner("E5b", "scheduler scaling: fire throughput vs worker count");
+    const int sweep_queries = smoke ? 8 : 16;
+    printf("\n%d queries, %llu rows, shards = workers, stealing on\n",
+           sweep_queries, static_cast<unsigned long long>(rows));
+    printf("\n%7s | %10s %10s %12s | %8s %10s %10s\n", "workers", "wall ms",
+           "fires", "fires/s", "steals", "spurious", "notifs");
+    printf("%s\n", std::string(80, '-').c_str());
+    std::vector<SweepPoint> points;
+    for (int workers : {1, 2, 4}) {
+      points.push_back(RunSweep(workers, sweep_queries, batches));
+      const SweepPoint& p = points.back();
+      const double wall_s =
+          static_cast<double>(p.wall) / static_cast<double>(kMicrosPerSecond);
+      printf("%7d | %10.1f %10llu %12.1f | %8llu %10llu %10llu\n", p.workers,
+             static_cast<double>(p.wall) / 1000.0,
+             static_cast<unsigned long long>(p.sched.fires),
+             static_cast<double>(p.sched.fires) / wall_s,
+             static_cast<unsigned long long>(p.sched.steals),
+             static_cast<unsigned long long>(p.sched.spurious_pops),
+             static_cast<unsigned long long>(p.sched.notifications));
+    }
+    WriteSchedulerJson(points, sweep_queries, rows);
+    if (smoke) return 0;
+  }
+
+  Banner("E5", "multi-query networks over one shared basket");
 
   printf("\n%4s | %12s %14s | %12s %12s %14s\n", "N", "wall ms",
          "rows/s", "exec ms", "exec/query", "basket peak");

@@ -218,17 +218,25 @@ bool Basket::sealed() const {
   return sealed_;
 }
 
-void Basket::AddListener(std::function<void()> fn) {
+int Basket::AddListener(std::function<void()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  listeners_.push_back(std::move(fn));
+  const int id = next_listener_++;
+  listeners_[id] = std::move(fn);
+  return id;
+}
+
+void Basket::RemoveListener(int listener_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(listener_id);
 }
 
 void Basket::NotifyAll() {
-  // Listener list is append-only; copy under lock, call outside it.
+  // Copy under lock, call outside it (listeners re-enter the scheduler).
   std::vector<std::function<void()>> fns;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fns = listeners_;
+    fns.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) fns.push_back(fn);
   }
   for (auto& fn : fns) fn();
 }

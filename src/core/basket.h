@@ -145,9 +145,14 @@ class Basket {
   void Seal();
   bool sealed() const;
 
-  /// Registers a callback pulsed after every append/heartbeat (the
-  /// scheduler's Petri-net arc: place -> transition enablement check).
-  void AddListener(std::function<void()> fn);
+  /// Registers a callback pulsed after every append/heartbeat/seal — the
+  /// scheduler subscribes one pulse listener per basket and fans the pulse
+  /// out to exactly the factories with an attached arc (targeted
+  /// enablement, not a broadcast). Returns a listener id for
+  /// RemoveListener. Listeners are invoked outside the basket lock; a
+  /// listener removed concurrently with a pulse may be invoked once more.
+  int AddListener(std::function<void()> fn);
+  void RemoveListener(int listener_id);
 
   // --- Consumer side ---------------------------------------------------------
 
@@ -246,7 +251,8 @@ class Basket {
   uint64_t append_timeouts_ = 0;
   Micros stall_micros_ = 0;
 
-  std::vector<std::function<void()>> listeners_;  // append-only
+  std::map<int, std::function<void()>> listeners_;  // keyed for removal
+  int next_listener_ = 0;
 };
 
 }  // namespace dc

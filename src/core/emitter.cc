@@ -14,7 +14,7 @@ Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
       basket_->RegisterReader(/*from_start=*/true, /*track_batches=*/true);
   cursor_ = basket_->ReaderCursor(reader_id_);
   batch_cursor_ = 0;
-  basket_->AddListener([this] {
+  listener_id_ = basket_->AddListener([this] {
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
       wake_ = true;
@@ -25,6 +25,9 @@ Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
 
 Emitter::~Emitter() {
   Stop();
+  // Unhook the wake listener before members die: the basket outlives this
+  // emitter (shared ownership) and would otherwise pulse a dangling `this`.
+  basket_->RemoveListener(listener_id_);
   basket_->UnregisterReader(reader_id_);
 }
 

@@ -59,6 +59,7 @@ class Emitter {
   const std::vector<std::string> column_names_;
   Sink sink_;
   int reader_id_;
+  int listener_id_ = -1;   // wake listener on basket_ (removed in dtor)
   uint64_t cursor_;        // consumed-up-to row sequence
   uint64_t batch_cursor_;  // delivered batch ordinals < this
 

@@ -10,7 +10,9 @@ namespace dc {
 
 Engine::Engine(EngineOptions options)
     : options_(options),
-      scheduler_(Scheduler::Options{options.scheduler_workers}) {
+      scheduler_(Scheduler::Options{options.scheduler_workers,
+                                    options.scheduler_shards,
+                                    options.scheduler_work_stealing}) {
   if (options_.scheduler_workers > 0) scheduler_.Start();
 }
 
@@ -56,7 +58,8 @@ Status Engine::ExecuteOne(const sql::Statement& stmt) {
     DC_RETURN_NOT_OK(catalog_.RegisterStream(def));
     auto basket = std::make_shared<Basket>(create.name, schema, def.ts_column,
                                            options_.basket_limits);
-    basket->AddListener([this] { scheduler_.Notify(); });
+    // No broadcast listener here: the scheduler attaches a targeted arc
+    // per continuous query reading this basket (SubmitContinuous).
     std::lock_guard<std::mutex> lock(mu_);
     baskets_[create.name] = std::move(basket);
     return Status::OK();
@@ -216,13 +219,17 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
                                             out_names, std::move(sink));
   if (options_.scheduler_workers > 0) entry.emitter->Start();
 
+  // Arcs before registration so no pulse lands in the gap; the targeted
+  // kick inside AddFactory covers anything that arrived before the arcs.
+  for (Basket* basket : entry.factory->InputBaskets()) {
+    scheduler_.AttachArc(basket, entry.id);
+  }
   scheduler_.AddFactory(entry.factory);
   const int id = entry.id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queries_.emplace(id, std::move(entry));
   }
-  scheduler_.Notify();
   return id;
 }
 
@@ -251,7 +258,7 @@ Status Engine::ResumeQuery(int query_id) {
   FactoryPtr f = GetFactory(query_id);
   if (f == nullptr) return Status::NotFound("no such query");
   f->Resume();
-  scheduler_.Notify();
+  scheduler_.NotifyFactory(query_id);
   return Status::OK();
 }
 

@@ -128,6 +128,17 @@ bool Factory::paused() const {
   return paused_;
 }
 
+std::vector<Basket*> Factory::InputBaskets() const {
+  std::vector<Basket*> out;
+  for (const FactoryInput& in : inputs_) {
+    if (!in.is_stream || in.basket == nullptr) continue;
+    if (std::find(out.begin(), out.end(), in.basket) == out.end()) {
+      out.push_back(in.basket);
+    }
+  }
+  return out;
+}
+
 FactoryStats Factory::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   FactoryStats s = stats_;

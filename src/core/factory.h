@@ -88,6 +88,11 @@ class Factory {
   Basket* output() const { return output_.get(); }
   const std::vector<FactoryInput>& inputs() const { return inputs_; }
 
+  /// Distinct stream input baskets — the Petri-net places whose
+  /// data-arrival pulses can enable this transition. The engine attaches
+  /// one scheduler arc per entry (targeted enablement wiring).
+  std::vector<Basket*> InputBaskets() const;
+
   /// Petri-net firing probe: true when Fire() would make progress.
   bool CheckReady() const;
 

@@ -1,5 +1,6 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/logging.h"
@@ -8,144 +9,373 @@ namespace dc {
 
 Scheduler::Scheduler() : Scheduler(Options{}) {}
 
-Scheduler::Scheduler(Options options) : options_(options) {}
+Scheduler::Scheduler(Options options) : options_(options) {
+  int shards = options_.num_shards;
+  if (shards <= 0) shards = std::max(1, options_.num_workers);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
-Scheduler::~Scheduler() { Stop(); }
+Scheduler::~Scheduler() {
+  Stop();
+  // Detach pulse listeners so baskets stop calling into this object.
+  // Baskets are required to outlive the scheduler (see header).
+  std::vector<std::pair<Basket*, int>> listeners;
+  {
+    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    for (auto& [basket, arcs] : arcs_) {
+      if (arcs.listener_id >= 0) listeners.emplace_back(basket, arcs.listener_id);
+    }
+    arcs_.clear();
+  }
+  for (auto& [basket, listener_id] : listeners) {
+    basket->RemoveListener(listener_id);
+  }
+}
+
+int Scheduler::ShardOf(int factory_id) const {
+  const int n = static_cast<int>(shards_.size());
+  return ((factory_id % n) + n) % n;
+}
 
 void Scheduler::AddFactory(FactoryPtr factory) {
+  const int id = factory->id();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.push_back(Entry{std::move(factory), false});
+    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    auto entry = std::make_unique<Entry>();
+    entry->factory = std::move(factory);
+    entry->shard = ShardOf(id);
+    entries_[id] = std::move(entry);
   }
-  cv_.notify_all();
+  // A from-start reader may already be enabled; kick it once.
+  NotifyFactory(id);
 }
 
 void Scheduler::RemoveFactory(int factory_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Wait until the factory is not firing, then unlink it.
-  cv_.wait(lock, [&] {
-    for (const Entry& e : entries_) {
-      if (e.factory->id() == factory_id && e.busy) return false;
+  // Phase 1: quiesce the entry — wait out an in-flight fire (possibly on
+  // a stealing worker) and unlink a queued entry from its home ready
+  // queue. The wait is sliced so reg_mu_ is never held across a blocking
+  // wait (a pending writer would otherwise wedge the firing worker's
+  // completion path behind us).
+  while (true) {
+    bool quiesced = false;
+    {
+      std::shared_lock<std::shared_mutex> reg(reg_mu_);
+      auto it = entries_.find(factory_id);
+      if (it == entries_.end()) return;
+      Entry& e = *it->second;
+      Shard& s = *shards_[e.shard];
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait_for(lock, std::chrono::milliseconds(1),
+                    [&] { return e.state != EntryState::kRunning; });
+      if (e.state != EntryState::kRunning) {
+        if (e.state == EntryState::kQueued) std::erase(s.ready, factory_id);
+        e.state = EntryState::kRemoving;  // blocks re-enqueue until unlinked
+        quiesced = true;
+      }
     }
-    return true;
-  });
-  std::erase_if(entries_, [&](const Entry& e) {
-    return e.factory->id() == factory_id;
-  });
+    if (quiesced) break;
+  }
+  // Phase 2: unlink the registration and every arc pointing at it.
+  std::vector<std::pair<Basket*, int>> dead_listeners;
+  {
+    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    entries_.erase(factory_id);
+    for (auto it = arcs_.begin(); it != arcs_.end();) {
+      std::erase(it->second.factory_ids, factory_id);
+      if (it->second.factory_ids.empty()) {
+        dead_listeners.emplace_back(it->first, it->second.listener_id);
+        it = arcs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [basket, listener_id] : dead_listeners) {
+    if (listener_id >= 0) basket->RemoveListener(listener_id);
+  }
 }
 
 std::vector<FactoryPtr> Scheduler::Factories() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> reg(reg_mu_);
   std::vector<FactoryPtr> out;
-  for (const Entry& e : entries_) out.push_back(e.factory);
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(e->factory);
   return out;
 }
 
-void Scheduler::Notify() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.notifications;
+void Scheduler::AttachArc(Basket* basket, int factory_id) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
+  ArcList& arcs = arcs_[basket];
+  if (std::find(arcs.factory_ids.begin(), arcs.factory_ids.end(),
+                factory_id) != arcs.factory_ids.end()) {
+    return;
   }
-  cv_.notify_all();
+  arcs.factory_ids.push_back(factory_id);
+  if (arcs.listener_id < 0) {
+    arcs.listener_id = basket->AddListener([this, basket] { Pulse(basket); });
+  }
 }
 
-FactoryPtr Scheduler::ClaimReadyLocked() {
-  const size_t n = entries_.size();
-  for (size_t i = 0; i < n; ++i) {
-    Entry& e = entries_[(rr_cursor_ + i) % n];
-    if (e.busy) continue;
-    if (e.factory->CheckReady()) {
-      e.busy = true;
-      rr_cursor_ = (rr_cursor_ + i + 1) % n;
-      return e.factory;
+bool Scheduler::EnqueueIfIdleLocked(int factory_id) {
+  auto it = entries_.find(factory_id);
+  if (it == entries_.end()) return false;
+  Entry& e = *it->second;
+  Shard& s = *shards_[e.shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (e.state != EntryState::kIdle) return false;
+  e.state = EntryState::kQueued;
+  s.ready.push_back(factory_id);
+  ++s.stats.enqueues;
+  s.stats.max_queue_depth =
+      std::max<uint64_t>(s.stats.max_queue_depth, s.ready.size());
+  return true;
+}
+
+void Scheduler::WakeWorkers(int newly_queued) {
+  if (newly_queued <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    wake_tokens_ += static_cast<uint64_t>(newly_queued);
+  }
+  // With stealing on, any woken worker can claim the work, so one wake per
+  // enqueue suffices. With stealing off, only the owning worker can — and
+  // notify_one might pick a non-owner that consumes the token and parks
+  // again, stranding the entry until the fallback tick. Wake everyone.
+  if (newly_queued == 1 && options_.work_stealing) {
+    idle_cv_.notify_one();
+  } else {
+    idle_cv_.notify_all();
+  }
+}
+
+void Scheduler::Pulse(Basket* basket) {
+  notifications_.fetch_add(1, std::memory_order_relaxed);
+  int enqueued = 0;
+  {
+    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    auto it = arcs_.find(basket);
+    if (it == arcs_.end()) return;
+    for (int id : it->second.factory_ids) {
+      if (EnqueueIfIdleLocked(id)) ++enqueued;
     }
   }
-  return nullptr;
+  WakeWorkers(enqueued);
 }
 
-void Scheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    FactoryPtr f = ClaimReadyLocked();
-    if (f == nullptr) {
-      // Event-driven wait with a fallback tick (guards against missed
-      // pulses from exotic listener orderings).
-      cv_.wait_for(lock, std::chrono::milliseconds(20));
+void Scheduler::Notify() {
+  notifications_.fetch_add(1, std::memory_order_relaxed);
+  int enqueued = 0;
+  {
+    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    for (const auto& [id, e] : entries_) {
+      if (EnqueueIfIdleLocked(id)) ++enqueued;
+    }
+  }
+  WakeWorkers(enqueued);
+}
+
+void Scheduler::NotifyFactory(int factory_id) {
+  int enqueued = 0;
+  {
+    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    if (EnqueueIfIdleLocked(factory_id)) enqueued = 1;
+  }
+  WakeWorkers(enqueued);
+}
+
+bool Scheduler::ClaimNext(int worker_index, Claimed* out) {
+  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  const int num_shards = static_cast<int>(shards_.size());
+  const int num_workers = std::max(1, options_.num_workers);
+  // Pass 0: FIFO-pop the shards this worker owns. Pass 1: steal from the
+  // back of everyone else's queue.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1 && !options_.work_stealing) break;
+    for (int k = 0; k < num_shards; ++k) {
+      const int si = (worker_index + k) % num_shards;
+      const bool owned = (si % num_workers) == worker_index;
+      if ((pass == 0) != owned) continue;
+      Shard& s = *shards_[si];
+      std::lock_guard<std::mutex> lock(s.mu);
+      while (!s.ready.empty()) {
+        int id;
+        if (pass == 0) {
+          id = s.ready.front();
+          s.ready.pop_front();
+        } else {
+          id = s.ready.back();
+          s.ready.pop_back();
+        }
+        auto it = entries_.find(id);
+        if (it == entries_.end()) continue;                 // defensive
+        Entry& e = *it->second;
+        if (e.state != EntryState::kQueued) continue;       // defensive
+        e.state = EntryState::kRunning;
+        if (pass == 1) ++s.stats.steals;
+        out->id = id;
+        out->factory = e.factory;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Scheduler::TryClaimById(int factory_id) {
+  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  auto it = entries_.find(factory_id);
+  if (it == entries_.end()) return false;
+  Entry& e = *it->second;
+  Shard& s = *shards_[e.shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (e.state == EntryState::kQueued) {
+    std::erase(s.ready, factory_id);
+  } else if (e.state != EntryState::kIdle) {
+    return false;
+  }
+  e.state = EntryState::kRunning;
+  return true;
+}
+
+void Scheduler::CompleteFire(const Claimed& c, bool fired, bool error,
+                             bool requeue) {
+  {
+    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    auto it = entries_.find(c.id);
+    if (it != entries_.end()) {
+      Entry& e = *it->second;
+      Shard& s = *shards_[e.shard];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (fired) {
+        ++s.stats.fires;
+        if (error) ++s.stats.fire_errors;
+      } else {
+        ++s.stats.spurious_pops;
+      }
+      e.state = EntryState::kIdle;
+      // A RemoveFactory() may be waiting for this entry to stop running.
+      s.cv.notify_all();
+    }
+  }
+  // A factory can be multiply enabled (several windows completed by one
+  // pulse) and pulses arriving mid-fire are dropped, so the authoritative
+  // probe runs once more after every fire.
+  if (requeue && c.factory->CheckReady()) NotifyFactory(c.id);
+}
+
+void Scheduler::WorkerLoop(int worker_index) {
+  while (true) {
+    Claimed c;
+    if (ClaimNext(worker_index, &c)) {
+      bool fired = false;
+      bool error = false;
+      if (c.factory->CheckReady()) {
+        const Status st = c.factory->Fire();
+        fired = true;
+        error = !st.ok();
+      }
+      CompleteFire(c, fired, error, /*requeue=*/true);
       continue;
     }
-    lock.unlock();
-    const Status st = f->Fire();
-    lock.lock();
-    ++stats_.fires;
-    if (!st.ok()) ++stats_.fire_errors;
-    for (Entry& e : entries_) {
-      if (e.factory.get() == f.get()) e.busy = false;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (stop_) return;
+    if (wake_tokens_ == 0) {
+      // Event-driven wait with a fallback tick (guards against wake
+      // tokens lost to claim races).
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(20),
+                        [&] { return stop_ || wake_tokens_ > 0; });
     }
-    cv_.notify_all();
+    if (stop_) return;
+    if (wake_tokens_ > 0) --wake_tokens_;
   }
 }
 
 void Scheduler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(idle_mu_);
   if (running_) return;
   running_ = true;
   stop_ = false;
+  wake_tokens_ = 0;
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 void Scheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(idle_mu_);
     if (!running_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  idle_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(idle_mu_);
   running_ = false;
 }
 
 int Scheduler::DrainReady() {
   int fires = 0;
   while (true) {
-    FactoryPtr f;
+    // Deterministic pass: probe and fire in factory-id order.
+    std::vector<Claimed> snapshot;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      f = ClaimReadyLocked();
-    }
-    if (f == nullptr) break;
-    const Status st = f->Fire();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.fires;
-      if (!st.ok()) ++stats_.fire_errors;
-      for (Entry& e : entries_) {
-        if (e.factory.get() == f.get()) e.busy = false;
+      std::shared_lock<std::shared_mutex> reg(reg_mu_);
+      snapshot.reserve(entries_.size());
+      for (const auto& [id, e] : entries_) {
+        snapshot.push_back(Claimed{id, e->factory});
       }
     }
-    // A concurrent RemoveFactory() may be waiting for this entry to stop
-    // being busy; without the wakeup it would block until some unrelated
-    // notification (or forever in pure manual mode).
-    cv_.notify_all();
-    ++fires;
+    int pass_fires = 0;
+    for (Claimed& c : snapshot) {
+      if (!c.factory->CheckReady()) continue;
+      if (!TryClaimById(c.id)) continue;
+      const Status st = c.factory->Fire();
+      CompleteFire(c, /*fired=*/true, !st.ok(), /*requeue=*/false);
+      ++pass_fires;
+    }
+    fires += pass_fires;
+    if (pass_fires == 0) break;
   }
   return fires;
 }
 
 bool Scheduler::AnyBusyOrReady() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Entry& e : entries_) {
-    if (e.busy || e.factory->CheckReady()) return true;
+  std::vector<FactoryPtr> factories;
+  {
+    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    factories.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) {
+      Shard& s = *shards_[e->shard];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (e->state == EntryState::kRunning) return true;
+      factories.push_back(e->factory);
+    }
+  }
+  for (const FactoryPtr& f : factories) {
+    if (f->CheckReady()) return true;
   }
   return false;
 }
 
 SchedulerStats Scheduler::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SchedulerStats out;
+  out.notifications = notifications_.load(std::memory_order_relaxed);
+  out.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    SchedulerShardStats ss = s.stats;
+    ss.queue_depth = s.ready.size();
+    out.fires += ss.fires;
+    out.fire_errors += ss.fire_errors;
+    out.enqueues += ss.enqueues;
+    out.steals += ss.steals;
+    out.spurious_pops += ss.spurious_pops;
+    out.shards.push_back(ss);
+  }
+  return out;
 }
 
 }  // namespace dc

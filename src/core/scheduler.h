@@ -3,21 +3,54 @@
 // Scheduler: the Petri-net execution model (paper §3, "Scheduler").
 // Baskets are places, factories are transitions; a transition is enabled
 // when its firing probe (Factory::CheckReady) holds — i.e. there are
-// tuples relevant to the waiting query. Basket appends/heartbeats pulse
-// Notify(), which wakes the worker pool to re-evaluate enablement.
+// tuples relevant to the waiting query.
+//
+// The net's arcs are explicit: AttachArc(basket, factory) subscribes a
+// factory to a basket's data-arrival pulses, and each pulse enqueues
+// exactly the subscribed factories — never the whole factory list — onto
+// ready queues sharded by factory id. Worker threads pop from the shards
+// they own (shard s is owned by worker s % num_workers) and, when their
+// own shards run dry, steal from the back of other shards' queues. The
+// former global mutex survives only as registration-time bookkeeping
+// (a reader/writer lock around the factory/arc registry); the hot path
+// takes it shared plus one per-shard lock.
 //
 // Two driving modes:
 //  * threaded: Start() launches N workers that fire enabled transitions
-//    concurrently (a factory never fires concurrently with itself);
-//  * manual:   DrainReady() synchronously fires until quiescence —
-//    deterministic driving for tests and single-threaded experiments.
+//    concurrently (a factory never fires concurrently with itself — the
+//    per-entry state machine hands each factory to exactly one worker);
+//  * manual:   DrainReady() synchronously fires until quiescence, in
+//    factory-id order — deterministic driving for tests and
+//    single-threaded experiments. Both modes share the claim/complete
+//    state machine, so they can safely run concurrently with
+//    AddFactory/RemoveFactory.
+//
+// A pulse enqueues a subscribed factory without probing it (probing takes
+// the factory lock, which must not nest inside scheduler locks — see
+// below); the popping worker runs the probe and drops not-ready entries.
+// Such drops are counted as `spurious_pops` — cheap, and the price of
+// keeping producers out of factory locks.
+//
+// Lock ordering (deadlock-freedom invariant):
+//   registry lock (reg_mu_)  ->  shard lock  ->  idle lock / basket lock
+// and Factory::CheckReady()/Fire() are only ever called with NO scheduler
+// lock held: a firing factory appends to its output basket, whose pulse
+// listeners re-enter the scheduler (Pulse -> reg_mu_ -> shard lock).
+//
+// Lifetime: baskets passed to AttachArc must outlive the scheduler (the
+// destructor unregisters its pulse listeners from them). Engine satisfies
+// this by declaring the scheduler after the basket map.
 
 #ifndef DATACELL_CORE_SCHEDULER_H_
 #define DATACELL_CORE_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -25,11 +58,44 @@
 
 namespace dc {
 
-/// Scheduler statistics (monitor pane).
-struct SchedulerStats {
+/// Per-shard scheduler counters (monitor pane; snapshot via Stats()).
+struct SchedulerShardStats {
+  /// Transitions fired from this shard's ready queue — by its owning
+  /// worker(s) or by a stealing worker (stolen fires count on the shard
+  /// the entry was queued on, i.e. the factory's home shard).
   uint64_t fires = 0;
+  /// Of those fires, how many returned a non-OK Status.
+  uint64_t fire_errors = 0;
+  /// Ready-queue pushes: targeted enablements landing on this shard. One
+  /// factory is queued at most once, so enqueues <= pulses it received.
+  uint64_t enqueues = 0;
+  /// Entries taken from this shard's queue by a worker that does not own
+  /// the shard (work stealing drained load queued here).
+  uint64_t steals = 0;
+  /// Pops whose firing probe said not-ready: the pulse that enqueued the
+  /// factory did not actually enable it (e.g. a window not yet complete).
+  uint64_t spurious_pops = 0;
+  /// Ready-queue length at snapshot time.
+  uint64_t queue_depth = 0;
+  /// Largest queue length observed since construction.
+  uint64_t max_queue_depth = 0;
+};
+
+/// Scheduler statistics (monitor pane). The scalar counters are sums over
+/// `shards`, except `notifications`, which is global.
+struct SchedulerStats {
+  /// Factory firings actually performed (threaded workers + DrainReady).
+  uint64_t fires = 0;
+  /// Distinct data-arrival pulses: one per basket append / heartbeat /
+  /// seal on a basket with attached arcs, plus one per broadcast
+  /// Notify(). NOT per-worker wakeups and NOT per-factory enablements —
+  /// a pulse that enables five factories still counts once.
   uint64_t notifications = 0;
   uint64_t fire_errors = 0;
+  uint64_t enqueues = 0;
+  uint64_t steals = 0;
+  uint64_t spurious_pops = 0;
+  std::vector<SchedulerShardStats> shards;
 };
 
 /// Petri-net scheduler over the registered factories.
@@ -37,56 +103,135 @@ class Scheduler {
  public:
   struct Options {
     int num_workers = 2;
+    /// Ready-queue shards. 0 = one shard per worker (minimum 1). Factory
+    /// `id` is homed on shard `id % num_shards`.
+    int num_shards = 0;
+    /// Idle workers steal from the back of other shards' queues. With
+    /// stealing off, coverage still holds: shard s is owned (FIFO-popped)
+    /// by worker s % num_workers.
+    bool work_stealing = true;
   };
 
   Scheduler();
   explicit Scheduler(Options options);
   ~Scheduler();
 
+  /// Registers the factory (keyed by its id, which must be unique) and
+  /// gives it an initial targeted kick — a from-start reader may already
+  /// be enabled. Attach arcs before AddFactory so no pulse is missed.
   void AddFactory(FactoryPtr factory);
-  /// Unlinks the factory; blocks until any in-flight Fire() completes so a
-  /// busy entry is never destroyed mid-fire. Must not be called from inside
-  /// a Fire() (e.g. an emitter sink) — that would self-deadlock.
+  /// Unlinks the factory and its arcs; blocks until any in-flight Fire()
+  /// completes (including one claimed by a stealing worker) and removes a
+  /// still-queued entry from its home shard's ready queue, so a busy or
+  /// queued entry is never destroyed mid-flight. Must not be called from
+  /// inside a Fire() (e.g. an emitter sink) — that would self-deadlock.
   void RemoveFactory(int factory_id);
   std::vector<FactoryPtr> Factories() const;
 
-  /// Data-arrival pulse (wired as a basket listener).
+  /// Subscribes factory `factory_id` to `basket`'s data-arrival pulses
+  /// (the Petri-net arc place -> transition). Registers one pulse
+  /// listener per basket, shared by all its arcs; idempotent per
+  /// (basket, factory) pair. The basket must outlive this scheduler.
+  /// Arcs are detached by RemoveFactory / the destructor.
+  void AttachArc(Basket* basket, int factory_id);
+
+  /// Broadcast pulse: enqueues every idle factory (workers drop the
+  /// not-ready ones). Registration-order compatibility path — targeted
+  /// arc pulses are the hot path. Counts as one notification.
   void Notify();
+
+  /// Targeted kick for one factory (resume, registration). Does not
+  /// count as a data-arrival pulse.
+  void NotifyFactory(int factory_id);
 
   /// Launches the worker pool (idempotent).
   void Start();
   /// Stops and joins the workers.
   void Stop();
 
-  /// Manual mode: fires enabled factories until none are ready.
-  /// Returns the number of firings performed.
+  /// Manual mode: fires enabled factories until none are ready, in
+  /// factory-id order. Returns the number of firings performed.
   int DrainReady();
 
-  /// True if some factory is currently enabled or firing.
+  /// True if some factory is currently enabled or firing. A queued but
+  /// not-enabled entry (a spurious pulse) does not count.
   bool AnyBusyOrReady() const;
 
   SchedulerStats Stats() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
+  /// Claim state of one registered factory. An entry is in its home
+  /// shard's ready queue iff state == kQueued (exactly once); kRunning
+  /// entries are owned by one firing thread; kRemoving blocks re-enqueue
+  /// while RemoveFactory unlinks the entry.
+  enum class EntryState { kIdle, kQueued, kRunning, kRemoving };
+
   struct Entry {
     FactoryPtr factory;
-    bool busy = false;
+    int shard = 0;                       // home shard: id % num_shards
+    EntryState state = EntryState::kIdle;  // guarded by the home shard lock
   };
 
-  /// Picks an enabled, non-busy factory and marks it busy; null if none.
-  FactoryPtr ClaimReadyLocked();
-  void WorkerLoop();
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // pulsed on state changes (remove waiters)
+    std::deque<int> ready;       // queued factory ids homed on this shard
+    SchedulerShardStats stats;   // guarded by mu
+  };
+
+  /// Arcs of one basket plus the pulse listener that feeds them.
+  struct ArcList {
+    std::vector<int> factory_ids;
+    int listener_id = -1;
+  };
+
+  struct Claimed {
+    int id = 0;
+    FactoryPtr factory;
+  };
+
+  int ShardOf(int factory_id) const;
+  /// Data-arrival pulse from `basket` (wired as its listener).
+  void Pulse(Basket* basket);
+  /// kIdle -> kQueued on the home shard; false if absent or not idle.
+  /// Caller must hold reg_mu_ (shared suffices).
+  bool EnqueueIfIdleLocked(int factory_id);
+  void WakeWorkers(int newly_queued);
+  /// Pops the next queued factory: owned shards FIFO first, then (if
+  /// stealing) other shards LIFO. Transitions the entry to kRunning.
+  bool ClaimNext(int worker_index, Claimed* out);
+  /// Claims a specific factory for DrainReady (kIdle or kQueued ->
+  /// kRunning, unlinking a queued entry from its home queue).
+  bool TryClaimById(int factory_id);
+  /// kRunning -> kIdle, records stats, wakes remove waiters; optionally
+  /// re-enqueues the factory if its probe still holds (threaded workers;
+  /// DrainReady re-scans instead).
+  void CompleteFire(const Claimed& c, bool fired, bool error, bool requeue);
+  void WorkerLoop(int worker_index);
 
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Entry> entries_;
+  /// Registration bookkeeping: the factory registry and the basket arcs.
+  /// Hot-path readers take it shared; AddFactory/RemoveFactory/AttachArc
+  /// take it unique. Never held across CheckReady()/Fire().
+  mutable std::shared_mutex reg_mu_;
+  std::map<int, std::unique_ptr<Entry>> entries_;  // id-ordered (DrainReady)
+  std::map<Basket*, ArcList> arcs_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;  // fixed at construction
+
+  /// Idle-worker parking lot: wake tokens are added per enqueue so a
+  /// pulse on any shard wakes a sleeper promptly; a 20ms fallback tick
+  /// guards against token loss under races (workers re-scan all shards).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  uint64_t wake_tokens_ = 0;  // guarded by idle_mu_
+  bool running_ = false;      // guarded by idle_mu_
+  bool stop_ = false;         // guarded by idle_mu_
+
   std::vector<std::thread> workers_;
-  bool running_ = false;
-  bool stop_ = false;
-  size_t rr_cursor_ = 0;
-  SchedulerStats stats_;
+  std::atomic<uint64_t> notifications_{0};
 };
 
 }  // namespace dc

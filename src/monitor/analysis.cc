@@ -74,6 +74,28 @@ void AnalysisPane::Sample(Engine& engine) {
   }
   Record("net.total_tuples_in", now, net_in);
   Record("net.total_tuples_out", now, net_out);
+
+  // Scheduler pane: global fire throughput and the per-shard ready-queue
+  // picture (fires, steals, depths) of the sharded scheduler.
+  const SchedulerStats sched = engine.SchedStats();
+  Record("sched.fires", now, static_cast<double>(sched.fires));
+  Record("sched.fire_rate_per_s", now,
+         rate("sched.fires_counter", static_cast<double>(sched.fires)));
+  Record("sched.notifications", now,
+         static_cast<double>(sched.notifications));
+  Record("sched.enqueues", now, static_cast<double>(sched.enqueues));
+  Record("sched.steals", now, static_cast<double>(sched.steals));
+  Record("sched.spurious_pops", now,
+         static_cast<double>(sched.spurious_pops));
+  for (size_t i = 0; i < sched.shards.size(); ++i) {
+    const SchedulerShardStats& sh = sched.shards[i];
+    const std::string p = StrFormat("sched.shard%zu", i);
+    Record(p + ".fires", now, static_cast<double>(sh.fires));
+    Record(p + ".steals", now, static_cast<double>(sh.steals));
+    Record(p + ".queue_depth", now, static_cast<double>(sh.queue_depth));
+    Record(p + ".max_queue_depth", now,
+           static_cast<double>(sh.max_queue_depth));
+  }
 }
 
 std::vector<std::string> AnalysisPane::MetricNames() const {
