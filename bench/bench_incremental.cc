@@ -1,15 +1,33 @@
 // E2 — "Simple Re-evaluation" vs "Incremental" (paper §4).
 //
-// One sliding-window aggregation query, fixed window size, slide swept so
-// the window spans 1..32 basic windows. Both execution modes process the
-// identical stream; we report per-emission execution time, the number of
-// input tuples each mode touched (re-scans vs fragments), and the cached
-// intermediate footprint.
+// Two scenarios, each sweeping the slide so the window spans 1..32 basic
+// windows over an identical stream:
+//
+//   E2  (agg):  one sliding-window aggregation query. Incremental mode
+//               computes one fragment per basic window and merges cached
+//               partial aggregate states per emission.
+//   E2b (join): a stream-stream equi-join under sliding windows. The
+//               incremental path delta-joins only the newest basic window
+//               against the retained window (new⋈old ∪ old⋈new ∪ new⋈new,
+//               see docs/INCREMENTAL.md) and drops expiry-keyed partials
+//               as basic windows leave the window; full re-evaluation
+//               re-joins the whole window every slide.
+//
+// Both modes process the identical stream; we report per-emission
+// execution time, the number of input tuples each mode touched (re-scans
+// vs fragments), and the cached intermediate footprint.
 //
 // Expected shape (paper): at slide == window (tumbling) the modes match;
 // as window/slide grows, incremental wins increasingly because every
 // tuple's fragment is computed once and only merged thereafter, while full
-// re-evaluation re-scans the whole window every slide.
+// re-evaluation re-scans (and for E2b re-joins) the whole window every
+// slide. The incremental tuples column stays flat in n_bw — work
+// proportional to the new basic window, not the full window.
+//
+// `--smoke` shrinks the row counts so CI can run both sweeps cheaply.
+// Both modes write BENCH_incremental.json (schema: docs/BENCHMARKS.md).
+
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "workload/generators.h"
@@ -25,11 +43,24 @@ using bench::RunStats;
 using bench::Sync;
 
 constexpr Micros kWindow = 4 * kMicrosPerSecond;
-constexpr uint64_t kRows = 120000;
-constexpr Micros kTsStep = 100;  // 10k rows per simulated second
-constexpr uint64_t kBatch = 1000;
 
-RunStats RunOne(ExecMode mode, Micros slide,
+struct SweepPoint {
+  const char* scenario;  // "agg" | "join"
+  int n_bw = 1;
+  Micros slide = 0;
+  RunStats full;
+  RunStats inc;
+  uint64_t inc_delta_pairs = 0;
+
+  double Speedup() const {
+    return inc.exec_micros == 0
+               ? 0.0
+               : static_cast<double>(full.exec_micros) /
+                     static_cast<double>(inc.exec_micros);
+  }
+};
+
+RunStats RunAgg(ExecMode mode, Micros slide,
                 const std::vector<std::vector<BatPtr>>& batches) {
   Engine engine(Sync());
   DC_CHECK_OK(engine.Execute(workload::SensorDdl("s")));
@@ -44,47 +75,177 @@ RunStats RunOne(ExecMode mode, Micros slide,
   return Collect(engine, *qid, wall);
 }
 
-}  // namespace
-}  // namespace dc
-
-int main() {
-  using namespace dc;
-  Banner("E2", "full re-evaluation vs incremental (sliding-window agg)");
-  printf("window = %s, stream = %llu rows (%.0f simulated seconds)\n",
-         FormatDuration(kWindow).c_str(),
-         static_cast<unsigned long long>(kRows),
-         static_cast<double>(kRows) * kTsStep / kMicrosPerSecond);
-
-  workload::SensorConfig config;
-  config.ts_step = kTsStep;
-  std::vector<std::vector<BatPtr>> batches;
-  for (uint64_t off = 0; off < kRows; off += kBatch) {
-    batches.push_back(workload::SensorBatch(config, off, kBatch));
+/// Feeds two pre-generated streams in interleaved batches (both sides
+/// advance together so windows complete in step), pumping after each pair.
+Micros FeedBothAndPump(Engine& engine,
+                       const std::vector<std::vector<BatPtr>>& a,
+                       const std::vector<std::vector<BatPtr>>& b) {
+  Stopwatch watch;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    DC_CHECK_OK(engine.PushColumns("s1", a[i]));
+    DC_CHECK_OK(engine.PushColumns("s2", b[i]));
+    engine.Pump();
   }
+  DC_CHECK_OK(engine.SealStream("s1"));
+  DC_CHECK_OK(engine.SealStream("s2"));
+  engine.Pump();
+  return watch.ElapsedMicros();
+}
 
+RunStats RunJoin(ExecMode mode, Micros slide,
+                 const std::vector<std::vector<BatPtr>>& a,
+                 const std::vector<std::vector<BatPtr>>& b,
+                 uint64_t* delta_pairs) {
+  Engine engine(Sync());
+  DC_CHECK_OK(engine.Execute(workload::SensorDdl("s1")));
+  DC_CHECK_OK(engine.Execute(workload::SensorDdl("s2")));
+  const std::string sql = StrFormat(
+      "SELECT count(*), sum(s1.temp), sum(s2.temp) "
+      "FROM s1 [RANGE %lld MICROSECONDS SLIDE %lld MICROSECONDS] "
+      "JOIN s2 [RANGE %lld MICROSECONDS SLIDE %lld MICROSECONDS] "
+      "ON s1.sensor = s2.sensor",
+      static_cast<long long>(kWindow), static_cast<long long>(slide),
+      static_cast<long long>(kWindow), static_cast<long long>(slide));
+  auto qid = engine.SubmitContinuous(
+      sql, QueryOpts(mode, "join", bench::NullSink()));
+  DC_CHECK_OK(qid.status());
+  const Micros wall = FeedBothAndPump(engine, a, b);
+  *delta_pairs = engine.GetFactory(*qid)->Stats().delta_pairs;
+  return Collect(engine, *qid, wall);
+}
+
+void PrintSweepHeader() {
   printf("\n%8s %5s | %11s %14s %12s | %11s %14s %12s | %8s\n", "slide",
          "n_bw", "full:emit", "full:us/emit", "full:tuples", "inc:emit",
          "inc:us/emit", "inc:tuples", "speedup");
   printf("%s\n", std::string(118, '-').c_str());
-  for (int n : {1, 2, 4, 8, 16, 32}) {
-    const Micros slide = kWindow / n;
-    RunStats full = RunOne(ExecMode::kFullReeval, slide, batches);
-    RunStats inc = RunOne(ExecMode::kIncremental, slide, batches);
-    printf("%8s %5d | %11llu %14.1f %12llu | %11llu %14.1f %12llu | %7.2fx\n",
-           FormatDuration(slide).c_str(), n,
-           static_cast<unsigned long long>(full.emissions),
-           full.ExecPerEmissionUs(),
-           static_cast<unsigned long long>(full.tuples_in),
-           static_cast<unsigned long long>(inc.emissions),
-           inc.ExecPerEmissionUs(),
-           static_cast<unsigned long long>(inc.tuples_in),
-           inc.exec_micros == 0
-               ? 0.0
-               : static_cast<double>(full.exec_micros) /
-                     static_cast<double>(inc.exec_micros));
+}
+
+void PrintSweepRow(const SweepPoint& p) {
+  printf("%8s %5d | %11llu %14.1f %12llu | %11llu %14.1f %12llu | %7.2fx\n",
+         FormatDuration(p.slide).c_str(), p.n_bw,
+         static_cast<unsigned long long>(p.full.emissions),
+         p.full.ExecPerEmissionUs(),
+         static_cast<unsigned long long>(p.full.tuples_in),
+         static_cast<unsigned long long>(p.inc.emissions),
+         p.inc.ExecPerEmissionUs(),
+         static_cast<unsigned long long>(p.inc.tuples_in), p.Speedup());
+}
+
+void WriteModeJson(FILE* f, const char* name, const RunStats& s) {
+  fprintf(f,
+          "      \"%s\": {\"emissions\": %llu, \"exec_us_per_emission\": "
+          "%.2f, \"tuples_in\": %llu, \"fragments\": %llu, "
+          "\"cached_bytes\": %llu}",
+          name, static_cast<unsigned long long>(s.emissions),
+          s.ExecPerEmissionUs(),
+          static_cast<unsigned long long>(s.tuples_in),
+          static_cast<unsigned long long>(s.fragments),
+          static_cast<unsigned long long>(s.cached_bytes));
+}
+
+void WriteIncrementalJson(const std::vector<SweepPoint>& points,
+                          uint64_t agg_rows, uint64_t join_rows) {
+  FILE* f = fopen("BENCH_incremental.json", "w");
+  if (f == nullptr) {
+    printf("  !! cannot write BENCH_incremental.json\n");
+    return;
   }
+  fprintf(f,
+          "{\n  \"bench\": \"incremental\",\n"
+          "  \"generated_by\": \"bench_incremental\",\n"
+          "  \"window_us\": %llu,\n  \"agg_rows\": %llu,\n"
+          "  \"join_rows\": %llu,\n  \"sweep\": [\n",
+          static_cast<unsigned long long>(kWindow),
+          static_cast<unsigned long long>(agg_rows),
+          static_cast<unsigned long long>(join_rows));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    fprintf(f,
+            "    {\"scenario\": \"%s\", \"n_bw\": %d, \"slide_us\": %llu,\n",
+            p.scenario, p.n_bw, static_cast<unsigned long long>(p.slide));
+    WriteModeJson(f, "full", p.full);
+    fprintf(f, ",\n");
+    WriteModeJson(f, "incremental", p.inc);
+    fprintf(f, ",\n      \"delta_pairs\": %llu, \"speedup\": %.3f}%s\n",
+            static_cast<unsigned long long>(p.inc_delta_pairs), p.Speedup(),
+            i + 1 < points.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("\nwrote BENCH_incremental.json (%zu sweep points)\n",
+         points.size());
+}
+
+}  // namespace
+}  // namespace dc
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const bool smoke = argc > 1 && strcmp(argv[1], "--smoke") == 0;
+  const uint64_t agg_rows = smoke ? 24000 : 120000;
+  const uint64_t join_rows = smoke ? 8000 : 24000;
+  constexpr uint64_t kBatch = 1000;
+  std::vector<SweepPoint> points;
+
+  Banner("E2", "full re-evaluation vs incremental (sliding-window agg)");
+  printf("window = %s, stream = %llu rows\n", FormatDuration(kWindow).c_str(),
+         static_cast<unsigned long long>(agg_rows));
+  {
+    workload::SensorConfig config;
+    config.ts_step = 100;  // 10k rows per simulated second
+    std::vector<std::vector<BatPtr>> batches;
+    for (uint64_t off = 0; off < agg_rows; off += kBatch) {
+      batches.push_back(workload::SensorBatch(config, off, kBatch));
+    }
+    PrintSweepHeader();
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+      SweepPoint p;
+      p.scenario = "agg";
+      p.n_bw = n;
+      p.slide = kWindow / n;
+      p.full = RunAgg(ExecMode::kFullReeval, p.slide, batches);
+      p.inc = RunAgg(ExecMode::kIncremental, p.slide, batches);
+      PrintSweepRow(p);
+      points.push_back(std::move(p));
+    }
+  }
+
+  Banner("E2b", "full re-evaluation vs incremental (stream-stream join)");
+  printf("window = %s, 2 streams x %llu rows, join on sensor id\n",
+         FormatDuration(kWindow).c_str(),
+         static_cast<unsigned long long>(join_rows));
+  {
+    // Sparser streams than E2 (2ms per row) keep the per-window join
+    // output moderate while the window still spans thousands of rows.
+    workload::SensorConfig ca, cb;
+    ca.ts_step = cb.ts_step = 2000;
+    ca.num_sensors = cb.num_sensors = 500;
+    ca.seed = 7;
+    cb.seed = 19;
+    std::vector<std::vector<BatPtr>> a, b;
+    for (uint64_t off = 0; off < join_rows; off += kBatch) {
+      a.push_back(workload::SensorBatch(ca, off, kBatch));
+      b.push_back(workload::SensorBatch(cb, off, kBatch));
+    }
+    PrintSweepHeader();
+    for (int n : {1, 2, 4, 8}) {
+      SweepPoint p;
+      p.scenario = "join";
+      p.n_bw = n;
+      p.slide = kWindow / n;
+      uint64_t ignored = 0;
+      p.full = RunJoin(ExecMode::kFullReeval, p.slide, a, b, &ignored);
+      p.inc = RunJoin(ExecMode::kIncremental, p.slide, a, b,
+                      &p.inc_delta_pairs);
+      PrintSweepRow(p);
+      points.push_back(std::move(p));
+    }
+  }
+
+  WriteIncrementalJson(points, agg_rows, join_rows);
   printf("\nnote: 'tuples' counts stream tuples read by the factory; in\n"
          "incremental mode each tuple enters exactly one basic-window\n"
-         "fragment, independent of the slide.\n");
+         "fragment (and one delta join), independent of the slide.\n");
   return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Markdown link check for README.md and docs/*.md.
+
+Validates that every relative link target exists on disk and that every
+intra-document or cross-document `#anchor` resolves to a heading. External
+links (http/https/mailto) are recorded but not fetched — CI must stay
+hermetic. Exits non-zero listing every broken link.
+
+Usage: check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, strip punctuation, dashes for spaces."""
+    heading = re.sub(r"[`*_]", "", heading.strip())
+    heading = re.sub(r"[^\w\- ]", "", heading.lower())
+    return heading.replace(" ", "-")
+
+
+def md_files(root: str):
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            yield os.path.join(root, name)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def headings(path: str):
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {anchor_of(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = list(md_files(root))
+    anchors = {path: headings(path) for path in files}
+    broken = []
+    external = 0
+
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            text = CODE_FENCE_RE.sub("", f.read())
+        rel = os.path.relpath(path, root)
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), base))
+                if not os.path.exists(dest):
+                    broken.append(f"{rel}: missing target '{target}'")
+                    continue
+            else:
+                dest = path
+            if fragment:
+                known = anchors.get(dest)
+                if known is not None and fragment.lower() not in known:
+                    broken.append(f"{rel}: dead anchor '{target}'")
+
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"{len(files)} files OK "
+          f"({external} external links not fetched)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

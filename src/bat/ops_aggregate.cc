@@ -156,6 +156,12 @@ void AggState::Merge(const AggState& other) {
   }
 }
 
+// Empty-window NULL simplification (docs/INCREMENTAL.md "Known
+// divergences"): SQL says SUM/MIN/MAX/AVG over zero rows are NULL, but the
+// type system has no NULL, so empty input renders as the type's zero
+// (I64/F64/Ts 0, STR ""). COUNT is 0 per SQL. Pinned by
+// ops_test AggStateTest.EmptyInputConventions — change that test first if
+// real NULLs ever land.
 Value AggState::Finalize(AggKind kind, TypeId input_type) const {
   switch (kind) {
     case AggKind::kCount:

@@ -80,6 +80,30 @@ Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
                                      TypeName(lt), TypeName(rt)));
 }
 
+Result<JoinResult> DeltaJoin(const Bat& left, uint64_t left_old,
+                             const Bat& right, uint64_t right_old) {
+  if (left_old > left.size() || right_old > right.size()) {
+    return Status::InvalidArgument("DeltaJoin: old split beyond column size");
+  }
+  if (left_old == 0 || right_old == 0) {
+    return HashJoin(left, right);
+  }
+  // old_l ⋈ new_r: build over the new right rows, probe the old left rows.
+  const Candidates l_old = Candidates::Range(0, left_old);
+  const Candidates r_new =
+      Candidates::Range(right_old, right.size() - right_old);
+  DC_ASSIGN_OR_RETURN(JoinResult out, HashJoin(left, right, &l_old, &r_new));
+  // new_l ⋈ (old_r ∪ new_r): build over the new left rows by running the
+  // join flipped (the build side must stay proportional to the delta),
+  // then swap the oid lists back.
+  const Candidates l_new = Candidates::Range(left_old, left.size() - left_old);
+  DC_ASSIGN_OR_RETURN(JoinResult flipped,
+                      HashJoin(right, left, /*lcand=*/nullptr, &l_new));
+  out.left.insert(out.left.end(), flipped.right.begin(), flipped.right.end());
+  out.right.insert(out.right.end(), flipped.left.begin(), flipped.left.end());
+  return out;
+}
+
 BatPtr FetchOids(const Bat& col, const std::vector<Oid>& oids) {
   auto out = std::make_shared<Bat>(col.type());
   out->Reserve(oids.size());

@@ -31,6 +31,19 @@ Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
                             const Candidates* lcand = nullptr,
                             const Candidates* rcand = nullptr);
 
+/// Delta equi-join for incremental sliding windows. Each side is the full
+/// window key column laid out as [retained ; new]: rows below
+/// `left_old` / `right_old` were joined on earlier slides, rows at or
+/// above it arrived with the newest basic window. Returns exactly the
+/// pairs of HashJoin(left, right) that involve at least one new row —
+/// new⋈old ∪ old⋈new ∪ new⋈new — so cached pair results stay disjoint
+/// from the delta. Hash tables are built over the new portions only;
+/// per-slide build cost is proportional to the new basic window (the old
+/// portions are probed, never rebuilt). When either old portion is empty
+/// every pair involves a new row and this degenerates to a full HashJoin.
+Result<JoinResult> DeltaJoin(const Bat& left, uint64_t left_old,
+                             const Bat& right, uint64_t right_old);
+
 /// Materializes `col[oids[i]]` for every i — payload fetch through a join
 /// index (oids may repeat; unlike Candidates they need not be sorted).
 BatPtr FetchOids(const Bat& col, const std::vector<Oid>& oids);

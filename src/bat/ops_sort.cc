@@ -1,37 +1,46 @@
 #include "bat/ops_sort.h"
 
 #include <algorithm>
+#include <queue>
 
 namespace dc::ops {
 
 namespace {
 
-// Three-way comparison of two rows of one column without boxing.
-int CompareCell(const Bat& col, Oid a, Oid b) {
-  switch (col.type()) {
+// Three-way comparison across two columns of the same type (rows of
+// different sorted runs). SortOrder and MergeSortedRuns must order cells
+// identically — the FULL == INCREMENTAL stable-merge invariant depends on
+// it — so this is the single comparison routine for both.
+int CompareCell2(const Bat& ca, Oid a, const Bat& cb, Oid b) {
+  switch (ca.type()) {
     case TypeId::kBool: {
-      const int x = col.BoolData()[a];
-      const int y = col.BoolData()[b];
+      const int x = ca.BoolData()[a];
+      const int y = cb.BoolData()[b];
       return x - y;
     }
     case TypeId::kI64:
     case TypeId::kTs: {
-      const int64_t x = col.I64Data()[a];
-      const int64_t y = col.I64Data()[b];
+      const int64_t x = ca.I64Data()[a];
+      const int64_t y = cb.I64Data()[b];
       return x < y ? -1 : (x == y ? 0 : 1);
     }
     case TypeId::kF64: {
-      const double x = col.F64Data()[a];
-      const double y = col.F64Data()[b];
+      const double x = ca.F64Data()[a];
+      const double y = cb.F64Data()[b];
       return x < y ? -1 : (x == y ? 0 : 1);
     }
     case TypeId::kStr: {
-      const std::string_view x = col.StrAt(a);
-      const std::string_view y = col.StrAt(b);
+      const std::string_view x = ca.StrAt(a);
+      const std::string_view y = cb.StrAt(b);
       return x < y ? -1 : (x == y ? 0 : 1);
     }
   }
   return 0;
+}
+
+// Three-way comparison of two rows of one column.
+int CompareCell(const Bat& col, Oid a, Oid b) {
+  return CompareCell2(col, a, col, b);
 }
 
 }  // namespace
@@ -62,6 +71,51 @@ Result<std::vector<Oid>> SortOrder(const std::vector<SortKey>& keys,
     return false;
   });
   return order;
+}
+
+Result<std::vector<std::pair<int, Oid>>> MergeSortedRuns(
+    const std::vector<std::vector<SortKey>>& runs) {
+  uint64_t total = 0;
+  size_t arity = 0;
+  for (const auto& keys : runs) {
+    if (keys.empty()) {
+      return Status::InvalidArgument("MergeSortedRuns: run without keys");
+    }
+    if (arity == 0) arity = keys.size();
+    if (keys.size() != arity) {
+      return Status::InvalidArgument("MergeSortedRuns: key arity mismatch");
+    }
+    total += keys[0].col->size();
+  }
+  // head[r] = next unconsumed row of run r. `less(a, b)` compares the
+  // heads of two runs; equal keys fall back to the run index, which keeps
+  // the merge equivalent to a stable sort of the concatenation.
+  std::vector<Oid> head(runs.size(), 0);
+  auto less = [&](int ra, int rb) {
+    for (size_t k = 0; k < arity; ++k) {
+      const SortKey& ka = runs[ra][k];
+      const int c = CompareCell2(*ka.col, head[ra], *runs[rb][k].col,
+                                 head[rb]);
+      if (c != 0) return ka.ascending ? c < 0 : c > 0;
+    }
+    return ra < rb;
+  };
+  // Min-heap of run indices (std::priority_queue is a max-heap, so invert).
+  auto heap_cmp = [&](int ra, int rb) { return less(rb, ra); };
+  std::priority_queue<int, std::vector<int>, decltype(heap_cmp)> heap(
+      heap_cmp);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r][0].col->size() > 0) heap.push(static_cast<int>(r));
+  }
+  std::vector<std::pair<int, Oid>> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const int r = heap.top();
+    heap.pop();
+    out.emplace_back(r, head[r]);
+    if (++head[r] < runs[r][0].col->size()) heap.push(r);
+  }
+  return out;
 }
 
 }  // namespace dc::ops

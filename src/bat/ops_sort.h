@@ -25,6 +25,16 @@ struct SortKey {
 Result<std::vector<Oid>> SortOrder(const std::vector<SortKey>& keys,
                                    const Candidates* cand = nullptr);
 
+/// K-way merge of already-sorted runs (incremental ORDER BY tails: each
+/// per-basic-window partial is a sorted run; the finish merges them
+/// instead of re-sorting the whole window). `runs[i]` holds run i's sort
+/// key columns; all runs must share key arity, types, and directions.
+/// Returns (run, row) pairs in merged order. Ties resolve to the lower
+/// run index, then input order within a run, so merging the runs of a
+/// partition equals a stable sort of their concatenation.
+Result<std::vector<std::pair<int, Oid>>> MergeSortedRuns(
+    const std::vector<std::vector<SortKey>>& runs);
+
 }  // namespace dc::ops
 
 #endif  // DATACELL_BAT_OPS_SORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bat/ops_join.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -94,19 +95,22 @@ Status Factory::Validate() {
     batch_cursor_ = origin_seq_[stream_rels_[0]];
   }
 
-  // Decide whether incremental processing is applicable.
+  // Decide whether incremental processing is applicable. The rule itself
+  // (plan::IncrementalEligible) is shared with the compiler's EXPLAIN
+  // classification; it is evaluated here over the factory's actual input
+  // windows, which tests may inject independently of the SQL.
   incremental_active_ = false;
   if (mode_ == ExecMode::kIncremental && shape_ != Shape::kPerBatch) {
-    bool divisible = true;
+    std::vector<const plan::WindowSpec*> windows;
     for (int s = 0; s < 2; ++s) {
       const int rel = stream_rels_[s];
       if (rel < 0) continue;
-      if (inputs_[rel].window.has_value()) {
-        divisible = divisible && WindowMath(*inputs_[rel].window).Divisible();
-      }
+      windows.push_back(inputs_[rel].window.has_value()
+                            ? &*inputs_[rel].window
+                            : nullptr);
     }
-    incremental_active_ = divisible;
-    stats_.fell_back_to_full = !divisible;
+    incremental_active_ = plan::IncrementalEligible(windows);
+    stats_.fell_back_to_full = !incremental_active_;
   }
   return Status::OK();
 }
@@ -436,7 +440,7 @@ Status Factory::FireDualWindow() {
   const WindowMath wr(*inputs_[r].window);
   const int64_t m = *next_emission_;
 
-  if (!incremental_active_) {
+  if (!incremental_active_ || !executor_->HasDeltaPostjoin()) {
     std::vector<exec::StageInput> raw(inputs_.size());
     const auto [llo, lhi] = wl.RangeExtent(m);
     const auto [rlo, rhi] = wr.RangeExtent(m);
@@ -446,41 +450,7 @@ Status Factory::FireDualWindow() {
     DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
     DC_RETURN_NOT_OK(EmitResult(result));
   } else {
-    const auto [lfirst, llast] = wl.BasicWindowsForRange(m);
-    const auto [rfirst, rlast] = wr.BasicWindowsForRange(m);
-    std::vector<const exec::Partial*> ps;
-    for (int64_t jl = lfirst; jl < llast; ++jl) {
-      DC_ASSIGN_OR_RETURN(const exec::StageInput* cl,
-                          EnsureCompact(l, false, jl));
-      for (int64_t jr = rfirst; jr < rlast; ++jr) {
-        const PartialKey key{jl, jr};
-        auto it = partials_.find(key);
-        if (it == partials_.end()) {
-          DC_ASSIGN_OR_RETURN(const exec::StageInput* cr,
-                              EnsureCompact(r, false, jr));
-          std::vector<exec::StageInput> compact(inputs_.size());
-          compact[l] = *cl;
-          compact[r] = *cr;
-          DC_ASSIGN_OR_RETURN(exec::StageOutput frag,
-                              executor_->RunPostjoin(compact));
-          DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(frag));
-          it = partials_.insert_or_assign(key, std::move(p)).first;
-          stats_.fragments_computed++;
-        }
-        ps.push_back(&it->second);
-      }
-    }
-    DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
-    DC_RETURN_NOT_OK(EmitResult(result));
-    const int64_t lkeep = lfirst + 1;
-    const int64_t rkeep = rfirst + 1;
-    std::erase_if(partials_, [&](const auto& kv) {
-      return kv.first.a < lkeep || kv.first.b < rkeep;
-    });
-    std::erase_if(compact_, [&](const auto& kv) {
-      return kv.first.first == l ? kv.first.second < lkeep
-                                 : kv.first.second < rkeep;
-    });
+    DC_RETURN_NOT_OK(FireDualWindowDelta(m, wl, wr));
   }
 
   for (int s = 0; s < 2; ++s) {
@@ -492,6 +462,92 @@ Status Factory::FireDualWindow() {
     inputs_[rel].basket->AdvanceReader(inputs_[rel].reader_id, range.first);
   }
   next_emission_ = m + 1;
+  return Status::OK();
+}
+
+Result<exec::StageInput> Factory::AssembleDeltaSide(int rel, int64_t first,
+                                                    int64_t last,
+                                                    int64_t new_from) {
+  exec::StageInput out;
+  auto ord = Bat::MakeEmpty(TypeId::kI64);
+  for (int64_t j = first; j < last; ++j) {
+    DC_ASSIGN_OR_RETURN(const exec::StageInput* c,
+                        EnsureCompact(rel, /*rows_mode=*/false, j));
+    if (out.cols.empty()) {
+      for (const BatPtr& col : c->cols) {
+        out.cols.push_back(Bat::MakeEmpty(col->type()));
+      }
+    }
+    for (size_t k = 0; k < out.cols.size(); ++k) {
+      out.cols[k]->AppendRange(*c->cols[k], 0, c->cols[k]->size());
+    }
+    for (uint64_t i = 0; i < c->rows; ++i) ord->AppendI64(j);
+    out.rows += c->rows;
+    if (j < new_from) out.delta_old_rows += c->rows;
+  }
+  out.cols.push_back(std::move(ord));
+  return out;
+}
+
+Status Factory::FireDualWindowDelta(int64_t m, const WindowMath& wl,
+                                    const WindowMath& wr) {
+  const int l = stream_rels_[0];
+  const int r = stream_rels_[1];
+  const int64_t nl = wl.NumBasicWindows();
+  const int64_t nr = wr.NumBasicWindows();
+  const auto [lfirst, llast] = wl.BasicWindowsForRange(m);  // llast == m
+  const auto [rfirst, rlast] = wr.BasicWindowsForRange(m);
+
+  // Delta-join only the newest basic window (m-1 on both sides; the whole
+  // window on the very first emission) against the retained portion.
+  const int64_t new_from = delta_seeded_ ? m - 1
+                                         : std::min(lfirst, rfirst);
+  std::vector<exec::StageInput> compact(inputs_.size());
+  DC_ASSIGN_OR_RETURN(compact[l], AssembleDeltaSide(l, lfirst, m, new_from));
+  DC_ASSIGN_OR_RETURN(compact[r], AssembleDeltaSide(r, rfirst, m, new_from));
+  DC_ASSIGN_OR_RETURN(exec::DeltaFrag df,
+                      executor_->RunPostjoinDelta(compact));
+  delta_seeded_ = true;
+  stats_.fragments_computed++;
+  stats_.delta_pairs += df.frag.rows;
+
+  // Bucket the new pairs by the emission at which they leave the window:
+  // pair (jl, jr) is live while m' <= min(jl + nl, jr + nr). Partials are
+  // keyed {expiry, created}, so expiry evicts whole buckets — no retained
+  // row is ever rescanned or filtered.
+  std::map<int64_t, std::vector<Oid>> buckets;
+  for (uint64_t i = 0; i < df.frag.rows; ++i) {
+    const int64_t expiry =
+        std::min(df.left_bw[i] + nl, df.right_bw[i] + nr) + 1;
+    buckets[expiry].push_back(static_cast<Oid>(i));
+  }
+  for (const auto& [expiry, rows] : buckets) {
+    exec::StageOutput bucket;
+    bucket.rows = rows.size();
+    for (const BatPtr& col : df.frag.cols) {
+      bucket.cols.push_back(ops::FetchOids(*col, rows));
+    }
+    DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(bucket));
+    partials_.insert_or_assign(PartialKey{expiry, m}, std::move(p));
+  }
+
+  // Merge every live partial (map order: expiry, then creation — a
+  // deterministic order; emission row order beyond ORDER BY is
+  // unspecified, see docs/INCREMENTAL.md).
+  std::vector<const exec::Partial*> ps;
+  ps.reserve(partials_.size());
+  for (const auto& [key, p] : partials_) ps.push_back(&p);
+  DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
+  DC_RETURN_NOT_OK(EmitResult(result));
+
+  // Evict pairs gone by the next emission, and compacts behind the next
+  // window starts.
+  std::erase_if(partials_,
+                [&](const auto& kv) { return kv.first.a <= m + 1; });
+  std::erase_if(compact_, [&](const auto& kv) {
+    return kv.first.first == l ? kv.first.second < lfirst + 1
+                               : kv.first.second < rfirst + 1;
+  });
   return Status::OK();
 }
 

@@ -62,6 +62,9 @@ struct FactoryStats {
   uint64_t cached_partials = 0;
   size_t cached_bytes = 0;
   uint64_t fragments_computed = 0;  // basic-window fragments evaluated
+  /// Join pairs produced by delta joins (stream-stream incremental mode):
+  /// per slide this is the new pairs only, not the full window join.
+  uint64_t delta_pairs = 0;
   bool fell_back_to_full = false;   // incremental requested, not divisible
   bool paused = false;
   std::string last_error;
@@ -141,7 +144,10 @@ class Factory {
   /// Incremental caches. `compact_` holds per-(rel, basic-window) prejoin
   /// outputs (kept when a second relation needs re-joining); `partials_`
   /// holds mergeable partials keyed by basic window (single windowed
-  /// stream) or by (left bw, right bw) pair (stream-stream join).
+  /// stream: {bw, 0}) or, for stream-stream delta joins, by
+  /// {expiry emission, creating emission} — the first component is the
+  /// basic-window-driven emission ordinal at which every pair in the
+  /// partial has left the window, so expiry evicts whole partials.
   struct PartialKey {
     int64_t a = 0;
     int64_t b = 0;
@@ -155,6 +161,19 @@ class Factory {
   Result<const exec::Partial*> EnsureSinglePartial(int64_t bw, bool rows_mode,
                                                    uint64_t table_version);
 
+  /// Concatenates the cached compacts of basic windows [first, last) of
+  /// stream `rel` into one [retained ; new] stage input for the delta
+  /// postjoin: appends the hidden bw-ordinal column and sets
+  /// delta_old_rows to the rows of the bws below `new_from`.
+  Result<exec::StageInput> AssembleDeltaSide(int rel, int64_t first,
+                                             int64_t last, int64_t new_from);
+
+  /// One incremental stream-stream emission: delta-join the newest basic
+  /// window against the retained window, bucket new pairs by expiry, and
+  /// merge all live partials.
+  Status FireDualWindowDelta(int64_t m, const WindowMath& wl,
+                             const WindowMath& wr);
+
   const int id_;
   const std::string name_;
   std::shared_ptr<exec::QueryExecutor> executor_;
@@ -166,6 +185,10 @@ class Factory {
   int stream_rels_[2] = {-1, -1};  // relation indices of stream inputs
   int table_rel_ = -1;             // relation index of the table input
   bool incremental_active_ = false;
+  /// Dual-window delta state: false until the first incremental emission
+  /// joined the whole initial window (everything "new"); afterwards each
+  /// emission delta-joins only basic window m-1.
+  bool delta_seeded_ = false;
 
   mutable std::mutex mu_;
   bool paused_ = false;

@@ -44,12 +44,47 @@ Result<StageOutput> QueryExecutor::RunPostjoin(
   return ExecuteProgram(cq_.postjoin, compact);
 }
 
+Result<DeltaFrag> QueryExecutor::RunPostjoinDelta(
+    const std::vector<StageInput>& compact) const {
+  if (!cq_.has_delta_postjoin) {
+    return Status::Internal("query has no delta postjoin stage");
+  }
+  DC_ASSIGN_OR_RETURN(StageOutput out,
+                      ExecuteProgram(cq_.delta_postjoin, compact));
+  if (out.cols.size() < 2) {
+    return Status::Internal("delta postjoin missing ordinal outputs");
+  }
+  DeltaFrag df;
+  const BatPtr rbw = out.cols.back();
+  out.cols.pop_back();
+  const BatPtr lbw = out.cols.back();
+  out.cols.pop_back();
+  const auto lspan = lbw->I64Data();
+  const auto rspan = rbw->I64Data();
+  df.left_bw.assign(lspan.begin(), lspan.end());
+  df.right_bw.assign(rspan.begin(), rspan.end());
+  df.frag = std::move(out);
+  return df;
+}
+
 Result<Partial> QueryExecutor::MakePartial(const StageOutput& frag) const {
   Partial p;
   p.rows = frag.rows;
   const plan::FinishSpec& f = cq_.finish;
   if (!f.is_aggregate) {
     p.frag_cols = frag.cols;
+    // Pre-sort the partial by the hidden sort columns: every partial is
+    // then a sorted run and Finish merges runs instead of re-sorting the
+    // merged window (stable, so FULL — a single whole-window partial —
+    // and INCREMENTAL agree).
+    if (!f.sort_cols.empty() && p.rows > 1) {
+      std::vector<ops::SortKey> keys;
+      for (const auto& [slot, asc] : f.sort_cols) {
+        keys.push_back(ops::SortKey{p.frag_cols[slot].get(), asc});
+      }
+      DC_ASSIGN_OR_RETURN(std::vector<Oid> order, ops::SortOrder(keys));
+      for (BatPtr& c : p.frag_cols) c = ops::FetchOids(*c, order);
+    }
     return p;
   }
   if (cq_.num_keys == 0) {
@@ -208,25 +243,44 @@ Result<ColumnSet> QueryExecutor::FinishAggregate(
 Result<ColumnSet> QueryExecutor::FinishPlain(
     const std::vector<const Partial*>& partials) const {
   const plan::FinishSpec& f = cq_.finish;
-  // Concatenate fragment outputs of all partials (typed empties if none).
   std::vector<BatPtr> cols;
   for (TypeId t : fragment_types_) cols.push_back(Bat::MakeEmpty(t));
+
+  // Partials that actually carry fragment rows (a partial may be missing
+  // columns only when it is empty).
+  std::vector<const Partial*> runs;
   for (const Partial* p : partials) {
+    if (p->rows > 0 && p->frag_cols.size() >= cols.size()) runs.push_back(p);
+  }
+
+  if (!f.sort_cols.empty() && !runs.empty()) {
+    // ORDER BY tail: each partial is already a sorted run (MakePartial),
+    // so merge the runs instead of re-sorting the whole window. Stable
+    // merge + stable per-run sort == stable sort of the concatenation,
+    // which keeps FULL and INCREMENTAL emissions identical.
+    std::vector<std::vector<ops::SortKey>> run_keys(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      for (const auto& [slot, asc] : f.sort_cols) {
+        run_keys[r].push_back(
+            ops::SortKey{runs[r]->frag_cols[slot].get(), asc});
+      }
+    }
+    DC_ASSIGN_OR_RETURN(auto merged, ops::MergeSortedRuns(run_keys));
     for (size_t c = 0; c < cols.size(); ++c) {
-      if (c < p->frag_cols.size()) {
+      cols[c]->Reserve(merged.size());
+      for (const auto& [run, row] : merged) {
+        cols[c]->AppendRange(*runs[run]->frag_cols[c], row, row + 1);
+      }
+    }
+  } else {
+    // No ORDER BY: concatenate fragment outputs in partial order.
+    for (const Partial* p : runs) {
+      for (size_t c = 0; c < cols.size(); ++c) {
         cols[c]->AppendRange(*p->frag_cols[c], 0, p->frag_cols[c]->size());
       }
     }
   }
-  // Sort by the hidden sort columns.
-  if (!f.sort_cols.empty()) {
-    std::vector<ops::SortKey> keys;
-    for (const auto& [slot, asc] : f.sort_cols) {
-      keys.push_back(ops::SortKey{cols[slot].get(), asc});
-    }
-    DC_ASSIGN_OR_RETURN(std::vector<Oid> order, ops::SortOrder(keys));
-    for (BatPtr& c : cols) c = ops::FetchOids(*c, order);
-  }
+
   ColumnSet out;
   out.names = f.out_names;
   for (int i = 0; i < f.num_visible; ++i) out.cols.push_back(cols[i]);

@@ -32,12 +32,26 @@ struct Partial {
   std::vector<ops::AggState> scalar_states;
   // Aggregate queries with GROUP BY:
   std::shared_ptr<ops::GroupedAggMerger> grouped;
-  // Non-aggregate queries: the fragment's output columns.
+  // Non-aggregate queries: the fragment's output columns. When the query
+  // has an ORDER BY, MakePartial stores them pre-sorted by the hidden
+  // sort columns, so each partial is one sorted run and Finish merges
+  // runs instead of re-sorting the window.
   std::vector<BatPtr> frag_cols;
   uint64_t rows = 0;
 
   /// Approximate footprint (monitoring: "intermediate result sizes").
   size_t MemoryBytes() const;
+};
+
+/// Output of the delta-postjoin stage (stream-stream joins, incremental
+/// mode): the fragment columns of the NEW join pairs only, plus each
+/// result row's basic-window ordinal on both sides — the factory buckets
+/// rows by expiry so retained results are dropped wholesale as basic
+/// windows leave the window.
+struct DeltaFrag {
+  StageOutput frag;
+  std::vector<int64_t> left_bw;
+  std::vector<int64_t> right_bw;
 };
 
 /// Stage runner for one compiled query. Thread-compatible: const methods
@@ -53,6 +67,18 @@ class QueryExecutor {
 
   /// Postjoin stage over the compact relations (prejoin outputs).
   Result<StageOutput> RunPostjoin(
+      const std::vector<StageInput>& compact) const;
+
+  /// True when the query compiled a delta-postjoin stage (stream-stream
+  /// equi-join).
+  bool HasDeltaPostjoin() const { return cq_.has_delta_postjoin; }
+
+  /// Delta-postjoin stage: `compact` holds, per side, the concatenated
+  /// [retained ; new] compact columns with StageInput::delta_old_rows set
+  /// and one extra i64 basic-window-ordinal column appended after the
+  /// compact columns. Produces the fragment rows of the new join pairs
+  /// only.
+  Result<DeltaFrag> RunPostjoinDelta(
       const std::vector<StageInput>& compact) const;
 
   /// Folds a fragment output into a mergeable Partial.

@@ -119,6 +119,23 @@ struct Machine {
             std::make_shared<std::vector<Oid>>(std::move(jr.right));
         return Status::OK();
       }
+      case OpCode::kDeltaJoin: {
+        DC_ASSIGN_OR_RETURN(BatPtr l, Col(i.a));
+        DC_ASSIGN_OR_RETURN(BatPtr r, Col(i.b));
+        if (i.rel < 0 || i.rel2 < 0 ||
+            static_cast<size_t>(i.rel) >= inputs.size() ||
+            static_cast<size_t>(i.rel2) >= inputs.size()) {
+          return Status::Internal("delta_join: bad input relation");
+        }
+        DC_ASSIGN_OR_RETURN(
+            ops::JoinResult jr,
+            ops::DeltaJoin(*l, inputs[i.rel].delta_old_rows, *r,
+                           inputs[i.rel2].delta_old_rows));
+        regs[i.dst] = std::make_shared<std::vector<Oid>>(std::move(jr.left));
+        regs[i.dst2] =
+            std::make_shared<std::vector<Oid>>(std::move(jr.right));
+        return Status::OK();
+      }
       case OpCode::kFetch: {
         DC_ASSIGN_OR_RETURN(BatPtr col, Col(i.a));
         DC_ASSIGN_OR_RETURN(OidList oids, Oids(i.b));

@@ -20,6 +20,10 @@ namespace dc::exec {
 struct StageInput {
   std::vector<BatPtr> cols;
   uint64_t rows = 0;
+  /// Delta stages (kDeltaJoin): rows below this offset are the retained
+  /// portion of the window, rows at or above it belong to the newest
+  /// basic window. Ignored by every other instruction.
+  uint64_t delta_old_rows = 0;
 };
 
 /// Stage result: output columns (in program output order) and the row

@@ -150,4 +150,14 @@ int BoundQuery::NumStreams() const {
   return n;
 }
 
+bool IncrementalEligible(const std::vector<const WindowSpec*>& windows) {
+  bool any = false;
+  for (const WindowSpec* w : windows) {
+    if (w == nullptr) continue;
+    any = true;
+    if (w->size % w->slide != 0) return false;
+  }
+  return any;
+}
+
 }  // namespace dc::plan

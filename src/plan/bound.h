@@ -83,6 +83,14 @@ struct WindowSpec {
   std::string ToString() const;
 };
 
+/// The incremental-eligibility rule, shared by the compiler
+/// (CompiledQuery::incremental_eligible, EXPLAIN's classification) and
+/// the factory (FactoryStats::fell_back_to_full) so the two can never
+/// disagree: at least one window present, and every window a whole
+/// number of basic windows (slide divides size). Null entries mean
+/// "no window on this input".
+bool IncrementalEligible(const std::vector<const WindowSpec*>& windows);
+
 /// One input relation of a bound query.
 struct BoundRelation {
   std::string name;

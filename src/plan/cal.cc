@@ -43,6 +43,11 @@ std::string Instr::ToString() const {
     case OpCode::kJoin:
       return StrFormat("(O%d, O%d) := algebra.join(V%d, V%d)", dst, dst2, a,
                        b);
+    case OpCode::kDeltaJoin:
+      return StrFormat(
+          "(O%d, O%d) := datacell.delta_join(V%d, V%d)  "
+          "# new⋈old ∪ old⋈new ∪ new⋈new",
+          dst, dst2, a, b);
     case OpCode::kFetch:
       return StrFormat("V%d := algebra.fetch(V%d, O%d)", dst, a, b);
     case OpCode::kMapArith:

@@ -31,6 +31,7 @@ enum class OpCode {
   kCandDiff,       // C := algebra.difference(Cdomain, Ca)
   kGather,         // V' := algebra.project(V ; C)
   kJoin,           // (OL, OR) := algebra.join(Vl, Vr)
+  kDeltaJoin,      // (OL, OR) := datacell.delta_join(Vl, Vr) — new pairs only
   kFetch,          // V' := algebra.fetch(V, OL)
   kMapArith,       // V := batcalc.arith(Va, op, Vb)
   kMapArithConst,  // V := batcalc.arith(Va, op, lit)
@@ -57,7 +58,8 @@ struct Instr {
   ArithOp arith = ArithOp::kAdd;
   TypeId cast_type = TypeId::kI64;
   bool lit_left = false;    // kMapArithConst: literal is the left operand
-  int rel = -1;             // kBindCol/kBindCand
+  int rel = -1;             // kBindCol/kBindCand; kDeltaJoin: left input
+  int rel2 = -1;            // kDeltaJoin: right input (old/new split source)
   int col = -1;             // kBindCol
   std::string note;         // column name etc., for rendering
 

@@ -53,8 +53,14 @@ class Compiler {
     for (size_t r = 0; r < q.rels.size(); ++r) {
       DC_RETURN_NOT_OK(CompilePrejoin(static_cast<int>(r)));
     }
-    DC_RETURN_NOT_OK(CompilePostjoin());
+    DC_RETURN_NOT_OK(CompilePostjoin(&out_.postjoin, /*delta=*/false));
+    if (q.join.has_value() && q.rels.size() == 2 && q.rels[0].is_stream &&
+        q.rels[1].is_stream) {
+      DC_RETURN_NOT_OK(CompilePostjoin(&out_.delta_postjoin, /*delta=*/true));
+      out_.has_delta_postjoin = true;
+    }
     DC_RETURN_NOT_OK(BuildFinish());
+    BuildClassification();
     return std::move(out_);
   }
 
@@ -417,12 +423,23 @@ class Compiler {
         StrFormat("column r%d.c%d not in compact set", rel, col));
   }
 
-  Status CompilePostjoin() {
+  /// Compiles the postjoin stage into `*p`. With `delta` set the join
+  /// instruction becomes datacell.delta_join and each side's hidden
+  /// basic-window-ordinal column (input slot compact_cols[rel].size()) is
+  /// carried through the join and the post-join filters, emitted as the
+  /// last two outputs ("bw$l", "bw$r") for the factory's expiry bucketing.
+  Status CompilePostjoin(Program* pp, bool delta) {
     const BoundQuery& q = out_.bound;
-    Program& p = out_.postjoin;
+    Program& p = *pp;
 
     // (rel, col) -> register holding that column in the current domain.
+    // The hidden ordinal columns use col = schema.NumColumns() (one past
+    // the raw columns, never produced by a kColRef).
     std::map<std::pair<int, int>, int> regs;
+    auto ord_key = [&](int rel) {
+      return std::make_pair(
+          rel, static_cast<int>(q.rels[rel].schema.NumColumns()));
+    };
     auto bind_compact = [&](int rel, int col) -> Result<int> {
       auto key = std::make_pair(rel, col);
       auto it = regs.find(key);
@@ -447,9 +464,13 @@ class Compiler {
       DC_ASSIGN_OR_RETURN(
           int rkey, bind_compact(q.join->right->rel, q.join->right->col));
       Instr j;
-      j.op = OpCode::kJoin;
+      j.op = delta ? OpCode::kDeltaJoin : OpCode::kJoin;
       j.a = lkey;
       j.b = rkey;
+      if (delta) {
+        j.rel = q.join->left->rel;
+        j.rel2 = q.join->right->rel;
+      }
       j.dst = p.NewReg();
       j.dst2 = p.NewReg();
       p.instrs.push_back(j);
@@ -467,6 +488,25 @@ class Compiler {
           f.dst = p.NewReg();
           p.instrs.push_back(f);
           joined[{rel, col}] = f.dst;
+        }
+      }
+      if (delta) {
+        // Bind + fetch the per-side basic-window ordinal columns.
+        for (int rel = 0; rel < 2; ++rel) {
+          Instr bind;
+          bind.op = OpCode::kBindCol;
+          bind.rel = rel;
+          bind.col = static_cast<int>(out_.compact_cols[rel].size());
+          bind.note = rel == 0 ? "bw$l" : "bw$r";
+          bind.dst = p.NewReg();
+          p.instrs.push_back(bind);
+          Instr f;
+          f.op = OpCode::kFetch;
+          f.a = bind.dst;
+          f.b = rel == 0 ? lo : ro;
+          f.dst = p.NewReg();
+          p.instrs.push_back(f);
+          joined[ord_key(rel)] = f.dst;
         }
       }
       regs = std::move(joined);
@@ -533,6 +573,12 @@ class Compiler {
       p.output_regs.push_back(reg);
       p.output_names.push_back(fragment_names_[i]);
     }
+    if (delta) {
+      for (int rel = 0; rel < 2; ++rel) {
+        p.output_regs.push_back(regs[ord_key(rel)]);
+        p.output_names.push_back(rel == 0 ? "bw$l" : "bw$r");
+      }
+    }
     if (!p.output_regs.empty()) {
       p.domain_reg = p.output_regs[0];
       p.domain_kind = cal::DomainKind::kColumn;
@@ -564,6 +610,83 @@ class Compiler {
       }
     }
     return Status::OK();
+  }
+
+  // --- Classification -----------------------------------------------------
+
+  /// Per-operator incremental-vs-recompute classification, surfaced by
+  /// EXPLAIN in incremental mode. Divisibility (slide | size) is decidable
+  /// here because windows are part of the bound query; the factory applies
+  /// the same rule at registration time (FactoryStats::fell_back_to_full).
+  void BuildClassification() {
+    const BoundQuery& q = out_.bound;
+    auto add = [&](std::string op, bool inc, std::string note) {
+      out_.classification.push_back(
+          StageClass{std::move(op), inc, std::move(note)});
+    };
+
+    bool any_window = false;
+    std::vector<const WindowSpec*> windows;
+    for (const BoundRelation& rel : q.rels) {
+      if (!rel.is_stream) continue;
+      windows.push_back(rel.window.has_value() ? &*rel.window : nullptr);
+      any_window = any_window || rel.window.has_value();
+    }
+    const bool inc_ok = IncrementalEligible(windows);
+    out_.incremental_eligible = inc_ok;
+    const std::string fallback =
+        !any_window ? "no window: per-batch, each batch processed once"
+                    : "window size not divisible by slide -> full "
+                      "re-evaluation every slide";
+
+    int num_streams = 0;
+    for (size_t r = 0; r < q.rels.size(); ++r) {
+      const BoundRelation& rel = q.rels[r];
+      const std::string op = StrFormat("prejoin r%zu", r);
+      if (!rel.is_stream) {
+        add(op, true, "table compact cached; recomputed on version change");
+        continue;
+      }
+      ++num_streams;
+      add(op, inc_ok, inc_ok ? "one fragment per basic window, cached"
+                             : fallback);
+    }
+
+    if (q.join.has_value()) {
+      if (num_streams == 2) {
+        add("join", inc_ok,
+            inc_ok ? "delta-join: new⋈old ∪ old⋈new ∪ "
+                     "new⋈new; partials dropped on expiry"
+                   : fallback);
+      } else {
+        add("join", inc_ok,
+            inc_ok ? "stream fragments cached; re-joined against the "
+                     "table snapshot on version change"
+                   : fallback);
+      }
+    }
+
+    if (q.is_aggregate) {
+      add("aggregate", inc_ok,
+          inc_ok ? "per-basic-window partial states, merged per emission"
+                 : fallback);
+      if (q.having) {
+        add("having", inc_ok,
+            inc_ok ? "finish tail over merged groups (O(groups), not "
+                     "O(window))"
+                   : fallback);
+      }
+      if (!q.order_by.empty()) {
+        add("order_by", inc_ok,
+            inc_ok ? "finish tail: re-sorts merged groups (group set "
+                     "changes every slide)"
+                   : fallback);
+      }
+    } else if (!q.order_by.empty()) {
+      add("order_by", inc_ok,
+          inc_ok ? "merge of sorted runs (each partial pre-sorted once)"
+                 : fallback);
+    }
   }
 
   CompiledQuery out_;

@@ -50,6 +50,15 @@ struct FinishSpec {
   std::vector<std::string> out_names;
 };
 
+/// EXPLAIN-facing classification of one operator under incremental mode:
+/// does it run per basic window / as a delta / as a cheap merge tail, or
+/// does it force full recomputation of the window?
+struct StageClass {
+  std::string op;            // "prejoin r0", "join", "order_by", ...
+  bool incremental = false;  // false: recompute over the full window
+  std::string note;          // how it is incrementalized / why it is not
+};
+
 /// A fully compiled query, ready for the executor / factories.
 struct CompiledQuery {
   BoundQuery bound;
@@ -59,6 +68,25 @@ struct CompiledQuery {
   std::vector<std::vector<int>> compact_cols;
 
   cal::Program postjoin;
+
+  /// Delta variant of the postjoin stage, emitted for stream-stream
+  /// equi-joins: the join instruction is datacell.delta_join (new pairs
+  /// only; the interpreter reads each side's old/new split from
+  /// StageInput::delta_old_rows), each input carries one extra
+  /// basic-window-ordinal column at slot compact_cols[r].size(), and the
+  /// two ordinal columns ride through the post-join filters as the last
+  /// two outputs so the factory can bucket result rows by expiry.
+  cal::Program delta_postjoin;
+  bool has_delta_postjoin = false;
+
+  /// Per-operator incremental-vs-recompute classification (EXPLAIN).
+  std::vector<StageClass> classification;
+
+  /// Incremental eligibility of the bound windows, via the shared rule
+  /// plan::IncrementalEligible (the factory applies the same rule to its
+  /// actual input windows — FactoryStats::fell_back_to_full). Rendered by
+  /// EXPLAIN's classification.
+  bool incremental_eligible = false;
 
   /// Aggregate fragment layout: postjoin outputs [0, num_keys) are group
   /// keys; agg_arg_slots[i] is the postjoin output carrying agg i's

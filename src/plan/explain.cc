@@ -6,7 +6,7 @@ namespace dc::plan {
 
 namespace {
 
-std::string FinishToString(const CompiledQuery& cq) {
+std::string FinishToString(const CompiledQuery& cq, PlanMode mode) {
   const FinishSpec& f = cq.finish;
   std::string out;
   if (f.is_aggregate) {
@@ -27,6 +27,11 @@ std::string FinishToString(const CompiledQuery& cq) {
       out += StrFormat("  order := algebra.sort(%s, %s)\n",
                        e->ToString().c_str(), asc ? "asc" : "desc");
     }
+  } else if (mode == PlanMode::kContinuousIncremental &&
+             !f.sort_cols.empty()) {
+    // Each cached partial is a sorted run; the tail merges runs instead
+    // of re-sorting the window.
+    out += "  order := datacell.merge_sorted_runs(partials)\n";
   } else {
     out += "  concat := datacell.concat(partials)\n";
     for (const auto& [slot, asc] : f.sort_cols) {
@@ -70,6 +75,19 @@ std::string Explain(const CompiledQuery& cq, PlanMode mode,
   }
   if (report != nullptr) {
     out += "optimizer rewrites:\n" + report->ToString();
+    if (!out.empty() && out.back() != '\n') out += '\n';
+  }
+  if (mode == PlanMode::kContinuousIncremental &&
+      !cq.classification.empty()) {
+    // Per-operator incremental-vs-recompute classification: which stages
+    // run per basic window / as a delta / as a merge tail, and which force
+    // full re-evaluation of the window.
+    out += "fragment classification:\n";
+    for (const StageClass& sc : cq.classification) {
+      out += StrFormat("  %-12s %-12s %s\n", sc.op.c_str(),
+                       sc.incremental ? "incremental" : "recompute",
+                       sc.note.c_str());
+    }
   }
   for (size_t r = 0; r < cq.prejoin.size(); ++r) {
     const bool basket = mode != PlanMode::kOneTime && q.rels[r].is_stream;
@@ -80,18 +98,24 @@ std::string Explain(const CompiledQuery& cq, PlanMode mode,
     }
     out += cq.prejoin[r].ToString(basket ? "basket" : "scan");
   }
-  if (mode == PlanMode::kContinuousIncremental) {
+  if (mode == PlanMode::kContinuousIncremental && cq.has_delta_postjoin) {
+    out +=
+        "stage delta postjoin (newest basic window vs retained window; "
+        "new pairs bucketed by expiry):\n";
+    out += cq.delta_postjoin.ToString("frag");
+  } else if (mode == PlanMode::kContinuousIncremental) {
     out += "stage postjoin (per new portion; cached per basic window):\n";
+    out += cq.postjoin.ToString("frag");
   } else {
     out += "stage postjoin:\n";
+    out += cq.postjoin.ToString("frag");
   }
-  out += cq.postjoin.ToString("frag");
   if (mode == PlanMode::kContinuousIncremental) {
     out += "stage merge (per emission, over cached partials):\n";
   } else {
     out += "stage finish:\n";
   }
-  out += FinishToString(cq);
+  out += FinishToString(cq, mode);
   out += "output: (";
   for (size_t i = 0; i < cq.finish.out_names.size(); ++i) {
     if (i > 0) out += ", ";

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "bat/ops_aggregate.h"
 #include "bat/ops_arith.h"
 #include "bat/ops_group.h"
@@ -201,6 +203,48 @@ TEST(JoinTest, TypeMismatchFails) {
   EXPECT_FALSE(ops::HashJoin(*l, *r).ok());
 }
 
+// Reference check: DeltaJoin([old;new], split) must produce exactly the
+// full-join pairs that involve at least one row past the split, on each
+// side — the incremental-join invariant (new⋈old ∪ old⋈new ∪ new⋈new).
+void CheckDeltaEqualsNewFullPairs(const Bat& l, uint64_t l_old, const Bat& r,
+                                  uint64_t r_old) {
+  auto full = ops::HashJoin(l, r);
+  ASSERT_TRUE(full.ok());
+  std::multiset<std::pair<Oid, Oid>> want;
+  for (size_t i = 0; i < full->size(); ++i) {
+    if (full->left[i] >= l_old || full->right[i] >= r_old) {
+      want.emplace(full->left[i], full->right[i]);
+    }
+  }
+  auto delta = ops::DeltaJoin(l, l_old, r, r_old);
+  ASSERT_TRUE(delta.ok());
+  std::multiset<std::pair<Oid, Oid>> got;
+  for (size_t i = 0; i < delta->size(); ++i) {
+    got.emplace(delta->left[i], delta->right[i]);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(JoinTest, DeltaJoinMatchesNewFullJoinPairs) {
+  // Duplicate keys on both sides, old and new portions both matching.
+  auto l = Bat::MakeI64({1, 2, 2, 3, 2, 1});  // old: rows 0-3, new: 4-5
+  auto r = Bat::MakeI64({2, 1, 4, 2, 1});     // old: rows 0-2, new: 3-4
+  CheckDeltaEqualsNewFullPairs(*l, 4, *r, 3);
+  // Empty old portions degenerate to a full join.
+  CheckDeltaEqualsNewFullPairs(*l, 0, *r, 3);
+  CheckDeltaEqualsNewFullPairs(*l, 4, *r, 0);
+  CheckDeltaEqualsNewFullPairs(*l, 0, *r, 0);
+  // Empty new portions: only cross-side-new pairs remain.
+  CheckDeltaEqualsNewFullPairs(*l, l->size(), *r, 3);
+  CheckDeltaEqualsNewFullPairs(*l, l->size(), *r, r->size());
+}
+
+TEST(JoinTest, DeltaJoinSplitBeyondSizeFails) {
+  auto l = Bat::MakeI64({1});
+  auto r = Bat::MakeI64({1});
+  EXPECT_FALSE(ops::DeltaJoin(*l, 2, *r, 0).ok());
+}
+
 TEST(JoinTest, FetchOids) {
   auto col = Bat::MakeStr({"x", "y", "z"});
   auto out = ops::FetchOids(*col, {2, 0, 2});
@@ -272,12 +316,22 @@ TEST(AggStateTest, MergeEqualsWhole) {
   }
 }
 
+// Pins the empty-window NULL simplification (docs/INCREMENTAL.md "Known
+// divergences"): with no NULL in the type system, SUM/MIN/MAX/AVG over
+// empty input render as the input type's zero value, not SQL NULL, and
+// COUNT is 0 per SQL. If real NULLs ever land, update this test together
+// with AggState::Finalize.
 TEST(AggStateTest, EmptyInputConventions) {
   ops::AggState s;
   EXPECT_EQ(s.Finalize(AggKind::kCount, TypeId::kI64).AsI64(), 0);
   EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kI64).AsI64(), 0);
+  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kF64).AsF64(), 0.0);
   EXPECT_EQ(s.Finalize(AggKind::kAvg, TypeId::kI64).AsF64(), 0.0);
   EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kStr).AsStr(), "");
+  EXPECT_EQ(s.Finalize(AggKind::kMax, TypeId::kStr).AsStr(), "");
+  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kI64).AsI64(), 0);
+  EXPECT_EQ(s.Finalize(AggKind::kMax, TypeId::kF64).AsF64(), 0.0);
+  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kTs).AsI64(), 0);
 }
 
 TEST(GroupedMergerTest, MergePartialsEqualsWhole) {
@@ -310,6 +364,32 @@ TEST(GroupedMergerTest, MergePartialsEqualsWhole) {
     EXPECT_EQ((*cw)[1]->GetValue(i).AsI64(), (*cm)[1]->GetValue(i).AsI64());
     EXPECT_EQ((*cw)[2]->GetValue(i).AsI64(), (*cm)[2]->GetValue(i).AsI64());
   }
+}
+
+TEST(SortTest, MergeSortedRunsEqualsStableSortOfConcat) {
+  // Three runs with duplicate keys; merging must equal a stable sort of
+  // the concatenation (ties keep run order, then in-run order) — the
+  // incremental ORDER BY tail invariant.
+  auto r0 = Bat::MakeI64({1, 3, 3, 8});
+  auto r1 = Bat::MakeI64({2, 3, 9});
+  auto r2 = Bat::MakeI64({3});
+  auto merged = ops::MergeSortedRuns(
+      {{{r0.get(), true}}, {{r1.get(), true}}, {{r2.get(), true}}});
+  ASSERT_TRUE(merged.ok());
+  const std::vector<std::pair<int, Oid>> want{
+      {0, 0}, {1, 0}, {0, 1}, {0, 2}, {1, 1}, {2, 0}, {0, 3}, {1, 2}};
+  EXPECT_EQ(*merged, want);
+}
+
+TEST(SortTest, MergeSortedRunsDescendingAndEmptyRuns) {
+  auto r0 = Bat::MakeI64({9, 4});
+  auto r1 = Bat::MakeEmpty(TypeId::kI64);
+  auto r2 = Bat::MakeI64({7});
+  auto merged = ops::MergeSortedRuns(
+      {{{r0.get(), false}}, {{r1.get(), false}}, {{r2.get(), false}}});
+  ASSERT_TRUE(merged.ok());
+  const std::vector<std::pair<int, Oid>> want{{0, 0}, {2, 0}, {0, 1}};
+  EXPECT_EQ(*merged, want);
 }
 
 TEST(SortTest, SingleKeyAscDesc) {

@@ -33,6 +33,16 @@ class PlanTest : public ::testing::Test {
     ASSERT_TRUE(ref.AddColumn("cap", TypeId::kF64).ok());
     ASSERT_TRUE(
         catalog_.RegisterTable(std::make_shared<Table>("ref", ref)).ok());
+
+    Schema quotes;
+    ASSERT_TRUE(quotes.AddColumn("ts", TypeId::kTs).ok());
+    ASSERT_TRUE(quotes.AddColumn("qsym", TypeId::kStr).ok());
+    ASSERT_TRUE(quotes.AddColumn("bid", TypeId::kF64).ok());
+    StreamDef qdef;
+    qdef.name = "quotes";
+    qdef.schema = quotes;
+    qdef.ts_column = 0;
+    ASSERT_TRUE(catalog_.RegisterStream(qdef).ok());
   }
 
   Result<BoundQuery> BindSql(const std::string& sql) {
@@ -195,6 +205,71 @@ TEST_F(PlanTest, ExplainRendersAllModes) {
   EXPECT_NE(inc.find("per basic window"), std::string::npos);
   EXPECT_NE(inc.find("merge"), std::string::npos);
   EXPECT_NE(inc.find("limit"), std::string::npos);
+}
+
+TEST_F(PlanTest, DeltaPostjoinEmittedForStreamStreamJoins) {
+  auto cq = CompileSql(
+      "SELECT count(*), sum(px) FROM trades [RANGE 8 SECONDS SLIDE 2 "
+      "SECONDS] JOIN quotes [RANGE 8 SECONDS SLIDE 2 SECONDS] "
+      "ON trades.sym = quotes.qsym");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_TRUE(cq->has_delta_postjoin);
+  // The delta stage joins with datacell.delta_join and carries the hidden
+  // basic-window ordinal columns as its trailing outputs.
+  const std::string delta = cq->delta_postjoin.ToString();
+  EXPECT_NE(delta.find("delta_join"), std::string::npos);
+  ASSERT_GE(cq->delta_postjoin.output_names.size(), 2u);
+  EXPECT_EQ(cq->delta_postjoin.output_names.end()[-2], "bw$l");
+  EXPECT_EQ(cq->delta_postjoin.output_names.end()[-1], "bw$r");
+  // The regular postjoin stays a plain join (FULL mode / one-time).
+  EXPECT_EQ(cq->postjoin.ToString().find("delta_join"), std::string::npos);
+
+  // Stream-table joins keep the cached-compact path instead.
+  auto st = CompileSql(
+      "SELECT count(*) FROM trades [RANGE 8 SECONDS SLIDE 2 SECONDS] "
+      "JOIN ref ON trades.sym = ref.sym");
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_FALSE(st->has_delta_postjoin);
+}
+
+TEST_F(PlanTest, ExplainClassifiesIncrementalOperators) {
+  // Divisible windows: every operator classifies as incremental, the join
+  // as a delta join.
+  auto cq = CompileSql(
+      "SELECT qsym, count(*), sum(px) FROM trades [RANGE 8 SECONDS SLIDE 2 "
+      "SECONDS] JOIN quotes [RANGE 8 SECONDS SLIDE 2 SECONDS] "
+      "ON trades.sym = quotes.qsym GROUP BY qsym "
+      "HAVING count(*) > 1 ORDER BY qsym");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  const std::string inc = Explain(*cq, PlanMode::kContinuousIncremental);
+  EXPECT_NE(inc.find("fragment classification:"), std::string::npos);
+  EXPECT_NE(inc.find("delta-join"), std::string::npos);
+  EXPECT_NE(inc.find("delta_join"), std::string::npos);  // CAL listing too
+  EXPECT_NE(inc.find("per-basic-window partial"), std::string::npos);
+  EXPECT_NE(inc.find("finish tail"), std::string::npos);
+  EXPECT_EQ(inc.find("recompute"), std::string::npos);
+  // The classification is incremental-mode-only output.
+  const std::string full = Explain(*cq, PlanMode::kContinuousFull);
+  EXPECT_EQ(full.find("fragment classification:"), std::string::npos);
+
+  // Non-divisible window: everything falls back to recompute, with the
+  // reason surfaced.
+  auto nd = CompileSql(
+      "SELECT sym, count(*) FROM trades [RANGE 6 SECONDS SLIDE 4 SECONDS] "
+      "GROUP BY sym");
+  ASSERT_TRUE(nd.ok()) << nd.status().ToString();
+  const std::string ndinc = Explain(*nd, PlanMode::kContinuousIncremental);
+  EXPECT_NE(ndinc.find("recompute"), std::string::npos);
+  EXPECT_NE(ndinc.find("not divisible"), std::string::npos);
+
+  // Plain ORDER BY classifies as a merge of pre-sorted runs.
+  auto proj = CompileSql(
+      "SELECT ts, px FROM trades [RANGE 8 SECONDS SLIDE 2 SECONDS] "
+      "ORDER BY ts");
+  ASSERT_TRUE(proj.ok()) << proj.status().ToString();
+  const std::string pinc = Explain(*proj, PlanMode::kContinuousIncremental);
+  EXPECT_NE(pinc.find("merge of sorted runs"), std::string::npos);
+  EXPECT_NE(pinc.find("merge_sorted_runs"), std::string::npos);
 }
 
 TEST_F(PlanTest, WindowSpecHelpers) {
