@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench-regression guard over BENCH_incremental.json.
+
+Fails (exit 1) when the E2b stream-stream join sweep no longer shows the
+incremental win the indexed delta-join path is supposed to deliver:
+the speedup at --n-bw (default 8) must be >= --min-speedup (default 2.0).
+
+Non-fatal diagnostics: the join speedup curve is expected to be
+monotonically increasing in n_bw; inversions are printed as warnings so
+noisy smoke timings do not flake CI, while the headline point stays a
+hard gate.
+
+Usage: check_bench_regression.py BENCH_incremental.json [--n-bw N]
+       [--min-speedup X]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="path to BENCH_incremental.json")
+    parser.add_argument("--scenario", default="join")
+    parser.add_argument("--n-bw", type=int, default=8)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    try:
+        with open(args.json_path, "r", encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read {args.json_path}: {e}")
+        return 1
+
+    sweep = [p for p in bench.get("sweep", [])
+             if p.get("scenario") == args.scenario]
+    if not sweep:
+        print(f"FAIL: no '{args.scenario}' sweep points in {args.json_path}")
+        return 1
+
+    sweep.sort(key=lambda p: p["n_bw"])
+    print(f"{args.scenario} sweep ({args.json_path}):")
+    for p in sweep:
+        print(f"  n_bw={p['n_bw']:<3} speedup={p['speedup']:.3f}x")
+
+    prev = None
+    for p in sweep:
+        if prev is not None and p["speedup"] < prev["speedup"]:
+            print(f"WARN: speedup not monotone: n_bw={p['n_bw']} "
+                  f"({p['speedup']:.3f}x) < n_bw={prev['n_bw']} "
+                  f"({prev['speedup']:.3f}x)")
+        prev = p
+
+    gate = [p for p in sweep if p["n_bw"] == args.n_bw]
+    if not gate:
+        print(f"FAIL: no {args.scenario} sweep point at n_bw={args.n_bw}")
+        return 1
+    speedup = gate[0]["speedup"]
+    if speedup < args.min_speedup:
+        print(f"FAIL: {args.scenario} speedup at n_bw={args.n_bw} is "
+              f"{speedup:.3f}x, below the {args.min_speedup:.1f}x floor")
+        return 1
+    print(f"OK: {args.scenario} speedup at n_bw={args.n_bw} is "
+          f"{speedup:.3f}x (floor {args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,8 @@ BatPtr Bat::MakeTs(std::vector<int64_t> v) {
 size_t Bat::MemoryBytes() const {
   return bools_.capacity() + ints_.capacity() * sizeof(int64_t) +
          dbls_.capacity() * sizeof(double) +
-         strs_.capacity() * sizeof(uint64_t) + heap_.ByteSize();
+         strs_.capacity() * sizeof(uint64_t) + heap_.ByteSize() +
+         nulls_.capacity();
 }
 
 void Bat::Reserve(uint64_t n) {
@@ -88,7 +89,37 @@ void Bat::AppendStr(std::string_view v) {
   ++size_;
 }
 
+void Bat::AppendRepeatedI64(int64_t v, uint64_t n) {
+  ints_.insert(ints_.end(), n, v);
+  size_ += n;
+}
+
+void Bat::AppendNull() {
+  nulls_.resize(size_, 0);
+  switch (type_) {
+    case TypeId::kBool:
+      bools_.push_back(0);
+      break;
+    case TypeId::kI64:
+    case TypeId::kTs:
+      ints_.push_back(0);
+      break;
+    case TypeId::kF64:
+      dbls_.push_back(0);
+      break;
+    case TypeId::kStr:
+      strs_.push_back(heap_.Add(""));
+      break;
+  }
+  ++size_;
+  nulls_.push_back(1);
+}
+
 void Bat::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
   switch (type_) {
     case TypeId::kBool:
       AppendBool(v.AsBool());
@@ -127,6 +158,16 @@ void Bat::AppendRange(const Bat& src, uint64_t from, uint64_t to) {
       break;
   }
   size_ += to - from;
+  if (src.has_nulls()) {
+    bool any = false;
+    for (uint64_t i = from; i < to && !any; ++i) any = src.IsNull(i);
+    if (any) {
+      nulls_.resize(size_ - (to - from), 0);
+      for (uint64_t i = from; i < to; ++i) {
+        nulls_.push_back(src.IsNull(i) ? 1 : 0);
+      }
+    }
+  }
 }
 
 void Bat::AppendCandidates(const Bat& src, const Candidates& cand) {
@@ -151,6 +192,14 @@ void Bat::AppendCandidates(const Bat& src, const Candidates& cand) {
       break;
   }
   size_ += cand.size();
+  if (src.has_nulls()) {
+    bool any = false;
+    cand.ForEach([&](Oid o) { any = any || src.IsNull(o); });
+    if (any) {
+      nulls_.resize(size_ - cand.size(), 0);
+      cand.ForEach([&](Oid o) { nulls_.push_back(src.IsNull(o) ? 1 : 0); });
+    }
+  }
 }
 
 void Bat::DropHead(uint64_t n) {
@@ -180,9 +229,14 @@ void Bat::DropHead(uint64_t n) {
     }
   }
   size_ -= n;
+  if (!nulls_.empty()) {
+    nulls_.erase(nulls_.begin(),
+                 nulls_.begin() + std::min<uint64_t>(n, nulls_.size()));
+  }
 }
 
 Value Bat::GetValue(uint64_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
   switch (type_) {
     case TypeId::kBool:
       return Value::Bool(bools_[i] != 0);

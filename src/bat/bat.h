@@ -58,11 +58,18 @@ class Bat {
   void AppendI64(int64_t v);
   void AppendF64(double v);
   void AppendStr(std::string_view v);
-  /// Appends a boxed value; aborts on type mismatch (callers type-check).
+  /// Bulk-appends `n` copies of `v` (I64/TS columns; the hidden
+  /// basic-window-ordinal column of delta joins is built this way).
+  void AppendRepeatedI64(int64_t v, uint64_t n);
+  /// Appends a boxed value (NULL allowed); aborts on type mismatch
+  /// (callers type-check).
   void AppendValue(const Value& v);
-  /// Bulk-appends rows [from, to) of `src` (same type required).
+  /// Appends one SQL NULL row (scalar aggregates over empty windows).
+  void AppendNull();
+  /// Bulk-appends rows [from, to) of `src` (same type required); null
+  /// rows stay null.
   void AppendRange(const Bat& src, uint64_t from, uint64_t to);
-  /// Bulk-appends the candidate rows of `src`.
+  /// Bulk-appends the candidate rows of `src`; null rows stay null.
   void AppendCandidates(const Bat& src, const Candidates& cand);
 
   /// Drops the first `n` rows in place (basket shrink after consumption).
@@ -77,6 +84,15 @@ class Bat {
   std::span<const double> F64Data() const { return {dbls_.data(), size_}; }
   /// View of the string at row `i`; valid until the column is mutated.
   std::string_view StrAt(uint64_t i) const { return heap_.Get(strs_[i]); }
+
+  /// True when row `i` is SQL NULL. NULL rows store the type's zero in
+  /// the typed payload, so bulk kernels that ignore the bitmap stay
+  /// well-defined (documented divergence: expressions over NULL).
+  bool IsNull(uint64_t i) const {
+    return i < nulls_.size() && nulls_[i] != 0;
+  }
+  /// True when any row may be NULL (the bitmap exists).
+  bool has_nulls() const { return !nulls_.empty(); }
 
   /// Boxed value at row `i` (edges: printing, tests, row assembly).
   Value GetValue(uint64_t i) const;
@@ -103,6 +119,10 @@ class Bat {
   std::vector<double> dbls_;
   std::vector<uint64_t> strs_;  // heap offsets
   StringHeap heap_;
+  // Lazy null bitmap: empty while the column has no NULLs; otherwise it
+  // may be shorter than size_ — rows beyond its end are non-null (appends
+  // through the raw typed paths never have to touch it).
+  std::vector<uint8_t> nulls_;
 };
 
 /// A named bundle of equally-sized columns: the unit flowing between

@@ -64,6 +64,50 @@ void AggState::Add(const Value& v) {
   }
 }
 
+void AggState::AddCell(const Bat& col, Oid o, bool with_minmax) {
+  switch (col.type()) {
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      const int64_t x = col.I64Data()[o];
+      ++count;
+      isum += x;
+      dsum += static_cast<double>(x);
+      if (!with_minmax) return;
+      if (!has_minmax) {
+        min = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+        max = min;
+        has_minmax = true;
+      } else {
+        if (x < min.AsI64()) {
+          min = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+        }
+        if (x > max.AsI64()) {
+          max = col.type() == TypeId::kTs ? Value::Ts(x) : Value::I64(x);
+        }
+      }
+      return;
+    }
+    case TypeId::kF64: {
+      const double x = col.F64Data()[o];
+      ++count;
+      dsum += x;
+      if (!with_minmax) return;
+      if (!has_minmax) {
+        min = Value::F64(x);
+        max = Value::F64(x);
+        has_minmax = true;
+      } else {
+        if (x < min.AsF64()) min = Value::F64(x);
+        if (x > max.AsF64()) max = Value::F64(x);
+      }
+      return;
+    }
+    default:
+      Add(col.GetValue(o));
+      return;
+  }
+}
+
 void AggState::AddColumn(const Bat& col, const Candidates* cand) {
   auto add_i64 = [&](int64_t x) {
     ++count;
@@ -156,40 +200,46 @@ void AggState::Merge(const AggState& other) {
   }
 }
 
-// Empty-window NULL simplification (docs/INCREMENTAL.md "Known
-// divergences"): SQL says SUM/MIN/MAX/AVG over zero rows are NULL, but the
-// type system has no NULL, so empty input renders as the type's zero
-// (I64/F64/Ts 0, STR ""). COUNT is 0 per SQL. Pinned by
-// ops_test AggStateTest.EmptyInputConventions — change that test first if
-// real NULLs ever land.
+void AggState::ScaledMerge(const AggState& other, uint64_t times,
+                           bool with_minmax) {
+  if (times == 0 || other.count == 0) return;
+  count += other.count * times;
+  isum += other.isum * static_cast<int64_t>(times);
+  dsum += other.dsum * static_cast<double>(times);
+  if (with_minmax && other.has_minmax) {
+    if (!has_minmax) {
+      min = other.min;
+      max = other.max;
+      has_minmax = true;
+    } else {
+      if (other.min.Compare(min) < 0) min = other.min;
+      if (other.max.Compare(max) > 0) max = other.max;
+    }
+  }
+}
+
+// SQL empty-input conventions: COUNT over zero rows is 0; SUM, AVG, MIN
+// and MAX over zero rows are NULL (typed to the aggregate's result type).
 Value AggState::Finalize(AggKind kind, TypeId input_type) const {
   switch (kind) {
     case AggKind::kCount:
       return Value::I64(static_cast<int64_t>(count));
     case AggKind::kSum:
+      if (count == 0) {
+        return Value::Null(input_type == TypeId::kF64 ? TypeId::kF64
+                                                      : TypeId::kI64);
+      }
       if (input_type == TypeId::kF64) return Value::F64(dsum);
       return Value::I64(isum);
     case AggKind::kAvg:
-      return Value::F64(count == 0 ? 0.0
-                                   : dsum / static_cast<double>(count));
+      if (count == 0) return Value::Null(TypeId::kF64);
+      return Value::F64(dsum / static_cast<double>(count));
     case AggKind::kMin:
-      if (has_minmax) return min;
-      break;
+      return has_minmax ? min : Value::Null(input_type);
     case AggKind::kMax:
-      if (has_minmax) return max;
-      break;
+      return has_minmax ? max : Value::Null(input_type);
   }
-  // Empty-input MIN/MAX: zero of the input type (documented; no NULLs).
-  switch (input_type) {
-    case TypeId::kF64:
-      return Value::F64(0);
-    case TypeId::kStr:
-      return Value::Str("");
-    case TypeId::kTs:
-      return Value::Ts(0);
-    default:
-      return Value::I64(0);
-  }
+  return Value::Null(input_type);
 }
 
 Result<Value> ScalarAgg(AggKind kind, const Bat* col, const Candidates* cand,

@@ -38,12 +38,27 @@ struct AggState {
 
   /// Folds one value in.
   void Add(const Value& v);
+  /// Folds one cell of `col` in (typed hot path: no Value is materialized
+  /// for numeric columns unless a new extremum is recorded). Callers whose
+  /// aggregate never reads the extrema pass `with_minmax = false` to skip
+  /// the tracking entirely (the delta pre-agg per-row fold).
+  void AddCell(const Bat& col, Oid o, bool with_minmax = true);
   /// Folds a whole column subset in (bulk path).
   void AddColumn(const Bat& col, const Candidates* cand);
   /// Combines another disjoint partial state.
   void Merge(const AggState& other);
+  /// Combines `other` as if it were merged `times` times over — the
+  /// product rule of delta pre-aggregation: when a per-key group on one
+  /// join side pairs with `times` rows on the other side, every one of
+  /// its rows appears in `times` join pairs. Sums and counts scale;
+  /// MIN/MAX merge unscaled (repetition does not move extrema). Callers
+  /// whose aggregate never reads the extrema (SUM/AVG/COUNT) pass
+  /// `with_minmax = false` to skip the boxed-Value compares — this is the
+  /// innermost loop of the delta pre-agg pairing.
+  void ScaledMerge(const AggState& other, uint64_t times,
+                   bool with_minmax = true);
   /// Extracts the final value for `kind` given the input column type.
-  /// Empty input yields COUNT=0, SUM=0, AVG=0, MIN/MAX=0/"" (no NULLs).
+  /// Empty input follows SQL: COUNT=0, SUM/AVG/MIN/MAX=NULL.
   Value Finalize(AggKind kind, TypeId input_type) const;
 };
 

@@ -1,0 +1,171 @@
+#include "bat/ops_index.h"
+
+#include <algorithm>
+
+#include "bat/hash.h"
+#include "util/string_util.h"
+
+namespace dc::ops {
+
+namespace {
+
+// -0.0 folds to +0.0 so equal doubles land in one bucket regardless of the
+// hash implementation (mirrors HashDouble).
+inline double NormalizeF64(double d) { return d == 0.0 ? 0.0 : d; }
+
+// First live entry of a (sorted) position vector.
+inline size_t LiveBegin(const std::vector<uint64_t>& positions,
+                        uint64_t live_from) {
+  if (positions.empty() || positions.front() >= live_from) return 0;
+  return std::lower_bound(positions.begin(), positions.end(), live_from) -
+         positions.begin();
+}
+
+}  // namespace
+
+size_t RollingJoinIndex::StrHash::operator()(std::string_view s) const {
+  return HashBytes(s);
+}
+
+void RollingJoinIndex::Reset(TypeId key_domain) {
+  domain_ = key_domain;
+  next_pos_ = 0;
+  live_from_ = 0;
+  i64_map_.clear();
+  f64_map_.clear();
+  str_map_.clear();
+}
+
+Status RollingJoinIndex::Append(const Bat& keys, uint64_t from, uint64_t to) {
+  if (to > keys.size() || from > to) {
+    return Status::InvalidArgument("RollingJoinIndex: append out of range");
+  }
+  switch (domain_) {
+    case TypeId::kI64: {
+      if (!StoredAsI64(keys.type())) {
+        return Status::TypeError("RollingJoinIndex: i64 domain needs i64 keys");
+      }
+      auto data = keys.I64Data();
+      for (uint64_t i = from; i < to; ++i) {
+        i64_map_[data[i]].push_back(next_pos_++);
+      }
+      return Status::OK();
+    }
+    case TypeId::kF64: {
+      if (!IsNumeric(keys.type())) {
+        return Status::TypeError(
+            "RollingJoinIndex: f64 domain needs numeric keys");
+      }
+      const bool as_i64 = StoredAsI64(keys.type());
+      for (uint64_t i = from; i < to; ++i) {
+        const double k = as_i64 ? static_cast<double>(keys.I64Data()[i])
+                                : keys.F64Data()[i];
+        f64_map_[NormalizeF64(k)].push_back(next_pos_++);
+      }
+      return Status::OK();
+    }
+    case TypeId::kStr: {
+      if (keys.type() != TypeId::kStr) {
+        return Status::TypeError("RollingJoinIndex: str domain needs str keys");
+      }
+      for (uint64_t i = from; i < to; ++i) {
+        auto it = str_map_.find(keys.StrAt(i));
+        if (it == str_map_.end()) {
+          it = str_map_.emplace(std::string(keys.StrAt(i)),
+                                std::vector<uint64_t>())
+                   .first;
+        }
+        it->second.push_back(next_pos_++);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::TypeError(StrFormat("RollingJoinIndex: bad domain %s",
+                                         TypeName(domain_)));
+  }
+}
+
+void RollingJoinIndex::EvictBelow(uint64_t pos) {
+  live_from_ = std::max(live_from_, std::min(pos, next_pos_));
+}
+
+uint64_t RollingJoinIndex::Rebase() {
+  const uint64_t shift = live_from_;
+  if (shift == 0) return 0;
+  auto rebase_map = [&](auto& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      std::vector<uint64_t>& positions = it->second;
+      positions.erase(positions.begin(),
+                      positions.begin() + LiveBegin(positions, shift));
+      if (positions.empty()) {
+        it = map.erase(it);
+        continue;
+      }
+      for (uint64_t& p : positions) p -= shift;
+      ++it;
+    }
+  };
+  rebase_map(i64_map_);
+  rebase_map(f64_map_);
+  rebase_map(str_map_);
+  next_pos_ -= shift;
+  live_from_ = 0;
+  return shift;
+}
+
+Status RollingJoinIndex::Probe(const Bat& probe, uint64_t from, uint64_t to,
+                               std::vector<Oid>* probe_out,
+                               std::vector<Oid>* pos_out) const {
+  if (to > probe.size() || from > to) {
+    return Status::InvalidArgument("RollingJoinIndex: probe out of range");
+  }
+  auto emit = [&](uint64_t i, const std::vector<uint64_t>& positions) {
+    for (size_t k = LiveBegin(positions, live_from_); k < positions.size();
+         ++k) {
+      probe_out->push_back(static_cast<Oid>(i));
+      pos_out->push_back(static_cast<Oid>(positions[k]));
+    }
+  };
+  switch (domain_) {
+    case TypeId::kI64: {
+      if (!StoredAsI64(probe.type())) {
+        return Status::TypeError("RollingJoinIndex: i64 domain needs i64 keys");
+      }
+      auto data = probe.I64Data();
+      for (uint64_t i = from; i < to; ++i) {
+        auto it = i64_map_.find(data[i]);
+        if (it != i64_map_.end()) emit(i, it->second);
+      }
+      return Status::OK();
+    }
+    case TypeId::kF64: {
+      if (!IsNumeric(probe.type())) {
+        return Status::TypeError(
+            "RollingJoinIndex: f64 domain needs numeric keys");
+      }
+      const bool as_i64 = StoredAsI64(probe.type());
+      for (uint64_t i = from; i < to; ++i) {
+        const double k = as_i64 ? static_cast<double>(probe.I64Data()[i])
+                                : probe.F64Data()[i];
+        auto it = f64_map_.find(NormalizeF64(k));
+        if (it != f64_map_.end()) emit(i, it->second);
+      }
+      return Status::OK();
+    }
+    case TypeId::kStr: {
+      if (probe.type() != TypeId::kStr) {
+        return Status::TypeError("RollingJoinIndex: str domain needs str keys");
+      }
+      for (uint64_t i = from; i < to; ++i) {
+        auto it = str_map_.find(probe.StrAt(i));
+        if (it != str_map_.end()) emit(i, it->second);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::TypeError(StrFormat("RollingJoinIndex: bad domain %s",
+                                         TypeName(domain_)));
+  }
+}
+
+}  // namespace dc::ops

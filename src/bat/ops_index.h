@@ -1,0 +1,88 @@
+// Copyright 2026 The DataCell Authors.
+//
+// RollingJoinIndex: an incrementally maintained hash index over the
+// retained side of a stream-stream delta join. The retained window is a
+// rolling concatenation of basic windows: new rows are appended at the
+// back (Append), expired prefixes are marked dead (EvictBelow) and
+// reclaimed lazily (Rebase, coupled with the owner's physical trim so
+// positions stay aligned). Probing with the newest basic window's keys is
+// then O(new rows + matches) per emission — the index is never rebuilt,
+// which is what turns the delta join's probe cost from O(window) into
+// O(new basic window).
+
+#ifndef DATACELL_BAT_OPS_INDEX_H_
+#define DATACELL_BAT_OPS_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/bat.h"
+#include "util/result.h"
+
+namespace dc::ops {
+
+class RollingJoinIndex {
+ public:
+  /// `key_domain` is the joint equality domain of both join sides
+  /// (JoinKeyDomain in ops_join.h): kI64, kF64 (numeric promotion) or
+  /// kStr. String keys are stored owned — the indexed column's heap may
+  /// be rebuilt by trims.
+  explicit RollingJoinIndex(TypeId key_domain = TypeId::kI64)
+      : domain_(key_domain) {}
+
+  /// Drops all entries and switches the key domain.
+  void Reset(TypeId key_domain);
+
+  TypeId key_domain() const { return domain_; }
+
+  /// Indexes rows [from, to) of `keys` under positions
+  /// [next_pos(), next_pos() + to - from). Positions are dense append
+  /// order — the caller appends the same rows to its rolling
+  /// concatenation, so a position is a row id there.
+  Status Append(const Bat& keys, uint64_t from, uint64_t to);
+
+  /// Marks every position below `pos` dead (its basic window left the
+  /// window). Dead entries are skipped by Probe and reclaimed by Rebase.
+  void EvictBelow(uint64_t pos);
+
+  /// Physically erases dead entries and shifts surviving positions down
+  /// by the eviction threshold; returns that threshold (the number of
+  /// rows the owner must drop from the front of its rolling
+  /// concatenation in the same breath).
+  uint64_t Rebase();
+
+  /// For every probe row i in [from, to) and every live indexed position
+  /// p with an equal key, appends i to `probe_out` and p to `pos_out`
+  /// (positions ascending per probe row). Cost: O(to - from + matches).
+  Status Probe(const Bat& probe, uint64_t from, uint64_t to,
+               std::vector<Oid>* probe_out, std::vector<Oid>* pos_out) const;
+
+  /// Next position Append would assign (== rows appended since Rebase).
+  uint64_t next_pos() const { return next_pos_; }
+  /// Positions below this are dead.
+  uint64_t live_from() const { return live_from_; }
+  uint64_t live_entries() const { return next_pos_ - live_from_; }
+  uint64_t dead_entries() const { return live_from_; }
+
+ private:
+  struct StrHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const;
+  };
+
+  TypeId domain_;
+  uint64_t next_pos_ = 0;
+  uint64_t live_from_ = 0;
+  // One of these is active, keyed by domain_. Position vectors are sorted
+  // (append order); Probe binary-searches past the dead prefix.
+  std::unordered_map<int64_t, std::vector<uint64_t>> i64_map_;
+  std::unordered_map<double, std::vector<uint64_t>> f64_map_;
+  std::unordered_map<std::string, std::vector<uint64_t>, StrHash,
+                     std::equal_to<>>
+      str_map_;
+};
+
+}  // namespace dc::ops
+
+#endif  // DATACELL_BAT_OPS_INDEX_H_

@@ -104,6 +104,39 @@ Result<JoinResult> DeltaJoin(const Bat& left, uint64_t left_old,
   return out;
 }
 
+Result<TypeId> JoinKeyDomain(TypeId l, TypeId r) {
+  if (StoredAsI64(l) && StoredAsI64(r)) return TypeId::kI64;
+  if (IsNumeric(l) && IsNumeric(r)) return TypeId::kF64;
+  if (l == TypeId::kStr && r == TypeId::kStr) return TypeId::kStr;
+  return Status::TypeError(
+      StrFormat("cannot equi-join %s with %s", TypeName(l), TypeName(r)));
+}
+
+Result<JoinResult> IndexedDeltaJoin(const Bat& left, uint64_t left_old,
+                                    const RollingJoinIndex& left_index,
+                                    const Bat& right, uint64_t right_old,
+                                    const RollingJoinIndex& right_index) {
+  if (left_old > left.size() || right_old > right.size()) {
+    return Status::InvalidArgument(
+        "IndexedDeltaJoin: old split beyond column size");
+  }
+  JoinResult out;
+  // retained_l ⋈ new_r: probe the left index with the new right keys.
+  DC_RETURN_NOT_OK(left_index.Probe(right, right_old, right.size(),
+                                    &out.right, &out.left));
+  // new_l ⋈ retained_r: probe the right index with the new left keys.
+  DC_RETURN_NOT_OK(right_index.Probe(left, left_old, left.size(), &out.left,
+                                     &out.right));
+  // new_l ⋈ new_r: both portions are one basic window; plain hash join.
+  const Candidates l_new = Candidates::Range(left_old, left.size() - left_old);
+  const Candidates r_new =
+      Candidates::Range(right_old, right.size() - right_old);
+  DC_ASSIGN_OR_RETURN(JoinResult nn, HashJoin(left, right, &l_new, &r_new));
+  out.left.insert(out.left.end(), nn.left.begin(), nn.left.end());
+  out.right.insert(out.right.end(), nn.right.begin(), nn.right.end());
+  return out;
+}
+
 BatPtr FetchOids(const Bat& col, const std::vector<Oid>& oids) {
   auto out = std::make_shared<Bat>(col.type());
   out->Reserve(oids.size());

@@ -11,6 +11,7 @@
 
 #include "bat/bat.h"
 #include "bat/candidates.h"
+#include "bat/ops_index.h"
 #include "util/result.h"
 
 namespace dc::ops {
@@ -43,6 +44,25 @@ Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
 /// every pair involves a new row and this degenerates to a full HashJoin.
 Result<JoinResult> DeltaJoin(const Bat& left, uint64_t left_old,
                              const Bat& right, uint64_t right_old);
+
+/// Equality domain two join key types meet in: both i64-like -> kI64,
+/// both numeric -> kF64 (double promotion, as HashJoin), str/str -> kStr.
+/// This is the domain a RollingJoinIndex over either side must use.
+Result<TypeId> JoinKeyDomain(TypeId l, TypeId r);
+
+/// Indexed delta equi-join: the O(new) variant of DeltaJoin. Layout is the
+/// same ([retained ; new] per side, split at `left_old` / `right_old`),
+/// but each side's retained rows are covered by a RollingJoinIndex (new
+/// rows must NOT be indexed yet), so the retained portions are neither
+/// re-copied nor re-probed: retained⋈new comes from two index probes with
+/// only the new keys, new⋈new from a hash join over the new portions.
+/// Retained rows the indexes have evicted (expired basic windows awaiting
+/// a trim) are skipped, so the physical retained prefix may contain dead
+/// rows. Per-emission cost is O(new rows + result pairs).
+Result<JoinResult> IndexedDeltaJoin(const Bat& left, uint64_t left_old,
+                                    const RollingJoinIndex& left_index,
+                                    const Bat& right, uint64_t right_old,
+                                    const RollingJoinIndex& right_index);
 
 /// Materializes `col[oids[i]]` for every i — payload fetch through a join
 /// index (oids may repeat; unlike Candidates they need not be sorted).

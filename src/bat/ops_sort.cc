@@ -73,9 +73,8 @@ Result<std::vector<Oid>> SortOrder(const std::vector<SortKey>& keys,
   return order;
 }
 
-Result<std::vector<std::pair<int, Oid>>> MergeSortedRuns(
+Result<std::vector<MergeSlice>> MergeSortedRuns(
     const std::vector<std::vector<SortKey>>& runs) {
-  uint64_t total = 0;
   size_t arity = 0;
   for (const auto& keys : runs) {
     if (keys.empty()) {
@@ -85,7 +84,6 @@ Result<std::vector<std::pair<int, Oid>>> MergeSortedRuns(
     if (keys.size() != arity) {
       return Status::InvalidArgument("MergeSortedRuns: key arity mismatch");
     }
-    total += keys[0].col->size();
   }
   // head[r] = next unconsumed row of run r. `less(a, b)` compares the
   // heads of two runs; equal keys fall back to the run index, which keeps
@@ -107,13 +105,27 @@ Result<std::vector<std::pair<int, Oid>>> MergeSortedRuns(
   for (size_t r = 0; r < runs.size(); ++r) {
     if (runs[r][0].col->size() > 0) heap.push(static_cast<int>(r));
   }
-  std::vector<std::pair<int, Oid>> out;
-  out.reserve(total);
+  // Emit maximal slices: after popping the minimal run, keep consuming
+  // from it while its head still precedes the next-best run's head.
+  // `less(t, r)` applies the same tie rule (lower run index first), so
+  // slice boundaries land exactly where the pairwise merge would switch
+  // runs — batching changes the gather granularity, not the order.
+  std::vector<MergeSlice> out;
   while (!heap.empty()) {
     const int r = heap.top();
     heap.pop();
-    out.emplace_back(r, head[r]);
-    if (++head[r] < runs[r][0].col->size()) heap.push(r);
+    const Oid begin = head[r];
+    const uint64_t n = runs[r][0].col->size();
+    if (heap.empty()) {
+      out.push_back(MergeSlice{r, begin, n - begin});
+      break;
+    }
+    const int t = heap.top();
+    do {
+      ++head[r];
+    } while (head[r] < n && !less(t, r));
+    out.push_back(MergeSlice{r, begin, head[r] - begin});
+    if (head[r] < n) heap.push(r);
   }
   return out;
 }

@@ -56,6 +56,7 @@ double Value::NumericAsDouble() const {
 }
 
 Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null()) return Value::Null(target);
   if (type_ == target) return *this;
   switch (target) {
     case TypeId::kF64:
@@ -131,6 +132,7 @@ int Value::Compare(const Value& other) const {
 }
 
 std::string Value::ToString() const {
+  if (is_null()) return "NULL";
   switch (type_) {
     case TypeId::kBool:
       return AsBool() ? "true" : "false";

@@ -11,7 +11,12 @@
 //   STR   -- variable-length string (heap-backed, see string_heap.h)
 //   TS    -- event timestamp, µs since epoch, stored as int64_t
 //
-// NULLs are not supported (a documented simplification; see DESIGN.md §6).
+// NULL support is deliberately narrow: a Value can be NULL (typed, no
+// payload) and a Bat carries a lazy null bitmap, which is exactly what the
+// SQL empty-window convention needs (scalar SUM/MIN/MAX/AVG over zero rows
+// are NULL). NULLs do not participate in selections, joins or arithmetic —
+// they are produced at aggregate finalization and flow to the emitted
+// result columns (docs/INCREMENTAL.md "Known divergences").
 
 #ifndef DATACELL_BAT_TYPES_H_
 #define DATACELL_BAT_TYPES_H_
@@ -60,8 +65,11 @@ class Value {
     return Value(TypeId::kStr, std::move(v));
   }
   static Value Ts(int64_t micros) { return Value(TypeId::kTs, micros); }
+  /// SQL NULL of logical type `t` (no payload; accessors abort).
+  static Value Null(TypeId t) { return Value(t, std::monostate{}); }
 
   TypeId type() const { return type_; }
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
 
   bool AsBool() const { return std::get<bool>(repr_); }
   int64_t AsI64() const { return std::get<int64_t>(repr_); }
@@ -83,7 +91,7 @@ class Value {
     return type_ == other.type_ && repr_ == other.repr_;
   }
 
-  /// SQL-ish rendering for result printing ("42", "3.14", "abc").
+  /// SQL-ish rendering for result printing ("42", "3.14", "abc", "NULL").
   std::string ToString() const;
 
  private:
@@ -91,7 +99,7 @@ class Value {
   Value(TypeId t, T v) : type_(t), repr_(std::move(v)) {}
 
   TypeId type_;
-  std::variant<bool, int64_t, double, std::string> repr_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> repr_;
 };
 
 /// Comparison operators used by selects and expression evaluation.

@@ -112,6 +112,19 @@ Status Factory::Validate() {
     incremental_active_ = plan::IncrementalEligible(windows);
     stats_.fell_back_to_full = !incremental_active_;
   }
+  if (shape_ == Shape::kDualWindow) {
+    // Local-aggregate numbering for the pre-aggregated delta path: each
+    // side's DeltaGroups carries states only for the aggregates whose
+    // argument lives on that side, in query order.
+    const auto& pa = cq.delta_pre_agg;
+    preagg_local_.assign(pa.agg_side.size(), -1);
+    int next_local[2] = {0, 0};
+    for (size_t i = 0; i < pa.agg_side.size(); ++i) {
+      if (pa.agg_side[i] >= 0) {
+        preagg_local_[i] = next_local[pa.agg_side[i]]++;
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -151,6 +164,16 @@ FactoryStats Factory::Stats() const {
   for (const auto& [k, p] : partials_) bytes += p.MemoryBytes();
   for (const auto& [k, c] : compact_) {
     for (const BatPtr& col : c.cols) bytes += col->MemoryBytes();
+  }
+  // Rolling delta-join state (one of the two sets is in use, the other
+  // stays empty — row path vs pre-aggregated path).
+  for (int side = 0; side < 2; ++side) {
+    const exec::DeltaSideState& ds = delta_side_[side];
+    const exec::DeltaGroupTrack& gt = delta_groups_[side];
+    s.retained_rows += ds.live_rows() + gt.live_groups();
+    s.retained_dead_rows += ds.dead + gt.dead;
+    s.index_entries += ds.index.live_entries() + gt.index.live_entries();
+    bytes += ds.MemoryBytes() + gt.MemoryBytes();
   }
   s.cached_bytes = bytes;
   return s;
@@ -465,71 +488,275 @@ Status Factory::FireDualWindow() {
   return Status::OK();
 }
 
-Result<exec::StageInput> Factory::AssembleDeltaSide(int rel, int64_t first,
-                                                    int64_t last,
-                                                    int64_t new_from) {
-  exec::StageInput out;
-  auto ord = Bat::MakeEmpty(TypeId::kI64);
-  for (int64_t j = first; j < last; ++j) {
-    DC_ASSIGN_OR_RETURN(const exec::StageInput* c,
-                        EnsureCompact(rel, /*rows_mode=*/false, j));
-    if (out.cols.empty()) {
-      for (const BatPtr& col : c->cols) {
-        out.cols.push_back(Bat::MakeEmpty(col->type()));
+Result<exec::StageOutput> Factory::PrejoinBasicWindow(int rel, int64_t bw) {
+  const WindowMath wm(*inputs_[rel].window);
+  const auto [lo, hi] = wm.BasicWindowExtent(bw);
+  DC_ASSIGN_OR_RETURN(exec::StageInput raw,
+                      ReadStreamExtent(rel, /*rows_mode=*/false, lo, hi));
+  stats_.tuples_in += raw.rows;
+  return executor_->RunPrejoin(rel, raw);
+}
+
+Status Factory::FireDeltaRows(int64_t m, int64_t lfirst, int64_t rfirst,
+                              int64_t nl, int64_t nr) {
+  const plan::CompiledQuery& cq = executor_->compiled();
+  const int64_t firsts[2] = {lfirst, rfirst};
+
+  // Roll each side forward: mark expired basic windows dead, then append
+  // the new basic window(s) — m-1 in steady state, the whole initial
+  // window on the seed fire (the indexes are empty then, so every pair
+  // comes out of the new x new hash join).
+  std::vector<exec::StageInput> compact(inputs_.size());
+  const int64_t nbw[2] = {nl, nr};
+  uint64_t old_rows[2] = {0, 0};
+  for (int s = 0; s < 2; ++s) {
+    exec::DeltaSideState& ds = delta_side_[s];
+    if (!delta_seeded_) ds.Reset(cq.delta_key_domain, cq.delta_key_slots[s]);
+    if (nbw[s] == 1) {
+      // Window == slide on this side: nothing is ever retained across
+      // fires, so the whole window is the new basic window (aliased, not
+      // copied) and the index stays empty.
+      DC_ASSIGN_OR_RETURN(exec::StageOutput pre,
+                          PrejoinBasicWindow(stream_rels_[s], m - 1));
+      ds.AdoptSingleWindow(m - 1, pre);
+    } else {
+      ds.EvictBefore(firsts[s]);
+      old_rows[s] = ds.rows;
+      for (int64_t j = delta_seeded_ ? m - 1 : firsts[s]; j < m; ++j) {
+        DC_ASSIGN_OR_RETURN(exec::StageOutput pre,
+                            PrejoinBasicWindow(stream_rels_[s], j));
+        DC_RETURN_NOT_OK(ds.AppendBasicWindow(j, pre));
       }
     }
-    for (size_t k = 0; k < out.cols.size(); ++k) {
-      out.cols[k]->AppendRange(*c->cols[k], 0, c->cols[k]->size());
-    }
-    for (uint64_t i = 0; i < c->rows; ++i) ord->AppendI64(j);
-    out.rows += c->rows;
-    if (j < new_from) out.delta_old_rows += c->rows;
+    compact[stream_rels_[s]] =
+        exec::StageInput{ds.cols, ds.rows, old_rows[s], &ds.index};
   }
-  out.cols.push_back(std::move(ord));
-  return out;
+
+  DC_ASSIGN_OR_RETURN(exec::DeltaFrag df,
+                      executor_->RunPostjoinDelta(compact));
+  stats_.fragments_computed++;
+  stats_.delta_pairs += df.frag.rows;
+  // Index the new rows only after the probe: the retained index must
+  // never cover the emission that probes it.
+  for (int s = 0; s < 2; ++s) {
+    if (nbw[s] == 1) continue;  // never probed — keep the index empty
+    DC_RETURN_NOT_OK(delta_side_[s].IndexNewRows(old_rows[s]));
+  }
+
+  // Bucket the new pairs by the emission at which they leave the window:
+  // pair (jl, jr) is live while m' <= min(jl + nl, jr + nr), so its
+  // expiry lands in [m + 1, m + min(nl, nr)] and the reusable scratch is
+  // indexed by expiry - (m + 1). Partials are keyed {expiry, created}, so
+  // expiry evicts whole buckets — no retained row is ever rescanned.
+  const size_t nbuckets = static_cast<size_t>(std::min(nl, nr));
+  if (nbuckets == 1) {
+    // Every pair expires at the next emission (one side's window is a
+    // single basic window) — the whole fragment is one bucket, no gather.
+    if (df.frag.rows > 0) {
+      DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(df.frag));
+      partials_.insert_or_assign(PartialKey{m + 1, m}, std::move(p));
+    }
+  } else {
+    if (expiry_rows_.size() < nbuckets) expiry_rows_.resize(nbuckets);
+    for (uint64_t i = 0; i < df.frag.rows; ++i) {
+      const int64_t idx =
+          std::min(df.left_bw[i] + nl, df.right_bw[i] + nr) - m;
+      if (idx < 0 || static_cast<size_t>(idx) >= nbuckets) {
+        return Status::Internal("delta join: pair expiry out of range");
+      }
+      expiry_rows_[idx].push_back(static_cast<Oid>(i));
+    }
+    for (size_t idx = 0; idx < nbuckets; ++idx) {
+      std::vector<Oid>& rows = expiry_rows_[idx];
+      if (rows.empty()) continue;
+      exec::StageOutput bucket;
+      bucket.rows = rows.size();
+      for (const BatPtr& col : df.frag.cols) {
+        bucket.cols.push_back(ops::FetchOids(*col, rows));
+      }
+      rows.clear();  // keep capacity for the next fire
+      DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(bucket));
+      partials_.insert_or_assign(
+          PartialKey{m + 1 + static_cast<int64_t>(idx), m}, std::move(p));
+    }
+  }
+
+  for (int s = 0; s < 2; ++s) delta_side_[s].TrimIfWorthIt();
+  return Status::OK();
+}
+
+Status Factory::FireDeltaPreAgg(int64_t m, int64_t lfirst, int64_t rfirst,
+                                int64_t nl, int64_t nr) {
+  const plan::CompiledQuery& cq = executor_->compiled();
+  const auto& pa = cq.delta_pre_agg;
+  const size_t nagg = pa.agg_side.size();
+  const size_t nbuckets = static_cast<size_t>(std::min(nl, nr));
+  if (expiry_states_.size() < nbuckets) {
+    expiry_states_.resize(nbuckets);
+    expiry_dirty_.resize(nbuckets, 0);
+  }
+  for (size_t i = 0; i < nbuckets; ++i) {
+    expiry_states_[i].assign(nagg, ops::AggState{});
+    expiry_dirty_[i] = 0;
+  }
+  if (!delta_seeded_) {
+    delta_groups_[0].Reset(cq.delta_key_domain);
+    delta_groups_[1].Reset(cq.delta_key_domain);
+  }
+  delta_groups_[0].EvictBefore(lfirst);
+  delta_groups_[1].EvictBefore(rfirst);
+
+  // Per aggregate: does the pairing need the merged extrema? Only MIN/MAX
+  // read them; skipping the boxed-Value compares for SUM/AVG/COUNT keeps
+  // the per-pair loop purely arithmetic.
+  std::vector<char> needs_minmax(nagg, 0);
+  for (size_t i = 0; i < nagg; ++i) {
+    const ops::AggKind k = cq.bound.aggs[i].kind;
+    needs_minmax[i] = (k == ops::AggKind::kMin || k == ops::AggKind::kMax);
+  }
+
+  // One group pairing (count_l, states_l) x (count_r, states_r) stands
+  // for count_l * count_r join pairs; the product rule folds it into the
+  // expiry bucket in O(aggs).
+  uint64_t pairs = 0;
+  auto accumulate = [&](int64_t jl, int64_t jr, uint64_t cl, uint64_t cr,
+                        const ops::AggState* sl,
+                        const ops::AggState* sr) -> Status {
+    const int64_t idx = std::min(jl + nl, jr + nr) - m;
+    if (idx < 0 || static_cast<size_t>(idx) >= nbuckets) {
+      return Status::Internal("delta pre-agg: pair expiry out of range");
+    }
+    std::vector<ops::AggState>& bucket = expiry_states_[idx];
+    expiry_dirty_[idx] = 1;
+    for (size_t i = 0; i < nagg; ++i) {
+      if (pa.agg_side[i] < 0) {
+        bucket[i].count += cl * cr;  // COUNT(*)
+      } else if (pa.agg_side[i] == 0) {
+        bucket[i].ScaledMerge(sl[preagg_local_[i]], cr,
+                              needs_minmax[i] != 0);
+      } else {
+        bucket[i].ScaledMerge(sr[preagg_local_[i]], cl,
+                              needs_minmax[i] != 0);
+      }
+    }
+    pairs += cl * cr;
+    return Status::OK();
+  };
+
+  // Steady state runs one step (new basic window m-1 on both sides); the
+  // seed fire replays the initial window basic window by basic window, so
+  // every cross-bw pairing goes through the same retained x new probes.
+  for (int64_t j = delta_seeded_ ? m - 1 : std::min(lfirst, rfirst); j < m;
+       ++j) {
+    const bool has_l = j >= lfirst;
+    const bool has_r = j >= rfirst;
+    exec::DeltaGroups gl, gr;
+    if (has_l) {
+      DC_ASSIGN_OR_RETURN(exec::StageOutput pre,
+                          PrejoinBasicWindow(stream_rels_[0], j));
+      DC_ASSIGN_OR_RETURN(gl, executor_->BuildDeltaGroups(0, pre));
+      stats_.fragments_computed++;
+    }
+    if (has_r) {
+      DC_ASSIGN_OR_RETURN(exec::StageOutput pre,
+                          PrejoinBasicWindow(stream_rels_[1], j));
+      DC_ASSIGN_OR_RETURN(gr, executor_->BuildDeltaGroups(1, pre));
+      stats_.fragments_computed++;
+    }
+    // Pairing order folds new x new into the second probe: one side's new
+    // groups are appended to its track before the opposite side probes it,
+    // so a single probe covers retained x new and new x new at once — no
+    // separate new x new join. A single-basic-window side never appends
+    // (nothing of it outlives its own emission; the opposite window then
+    // holds no old groups of this side either), so the append-first side
+    // is chosen accordingly; when both sides are tumbling the tracks stay
+    // empty and the step pairs new x new directly.
+    auto probe_left_new = [&]() -> Status {  // gl vs track 1
+      if (!has_l || gl.num_groups() == 0) return Status::OK();
+      std::vector<Oid> probe_out, pos_out;
+      DC_RETURN_NOT_OK(delta_groups_[1].index.Probe(
+          *gl.keys, 0, gl.keys->size(), &probe_out, &pos_out));
+      const exec::DeltaGroupTrack& t = delta_groups_[1];
+      for (size_t k = 0; k < probe_out.size(); ++k) {
+        const uint64_t g = probe_out[k], p = pos_out[k];
+        DC_RETURN_NOT_OK(accumulate(j, t.bw_of[p], gl.counts[g], t.counts[p],
+                                    gl.group_states(g), t.group_states(p)));
+      }
+      return Status::OK();
+    };
+    auto probe_right_new = [&]() -> Status {  // gr vs track 0
+      if (!has_r || gr.num_groups() == 0) return Status::OK();
+      std::vector<Oid> probe_out, pos_out;
+      DC_RETURN_NOT_OK(delta_groups_[0].index.Probe(
+          *gr.keys, 0, gr.keys->size(), &probe_out, &pos_out));
+      const exec::DeltaGroupTrack& t = delta_groups_[0];
+      for (size_t k = 0; k < probe_out.size(); ++k) {
+        const uint64_t g = probe_out[k], p = pos_out[k];
+        DC_RETURN_NOT_OK(accumulate(t.bw_of[p], j, t.counts[p], gr.counts[g],
+                                    t.group_states(p), gr.group_states(g)));
+      }
+      return Status::OK();
+    };
+    auto append_left = [&]() -> Status {
+      if (!has_l || nl == 1) return Status::OK();
+      return delta_groups_[0].AppendGroups(j, gl);
+    };
+    auto append_right = [&]() -> Status {
+      if (!has_r || nr == 1) return Status::OK();
+      return delta_groups_[1].AppendGroups(j, gr);
+    };
+    if (nl == 1 && nr == 1) {
+      if (has_l && has_r && gl.num_groups() > 0 && gr.num_groups() > 0) {
+        DC_ASSIGN_OR_RETURN(ops::JoinResult nn,
+                            ops::HashJoin(*gl.keys, *gr.keys));
+        for (size_t k = 0; k < nn.left.size(); ++k) {
+          const uint64_t a = nn.left[k], b = nn.right[k];
+          DC_RETURN_NOT_OK(accumulate(j, j, gl.counts[a], gr.counts[b],
+                                      gl.group_states(a), gr.group_states(b)));
+        }
+      }
+    } else if (nl == 1) {
+      DC_RETURN_NOT_OK(append_right());
+      DC_RETURN_NOT_OK(probe_left_new());
+    } else if (nr == 1) {
+      DC_RETURN_NOT_OK(append_left());
+      DC_RETURN_NOT_OK(probe_right_new());
+    } else {
+      DC_RETURN_NOT_OK(probe_left_new());
+      DC_RETURN_NOT_OK(append_left());
+      DC_RETURN_NOT_OK(probe_right_new());
+      DC_RETURN_NOT_OK(append_right());
+    }
+  }
+  stats_.delta_pairs += pairs;
+
+  // One partial per touched expiry, written after all steps so seed-fire
+  // steps that share an expiry accumulate into one {expiry, m} key.
+  for (size_t idx = 0; idx < nbuckets; ++idx) {
+    if (!expiry_dirty_[idx]) continue;
+    exec::Partial p;
+    p.scalar_states = std::move(expiry_states_[idx]);
+    partials_.insert_or_assign(
+        PartialKey{m + 1 + static_cast<int64_t>(idx), m}, std::move(p));
+  }
+
+  for (int s = 0; s < 2; ++s) delta_groups_[s].TrimIfWorthIt();
+  return Status::OK();
 }
 
 Status Factory::FireDualWindowDelta(int64_t m, const WindowMath& wl,
                                     const WindowMath& wr) {
-  const int l = stream_rels_[0];
-  const int r = stream_rels_[1];
   const int64_t nl = wl.NumBasicWindows();
   const int64_t nr = wr.NumBasicWindows();
   const auto [lfirst, llast] = wl.BasicWindowsForRange(m);  // llast == m
   const auto [rfirst, rlast] = wr.BasicWindowsForRange(m);
 
-  // Delta-join only the newest basic window (m-1 on both sides; the whole
-  // window on the very first emission) against the retained portion.
-  const int64_t new_from = delta_seeded_ ? m - 1
-                                         : std::min(lfirst, rfirst);
-  std::vector<exec::StageInput> compact(inputs_.size());
-  DC_ASSIGN_OR_RETURN(compact[l], AssembleDeltaSide(l, lfirst, m, new_from));
-  DC_ASSIGN_OR_RETURN(compact[r], AssembleDeltaSide(r, rfirst, m, new_from));
-  DC_ASSIGN_OR_RETURN(exec::DeltaFrag df,
-                      executor_->RunPostjoinDelta(compact));
+  if (executor_->compiled().delta_pre_agg.eligible) {
+    DC_RETURN_NOT_OK(FireDeltaPreAgg(m, lfirst, rfirst, nl, nr));
+  } else {
+    DC_RETURN_NOT_OK(FireDeltaRows(m, lfirst, rfirst, nl, nr));
+  }
   delta_seeded_ = true;
-  stats_.fragments_computed++;
-  stats_.delta_pairs += df.frag.rows;
-
-  // Bucket the new pairs by the emission at which they leave the window:
-  // pair (jl, jr) is live while m' <= min(jl + nl, jr + nr). Partials are
-  // keyed {expiry, created}, so expiry evicts whole buckets — no retained
-  // row is ever rescanned or filtered.
-  std::map<int64_t, std::vector<Oid>> buckets;
-  for (uint64_t i = 0; i < df.frag.rows; ++i) {
-    const int64_t expiry =
-        std::min(df.left_bw[i] + nl, df.right_bw[i] + nr) + 1;
-    buckets[expiry].push_back(static_cast<Oid>(i));
-  }
-  for (const auto& [expiry, rows] : buckets) {
-    exec::StageOutput bucket;
-    bucket.rows = rows.size();
-    for (const BatPtr& col : df.frag.cols) {
-      bucket.cols.push_back(ops::FetchOids(*col, rows));
-    }
-    DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->MakePartial(bucket));
-    partials_.insert_or_assign(PartialKey{expiry, m}, std::move(p));
-  }
 
   // Merge every live partial (map order: expiry, then creation — a
   // deterministic order; emission row order beyond ORDER BY is
@@ -540,14 +767,9 @@ Status Factory::FireDualWindowDelta(int64_t m, const WindowMath& wl,
   DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
   DC_RETURN_NOT_OK(EmitResult(result));
 
-  // Evict pairs gone by the next emission, and compacts behind the next
-  // window starts.
+  // Evict pairs gone by the next emission.
   std::erase_if(partials_,
                 [&](const auto& kv) { return kv.first.a <= m + 1; });
-  std::erase_if(compact_, [&](const auto& kv) {
-    return kv.first.first == l ? kv.first.second < lfirst + 1
-                               : kv.first.second < rfirst + 1;
-  });
   return Status::OK();
 }
 

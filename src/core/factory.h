@@ -63,8 +63,17 @@ struct FactoryStats {
   size_t cached_bytes = 0;
   uint64_t fragments_computed = 0;  // basic-window fragments evaluated
   /// Join pairs produced by delta joins (stream-stream incremental mode):
-  /// per slide this is the new pairs only, not the full window join.
+  /// per slide this is the new pairs only, not the full window join. The
+  /// pre-aggregated path counts the pairs its group pairings represent
+  /// (sum of count_l * count_r), so the number is path-independent.
   uint64_t delta_pairs = 0;
+  /// Live rows (raw delta path) or groups (pre-aggregated path) in the
+  /// rolling retained-side state across both join sides.
+  uint64_t retained_rows = 0;
+  /// Expired rows/groups still physically resident awaiting a trim.
+  uint64_t retained_dead_rows = 0;
+  /// Live entries across both sides' rolling join-key hash indexes.
+  uint64_t index_entries = 0;
   bool fell_back_to_full = false;   // incremental requested, not divisible
   bool paused = false;
   std::string last_error;
@@ -161,18 +170,28 @@ class Factory {
   Result<const exec::Partial*> EnsureSinglePartial(int64_t bw, bool rows_mode,
                                                    uint64_t table_version);
 
-  /// Concatenates the cached compacts of basic windows [first, last) of
-  /// stream `rel` into one [retained ; new] stage input for the delta
-  /// postjoin: appends the hidden bw-ordinal column and sets
-  /// delta_old_rows to the rows of the bws below `new_from`.
-  Result<exec::StageInput> AssembleDeltaSide(int rel, int64_t first,
-                                             int64_t last, int64_t new_from);
+  /// Reads and prejoins basic window `bw` of stream `rel` (RANGE mode).
+  /// Each basic window is prejoined exactly once per side — the result is
+  /// appended to the rolling retained-side state, never recomputed.
+  Result<exec::StageOutput> PrejoinBasicWindow(int rel, int64_t bw);
 
   /// One incremental stream-stream emission: delta-join the newest basic
   /// window against the retained window, bucket new pairs by expiry, and
   /// merge all live partials.
   Status FireDualWindowDelta(int64_t m, const WindowMath& wl,
                              const WindowMath& wr);
+
+  /// Row-pairing delta step: appends the new basic window(s) to each
+  /// side's rolling concatenation, runs the indexed delta postjoin, and
+  /// files the new pairs into expiry-keyed partials.
+  Status FireDeltaRows(int64_t m, int64_t lfirst, int64_t rfirst, int64_t nl,
+                       int64_t nr);
+
+  /// Pre-aggregated delta step (compiled().delta_pre_agg.eligible): pairs
+  /// per-key groups instead of rows and accumulates expiry-bucketed
+  /// scalar aggregate states directly (product rule).
+  Status FireDeltaPreAgg(int64_t m, int64_t lfirst, int64_t rfirst,
+                         int64_t nl, int64_t nr);
 
   const int id_;
   const std::string name_;
@@ -210,6 +229,19 @@ class Factory {
   std::map<PartialKey, uint64_t> partial_versions_;
   std::optional<exec::StageInput> table_compact_;
   uint64_t table_compact_version_ = 0;
+
+  /// Rolling retained-side state per join side (kDualWindow incremental):
+  /// the row path uses delta_side_, the pre-aggregated path delta_groups_.
+  exec::DeltaSideState delta_side_[2];
+  exec::DeltaGroupTrack delta_groups_[2];
+  /// Per aggregate: its index among its side's local aggregates (parallel
+  /// to delta_pre_agg.agg_side), or -1 for COUNT(*).
+  std::vector<int> preagg_local_;
+  /// Reusable expiry-bucket scratch, indexed expiry - (m + 1); every pair
+  /// created at emission m expires in [m + 1, m + min(nl, nr)].
+  std::vector<std::vector<Oid>> expiry_rows_;                // row path
+  std::vector<std::vector<ops::AggState>> expiry_states_;    // pre-agg path
+  std::vector<uint8_t> expiry_dirty_;                        // pre-agg path
 
   FactoryStats stats_;
 };

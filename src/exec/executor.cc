@@ -1,5 +1,8 @@
 #include "exec/executor.h"
 
+#include <algorithm>
+
+#include "bat/hash.h"
 #include "bat/ops_arith.h"
 #include "bat/ops_select.h"
 #include "bat/ops_sort.h"
@@ -8,11 +11,169 @@
 
 namespace dc::exec {
 
+namespace {
+
+/// Open-addressing find-or-insert scratch for the delta pre-agg grouping:
+/// linear probing over a power-of-two slot array, sized to ≥2x the row
+/// count so probes stay short. Reused thread-locally across fires —
+/// Prepare() only re-clears the gid array (memset-cheap) once the capacity
+/// has stabilized. NaN keys never compare equal, so each NaN lands in its
+/// own group (matching ops::GroupBy's cell equality).
+template <typename K>
+struct GroupScratch {
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  std::vector<K> keys;
+  std::vector<uint32_t> gids;
+  size_t mask = 0;
+
+  void Prepare(uint64_t n) {
+    size_t cap = 64;
+    while (cap < 2 * n) cap <<= 1;
+    if (gids.size() != cap) {
+      gids.assign(cap, kEmpty);
+      keys.resize(cap);
+    } else {
+      std::fill(gids.begin(), gids.end(), kEmpty);
+    }
+    mask = cap - 1;
+  }
+
+  /// Returns the slot for `k`; `*slot == kEmpty` means first occurrence
+  /// and the caller must store the new group id before the next call.
+  uint32_t* FindOrInsertSlot(K k, uint64_t h) {
+    size_t i = h & mask;
+    while (gids[i] != kEmpty && !(keys[i] == k)) i = (i + 1) & mask;
+    keys[i] = k;
+    return &gids[i];
+  }
+};
+
+}  // namespace
+
 size_t Partial::MemoryBytes() const {
   size_t total = scalar_states.size() * sizeof(ops::AggState);
   if (grouped) total += grouped->num_groups() * 64;  // rough per-group cost
   for (const BatPtr& c : frag_cols) total += c->MemoryBytes();
   return total;
+}
+
+// --- DeltaSideState ----------------------------------------------------------
+
+void DeltaSideState::Reset(TypeId key_domain, int key_slot_in) {
+  cols.clear();
+  rows = 0;
+  dead = 0;
+  bws.clear();
+  index.Reset(key_domain);
+  key_slot = key_slot_in;
+}
+
+Status DeltaSideState::AppendBasicWindow(int64_t bw,
+                                         const StageOutput& compact) {
+  if (cols.empty()) {
+    for (const BatPtr& c : compact.cols) {
+      cols.push_back(Bat::MakeEmpty(c->type()));
+    }
+    cols.push_back(Bat::MakeEmpty(TypeId::kI64));  // bw-ordinal column
+  } else if (cols.size() != compact.cols.size() + 1) {
+    return Status::Internal("delta side: compact column arity changed");
+  }
+  const uint64_t n = compact.rows;
+  for (size_t i = 0; i < compact.cols.size(); ++i) {
+    cols[i]->AppendRange(*compact.cols[i], 0, n);
+  }
+  cols.back()->AppendRepeatedI64(bw, n);
+  rows += n;
+  bws.emplace_back(bw, n);
+  return Status::OK();
+}
+
+void DeltaSideState::AdoptSingleWindow(int64_t bw,
+                                       const StageOutput& compact) {
+  cols.assign(compact.cols.begin(), compact.cols.end());
+  BatPtr ord = Bat::MakeEmpty(TypeId::kI64);
+  ord->AppendRepeatedI64(bw, compact.rows);
+  cols.push_back(std::move(ord));
+  rows = compact.rows;
+  dead = 0;
+  bws.clear();
+  bws.emplace_back(bw, compact.rows);
+}
+
+Status DeltaSideState::IndexNewRows(uint64_t from) {
+  if (key_slot < 0 || static_cast<size_t>(key_slot) >= cols.size()) {
+    return Status::Internal("delta side: bad key slot");
+  }
+  return index.Append(*cols[key_slot], from, rows);
+}
+
+void DeltaSideState::EvictBefore(int64_t first_live) {
+  while (!bws.empty() && bws.front().first < first_live) {
+    dead += bws.front().second;
+    bws.pop_front();
+  }
+  index.EvictBelow(dead);
+}
+
+void DeltaSideState::TrimIfWorthIt() {
+  if (dead == 0 || dead <= rows - dead) return;
+  for (const BatPtr& c : cols) c->DropHead(dead);
+  index.Rebase();
+  rows -= dead;
+  dead = 0;
+}
+
+size_t DeltaSideState::MemoryBytes() const {
+  size_t total = bws.size() * sizeof(std::pair<int64_t, uint64_t>);
+  for (const BatPtr& c : cols) total += c->MemoryBytes();
+  total += index.next_pos() * 2 * sizeof(uint64_t);  // rough index cost
+  return total;
+}
+
+// --- DeltaGroupTrack ---------------------------------------------------------
+
+void DeltaGroupTrack::Reset(TypeId key_domain) {
+  counts.clear();
+  nagg = 0;
+  states.clear();
+  bw_of.clear();
+  dead = 0;
+  bws.clear();
+  index.Reset(key_domain);
+}
+
+Status DeltaGroupTrack::AppendGroups(int64_t bw, const DeltaGroups& g) {
+  DC_RETURN_NOT_OK(index.Append(*g.keys, 0, g.keys->size()));
+  nagg = g.nagg;
+  counts.insert(counts.end(), g.counts.begin(), g.counts.end());
+  states.insert(states.end(), g.states.begin(), g.states.end());
+  bw_of.insert(bw_of.end(), g.num_groups(), bw);
+  bws.emplace_back(bw, g.num_groups());
+  return Status::OK();
+}
+
+void DeltaGroupTrack::EvictBefore(int64_t first_live) {
+  while (!bws.empty() && bws.front().first < first_live) {
+    dead += bws.front().second;
+    bws.pop_front();
+  }
+  index.EvictBelow(dead);
+}
+
+void DeltaGroupTrack::TrimIfWorthIt() {
+  if (dead == 0 || dead <= counts.size() - dead) return;
+  counts.erase(counts.begin(), counts.begin() + static_cast<int64_t>(dead));
+  states.erase(states.begin(),
+               states.begin() + static_cast<int64_t>(dead * nagg));
+  bw_of.erase(bw_of.begin(), bw_of.begin() + static_cast<int64_t>(dead));
+  index.Rebase();
+  dead = 0;
+}
+
+size_t DeltaGroupTrack::MemoryBytes() const {
+  return counts.size() * sizeof(uint64_t) + bw_of.size() * sizeof(int64_t) +
+         states.size() * sizeof(ops::AggState) +
+         index.next_pos() * 2 * sizeof(uint64_t);  // rough index cost
 }
 
 QueryExecutor::QueryExecutor(plan::CompiledQuery cq) : cq_(std::move(cq)) {
@@ -111,6 +272,120 @@ Result<Partial> QueryExecutor::MakePartial(const StageOutput& frag) const {
   DC_RETURN_NOT_OK(merger->AddPartial(keys, values));
   p.grouped = std::move(merger);
   return p;
+}
+
+Result<DeltaGroups> QueryExecutor::BuildDeltaGroups(
+    int side, const StageOutput& compact) const {
+  const auto& pa = cq_.delta_pre_agg;
+  if (!pa.eligible) {
+    return Status::Internal("query has no delta pre-aggregation");
+  }
+  const int key_slot = cq_.delta_key_slots[side];
+  if (key_slot < 0 || static_cast<size_t>(key_slot) >= compact.cols.size()) {
+    return Status::Internal("delta pre-agg: bad key slot");
+  }
+  const Bat& key = *compact.cols[key_slot];
+
+  // This side's local aggregates (query order), their compact slots, and
+  // whether each one reads the extrema (MIN/MAX only — SUM/AVG/COUNT skip
+  // the per-row min/max tracking in the fold below).
+  std::vector<const Bat*> arg_cols;
+  std::vector<char> arg_minmax;
+  for (size_t i = 0; i < pa.agg_side.size(); ++i) {
+    if (pa.agg_side[i] != side) continue;
+    const int slot = pa.agg_slot[i];
+    if (slot < 0 || static_cast<size_t>(slot) >= compact.cols.size()) {
+      return Status::Internal("delta pre-agg: bad argument slot");
+    }
+    arg_cols.push_back(compact.cols[slot].get());
+    const ops::AggKind k = cq_.bound.aggs[i].kind;
+    arg_minmax.push_back(k == ops::AggKind::kMin || k == ops::AggKind::kMax);
+  }
+
+  DeltaGroups out;
+  out.nagg = arg_cols.size();
+  out.keys = Bat::MakeEmpty(key.type());
+  const uint64_t n = compact.rows;
+
+  // Direct single-key grouping fused with the aggregate fold: one pass that
+  // finds-or-creates a dense group id per row and types the argument adds.
+  // This runs once per basic window per side, on the delta fire path, so it
+  // avoids the generic ops::GroupBy (hash-chain vectors, representative
+  // oids, a second Value-boxed fold pass). The thread-local scratch tables
+  // keep their bucket arrays across fires, so the steady-state fire path
+  // does not allocate per call.
+  auto fold_row = [&](uint32_t g, uint64_t r) {
+    if (g == out.counts.size()) {  // first row of a new group
+      out.counts.push_back(0);
+      out.states.resize(out.states.size() + out.nagg);
+    }
+    ++out.counts[g];
+    ops::AggState* s = out.states.data() + g * out.nagg;
+    for (size_t j = 0; j < out.nagg; ++j) {
+      s[j].AddCell(*arg_cols[j], r, arg_minmax[j] != 0);
+    }
+  };
+  switch (key.type()) {
+    case TypeId::kI64:
+    case TypeId::kTs: {
+      thread_local GroupScratch<int64_t> tab;
+      tab.Prepare(n);
+      const auto data = key.I64Data();
+      for (uint64_t r = 0; r < n; ++r) {
+        uint32_t* slot = tab.FindOrInsertSlot(data[r], HashI64(data[r]));
+        if (*slot == GroupScratch<int64_t>::kEmpty) {
+          *slot = static_cast<uint32_t>(out.counts.size());
+          out.keys->AppendI64(data[r]);
+        }
+        fold_row(*slot, r);
+      }
+      break;
+    }
+    case TypeId::kF64: {
+      thread_local GroupScratch<double> tab;
+      tab.Prepare(n);
+      const auto data = key.F64Data();
+      for (uint64_t r = 0; r < n; ++r) {
+        uint32_t* slot = tab.FindOrInsertSlot(data[r], HashDouble(data[r]));
+        if (*slot == GroupScratch<double>::kEmpty) {
+          *slot = static_cast<uint32_t>(out.counts.size());
+          out.keys->AppendF64(data[r]);
+        }
+        fold_row(*slot, r);
+      }
+      break;
+    }
+    case TypeId::kStr: {
+      thread_local std::unordered_map<std::string, uint32_t> tab;
+      tab.clear();
+      for (uint64_t r = 0; r < n; ++r) {
+        const std::string_view k = key.StrAt(r);
+        const auto [it, fresh] = tab.emplace(
+            std::string(k), static_cast<uint32_t>(out.counts.size()));
+        if (fresh) out.keys->AppendStr(k);
+        fold_row(it->second, r);
+      }
+      break;
+    }
+    default: {
+      // Join keys are i64/f64/str (binder-enforced); keep a generic
+      // fallback so a new key domain degrades instead of failing.
+      DC_ASSIGN_OR_RETURN(ops::GroupResult gr, ops::GroupBy({&key}));
+      out.keys = ops::FetchOids(key, gr.representatives);
+      out.counts.assign(gr.num_groups, 0);
+      out.states.assign(gr.num_groups * out.nagg, ops::AggState{});
+      for (uint64_t r = 0; r < n; ++r) {
+        const uint32_t g = gr.group_ids[r];
+        ++out.counts[g];
+        ops::AggState* s = out.states.data() + g * out.nagg;
+        for (size_t j = 0; j < out.nagg; ++j) {
+          s[j].AddCell(*arg_cols[j], r, arg_minmax[j] != 0);
+        }
+      }
+      break;
+    }
+  }
+  return out;
 }
 
 Result<ColumnSet> QueryExecutor::Finish(
@@ -265,11 +540,18 @@ Result<ColumnSet> QueryExecutor::FinishPlain(
             ops::SortKey{runs[r]->frag_cols[slot].get(), asc});
       }
     }
-    DC_ASSIGN_OR_RETURN(auto merged, ops::MergeSortedRuns(run_keys));
+    DC_ASSIGN_OR_RETURN(std::vector<ops::MergeSlice> merged,
+                        ops::MergeSortedRuns(run_keys));
+    uint64_t total = 0;
+    for (const ops::MergeSlice& s : merged) total += s.len;
     for (size_t c = 0; c < cols.size(); ++c) {
-      cols[c]->Reserve(merged.size());
-      for (const auto& [run, row] : merged) {
-        cols[c]->AppendRange(*runs[run]->frag_cols[c], row, row + 1);
+      cols[c]->Reserve(total);
+      // Each slice is a maximal run-length of consecutive rows from one
+      // run, so the gather is a handful of bulk copies per batch instead
+      // of one AppendRange call per row.
+      for (const ops::MergeSlice& s : merged) {
+        cols[c]->AppendRange(*runs[s.run]->frag_cols[c], s.begin,
+                             s.begin + s.len);
       }
     }
   } else {

@@ -15,11 +15,14 @@
 #ifndef DATACELL_EXEC_EXECUTOR_H_
 #define DATACELL_EXEC_EXECUTOR_H_
 
+#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bat/bat.h"
 #include "bat/ops_group.h"
+#include "bat/ops_index.h"
 #include "exec/interpreter.h"
 #include "plan/compiler.h"
 #include "util/result.h"
@@ -54,6 +57,96 @@ struct DeltaFrag {
   std::vector<int64_t> right_bw;
 };
 
+/// Rolling per-side state of the delta-join row path: the [retained ; new]
+/// concatenation of one side's compact columns plus the hidden bw-ordinal
+/// column, and the hash index over the join-key slot. The factory appends
+/// each arriving basic window exactly once, marks expired basic windows
+/// dead lazily, and physically trims only when the dead prefix outgrows
+/// the live rows — so per-emission assembly cost is O(new rows), not
+/// O(window), and the index is never rebuilt.
+struct DeltaSideState {
+  /// Compact columns followed by the i64 basic-window-ordinal column.
+  std::vector<BatPtr> cols;
+  uint64_t rows = 0;  ///< physical rows, including the dead prefix
+  uint64_t dead = 0;  ///< expired physical prefix rows awaiting trim
+  /// (bw ordinal, row count) per live basic window, oldest first.
+  std::deque<std::pair<int64_t, uint64_t>> bws;
+  /// Hash index over cols[key_slot]; positions are physical row ids.
+  ops::RollingJoinIndex index;
+  int key_slot = -1;  ///< compact slot of the join key on this side
+
+  /// Drops all state and rebinds the key domain/slot (first seed fire).
+  void Reset(TypeId key_domain, int key_slot_in);
+  /// Appends one basic window's compact columns (prejoin output) plus the
+  /// repeated ordinal `bw`. Allocates the columns on first use.
+  Status AppendBasicWindow(int64_t bw, const StageOutput& compact);
+  /// Single-basic-window fast path (window == slide on this side): the
+  /// whole window is the new basic window, so the concatenation aliases
+  /// the prejoin output directly — no copy, no retained prefix, and the
+  /// (never probed) index stays empty.
+  void AdoptSingleWindow(int64_t bw, const StageOutput& compact);
+  /// Indexes rows [from, rows). Call after the delta probe so the index
+  /// never covers the probing emission's new rows.
+  Status IndexNewRows(uint64_t from);
+  /// Marks basic windows with ordinal < `first_live` dead. Their rows
+  /// stay physically resident (and probe-invisible) until TrimIfWorthIt.
+  void EvictBefore(int64_t first_live);
+  /// Physically drops the dead prefix once it outgrows the live rows,
+  /// rebasing the index in the same step so positions stay row ids.
+  void TrimIfWorthIt();
+  uint64_t live_rows() const { return rows - dead; }
+  size_t MemoryBytes() const;
+};
+
+/// One basic window of one join side reduced to per-join-key groups, for
+/// the delta pre-aggregation push-down: the delta join then pairs groups
+/// instead of rows and applies the product rule (AggState::ScaledMerge),
+/// so per-emission cost scales with distinct keys rather than join pairs.
+struct DeltaGroups {
+  BatPtr keys;                   ///< distinct join keys, group order
+  std::vector<uint64_t> counts;  ///< rows per group
+  /// Flat per-group states, stride `nagg`: states[g * nagg + j] is group
+  /// g's state for the j-th of this side's local aggregates (the query
+  /// aggregates whose argument lives on this side, in query order).
+  /// COUNT(*) needs no per-side state. Flat storage keeps the hot
+  /// pairing loop free of per-group heap allocations.
+  size_t nagg = 0;
+  std::vector<ops::AggState> states;
+  uint64_t num_groups() const { return counts.size(); }
+  const ops::AggState* group_states(uint64_t g) const {
+    return states.data() + g * nagg;
+  }
+};
+
+/// Rolling retained-side state of the pre-aggregated delta path: the
+/// group-level analogue of DeltaSideState. Index positions are group
+/// ordinals into counts/states/bw_of (dense append order).
+struct DeltaGroupTrack {
+  std::vector<uint64_t> counts;
+  /// Flat per-group states, stride `nagg` (same layout as DeltaGroups).
+  size_t nagg = 0;
+  std::vector<ops::AggState> states;
+  std::vector<int64_t> bw_of;  ///< originating basic window per group
+  uint64_t dead = 0;           ///< expired group prefix awaiting trim
+  /// (bw ordinal, group count) per live basic window, oldest first.
+  std::deque<std::pair<int64_t, uint64_t>> bws;
+  ops::RollingJoinIndex index;  ///< over the group keys
+
+  void Reset(TypeId key_domain);
+  /// Appends one basic window's groups and indexes their keys. The pairing
+  /// discipline (which side appends before the opposite side probes, so
+  /// each bw pair is accumulated exactly once and new x new rides on the
+  /// second probe) lives in Factory::FireDeltaPreAgg.
+  Status AppendGroups(int64_t bw, const DeltaGroups& g);
+  void EvictBefore(int64_t first_live);
+  void TrimIfWorthIt();
+  uint64_t live_groups() const { return counts.size() - dead; }
+  const ops::AggState* group_states(uint64_t p) const {
+    return states.data() + p * nagg;
+  }
+  size_t MemoryBytes() const;
+};
+
 /// Stage runner for one compiled query. Thread-compatible: const methods
 /// are safe to call concurrently.
 class QueryExecutor {
@@ -83,6 +176,13 @@ class QueryExecutor {
 
   /// Folds a fragment output into a mergeable Partial.
   Result<Partial> MakePartial(const StageOutput& frag) const;
+
+  /// Pre-aggregation push-down (compiled().delta_pre_agg.eligible):
+  /// reduces one basic window's compact columns of join side `side` (0 or
+  /// 1) to per-join-key groups with row counts and this side's local
+  /// aggregate states.
+  Result<DeltaGroups> BuildDeltaGroups(int side,
+                                       const StageOutput& compact) const;
 
   /// Merges `partials` (possibly empty) and applies the finish step:
   /// select-list evaluation, HAVING, ORDER BY, LIMIT, column naming.

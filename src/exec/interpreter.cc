@@ -127,10 +127,21 @@ struct Machine {
             static_cast<size_t>(i.rel2) >= inputs.size()) {
           return Status::Internal("delta_join: bad input relation");
         }
-        DC_ASSIGN_OR_RETURN(
-            ops::JoinResult jr,
-            ops::DeltaJoin(*l, inputs[i.rel].delta_old_rows, *r,
-                           inputs[i.rel2].delta_old_rows));
+        const ops::RollingJoinIndex* li = inputs[i.rel].delta_index;
+        const ops::RollingJoinIndex* ri = inputs[i.rel2].delta_index;
+        ops::JoinResult jr;
+        if (li != nullptr && ri != nullptr) {
+          // Indexed O(new) path: retained⋈new via the rolling indexes,
+          // new⋈new via a hash join over the new portions only.
+          DC_ASSIGN_OR_RETURN(
+              jr, ops::IndexedDeltaJoin(*l, inputs[i.rel].delta_old_rows, *li,
+                                        *r, inputs[i.rel2].delta_old_rows,
+                                        *ri));
+        } else {
+          DC_ASSIGN_OR_RETURN(
+              jr, ops::DeltaJoin(*l, inputs[i.rel].delta_old_rows, *r,
+                                 inputs[i.rel2].delta_old_rows));
+        }
         regs[i.dst] = std::make_shared<std::vector<Oid>>(std::move(jr.left));
         regs[i.dst2] =
             std::make_shared<std::vector<Oid>>(std::move(jr.right));

@@ -12,6 +12,10 @@
 #include "plan/cal.h"
 #include "util/result.h"
 
+namespace dc::ops {
+class RollingJoinIndex;
+}  // namespace dc::ops
+
 namespace dc::exec {
 
 /// One input relation for a stage: columns plus an explicit row count
@@ -24,6 +28,14 @@ struct StageInput {
   /// portion of the window, rows at or above it belong to the newest
   /// basic window. Ignored by every other instruction.
   uint64_t delta_old_rows = 0;
+  /// Delta stages: rolling hash index covering this side's retained rows
+  /// (never the new ones). When both join inputs carry one, kDeltaJoin
+  /// probes the indexes with only the new rows (O(new) per emission)
+  /// instead of rebuilding hash tables over the concatenation; without
+  /// indexes it falls back to ops::DeltaJoin. The index may have evicted
+  /// a prefix of the retained rows (expired basic windows awaiting trim);
+  /// those rows are skipped. Borrowed pointer, valid for the call.
+  const ops::RollingJoinIndex* delta_index = nullptr;
 };
 
 /// Stage result: output columns (in program output order) and the row

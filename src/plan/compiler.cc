@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "bat/ops_join.h"
 #include "util/string_util.h"
 
 namespace dc::plan {
@@ -58,6 +59,16 @@ class Compiler {
         q.rels[1].is_stream) {
       DC_RETURN_NOT_OK(CompilePostjoin(&out_.delta_postjoin, /*delta=*/true));
       out_.has_delta_postjoin = true;
+      DC_ASSIGN_OR_RETURN(
+          out_.delta_key_slots[0],
+          CompactSlot(q.join->left->rel, q.join->left->col));
+      DC_ASSIGN_OR_RETURN(
+          out_.delta_key_slots[1],
+          CompactSlot(q.join->right->rel, q.join->right->col));
+      DC_ASSIGN_OR_RETURN(
+          out_.delta_key_domain,
+          ops::JoinKeyDomain(q.join->left->type, q.join->right->type));
+      BuildDeltaPreAgg();
     }
     DC_RETURN_NOT_OK(BuildFinish());
     BuildClassification();
@@ -612,6 +623,41 @@ class Compiler {
     return Status::OK();
   }
 
+  // --- Delta pre-aggregation eligibility -----------------------------------
+
+  /// Fills out_.delta_pre_agg. The push-down applies when the whole tail
+  /// above the delta join is a scalar aggregate over bare columns: each
+  /// side is then pre-aggregated per join key per basic window and the
+  /// delta join pairs (key, count, states) groups, applying the product
+  /// rule (AggState::ScaledMerge). Any GROUP BY, post-join filter, or
+  /// computed aggregate argument keeps the raw row-pairing path.
+  void BuildDeltaPreAgg() {
+    const BoundQuery& q = out_.bound;
+    auto& pa = out_.delta_pre_agg;
+    pa.eligible = false;
+    if (!q.is_aggregate || !q.group_by.empty() ||
+        !q.post_join_filters.empty()) {
+      return;
+    }
+    std::vector<int> side;
+    std::vector<int> slot;
+    for (const BoundAgg& a : q.aggs) {
+      if (!a.arg) {  // COUNT(*): contribution is cnt_l * cnt_r
+        side.push_back(-1);
+        slot.push_back(-1);
+        continue;
+      }
+      if (a.arg->kind != BKind::kColRef) return;  // computed arg: raw path
+      Result<int> s = CompactSlot(a.arg->rel, a.arg->col);
+      if (!s.ok()) return;
+      side.push_back(a.arg->rel);
+      slot.push_back(*s);
+    }
+    pa.eligible = true;
+    pa.agg_side = std::move(side);
+    pa.agg_slot = std::move(slot);
+  }
+
   // --- Classification -----------------------------------------------------
 
   /// Per-operator incremental-vs-recompute classification, surfaced by
@@ -654,10 +700,16 @@ class Compiler {
 
     if (q.join.has_value()) {
       if (num_streams == 2) {
-        add("join", inc_ok,
-            inc_ok ? "delta-join: new⋈old ∪ old⋈new ∪ "
-                     "new⋈new; partials dropped on expiry"
-                   : fallback);
+        std::string note =
+            "delta-join: rolling retained-side hash index, O(new) "
+            "probes (retained⋈new via index, new⋈new hashed); "
+            "partials dropped on expiry";
+        if (out_.delta_pre_agg.eligible) {
+          note +=
+              "; pre-aggregated below the join (groups paired, "
+              "product rule)";
+        }
+        add("join", inc_ok, inc_ok ? note : fallback);
       } else {
         add("join", inc_ok,
             inc_ok ? "stream fragments cached; re-joined against the "

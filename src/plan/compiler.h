@@ -79,6 +79,29 @@ struct CompiledQuery {
   cal::Program delta_postjoin;
   bool has_delta_postjoin = false;
 
+  /// Compact slot of the delta join key per side and the equality domain
+  /// both keys meet in (ops::JoinKeyDomain) — the factory builds each
+  /// side's rolling retained-side hash index over this column. Valid iff
+  /// has_delta_postjoin.
+  int delta_key_slots[2] = {-1, -1};
+  TypeId delta_key_domain = TypeId::kI64;
+
+  /// Delta pre-aggregation push-down: when the query tail is a scalar
+  /// aggregate whose arguments are bare single-side columns (or
+  /// COUNT(*)), with no GROUP BY and no post-join filters, each side can
+  /// be pre-aggregated per join key per basic window and the delta join
+  /// pairs groups instead of rows (AggState::ScaledMerge applies the
+  /// product rule). Per-emission cost then scales with distinct keys, not
+  /// join pairs.
+  struct DeltaPreAgg {
+    bool eligible = false;
+    /// Per aggregate: the join side (0/1) its argument lives on, or -1
+    /// for COUNT(*); and the compact slot of that argument on its side.
+    std::vector<int> agg_side;
+    std::vector<int> agg_slot;
+  };
+  DeltaPreAgg delta_pre_agg;
+
   /// Per-operator incremental-vs-recompute classification (EXPLAIN).
   std::vector<StageClass> classification;
 

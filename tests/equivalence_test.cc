@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -518,6 +519,170 @@ TEST(DeltaJoinChurn, ThreadedProducersStatsAndPauseResume) {
   auto results = engine.TakeResults(*qid);
   ASSERT_TRUE(results.ok());
   EXPECT_EQ(results->size(), fs.emissions);
+}
+
+// --- Long-horizon churn: delta-join bookkeeping vs brute force ------------
+//
+// Drives a delta join through many times the full window turnover (shared
+// timestamp sequence with a forced 16 s dead zone, so several emissions
+// see empty windows) and cross-checks the incremental path's counters
+// against brute-force references computed from the raw rows:
+//  * delta_pairs — every matching pair that ever co-exists in the window
+//    is created exactly once; the raw and pre-aggregated paths must agree
+//    with the same reference;
+//  * retained_rows / index_entries — the rolling retained-side state and
+//    its hash index must end holding exactly the final window (rows on
+//    the raw path, per-basic-window key groups on the pre-agg path).
+// The scalar case also pins the empty-window convention: COUNT 0, other
+// aggregates NULL.
+
+struct ChurnRows {
+  std::vector<JoinRow> a, b;
+};
+
+/// Both sides share one timestamp sequence so the dead zone is empty on
+/// both, guaranteeing emissions whose join windows hold no rows at all.
+ChurnRows MakeChurnRows(int n) {
+  Rng ts_rng(991), ra(11), rb(22);
+  ChurnRows d;
+  int64_t ts_sec = 0;
+  for (int i = 0; i < n; ++i) {
+    ts_sec += ts_rng.UniformInt(0, 3) / 2;  // 0 or 1 s per row
+    if (i == n / 2) ts_sec += 16;           // dead zone: empty windows
+    d.a.push_back(JoinRow{ts_sec * kMicrosPerSecond, ra.UniformInt(0, 4),
+                          ra.UniformInt(-30, 30)});
+    d.b.push_back(JoinRow{ts_sec * kMicrosPerSecond, rb.UniformInt(0, 4),
+                          rb.UniformInt(-30, 30)});
+  }
+  return d;
+}
+
+class DeltaJoinLongHorizon : public testutil::SyncEngineTest {
+ protected:
+  static constexpr int64_t kLSize = 4, kRSize = 8, kSlide = 1;  // seconds
+  static constexpr int64_t kSlideUs = kSlide * kMicrosPerSecond;
+  static constexpr int64_t kNl = kLSize / kSlide, kNr = kRSize / kSlide;
+  static constexpr int kRows = 300;
+
+  void RunChurn(const char* select, const char* tail,
+                std::vector<ColumnSet>* emissions, FactoryStats* fs) {
+    Exec("CREATE STREAM a (ats timestamp, ka int, x int)");
+    Exec("CREATE STREAM b (bts timestamp, kb int, y int)");
+    const std::string sql = StrFormat(
+        "SELECT %s FROM a [RANGE %lld SECONDS SLIDE %lld SECONDS] JOIN "
+        "b [RANGE %lld SECONDS SLIDE %lld SECONDS] ON ka = kb%s%s",
+        select, static_cast<long long>(kLSize), static_cast<long long>(kSlide),
+        static_cast<long long>(kRSize), static_cast<long long>(kSlide),
+        *tail ? " " : "", tail);
+    auto qid = engine_.SubmitContinuous(
+        sql, testutil::WithMode(ExecMode::kIncremental));
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << sql;
+
+    rows_ = MakeChurnRows(kRows);
+    for (int i = 0; i < kRows; ++i) {
+      PushPump("a", {Value::Ts(rows_.a[i].ts_us), Value::I64(rows_.a[i].k),
+                     Value::I64(rows_.a[i].v)});
+      PushPump("b", {Value::Ts(rows_.b[i].ts_us), Value::I64(rows_.b[i].k),
+                     Value::I64(rows_.b[i].v)});
+    }
+    Seal("a");
+    Seal("b");
+
+    *emissions = Take(*qid);
+    *fs = engine_.GetFactory(*qid)->Stats();
+    ASSERT_TRUE(fs->last_error.empty()) << fs->last_error;
+    EXPECT_FALSE(fs->fell_back_to_full);
+
+    m0_ = rows_.a.front().ts_us / kSlideUs + 1;
+    m_last_ = std::min(
+        (rows_.a.back().ts_us + kLSize * kMicrosPerSecond) / kSlideUs,
+        (rows_.b.back().ts_us + kRSize * kMicrosPerSecond) / kSlideUs);
+    ASSERT_EQ(emissions->size(), static_cast<size_t>(m_last_ - m0_ + 1));
+    // Long horizon: the data must churn through >= 4 full window turnovers.
+    ASSERT_GE(m_last_ - m0_, 4 * std::max(kNl, kNr));
+  }
+
+  /// Matching pairs whose joint window-membership range intersects the
+  /// fired emissions [m0_, m_last_]: row ts is in window m iff
+  /// m in [ts/slide + 1, ts/slide + n]. Each such pair is created by
+  /// exactly one fire on either delta path.
+  uint64_t ExpectedDeltaPairs() const {
+    uint64_t pairs = 0;
+    for (const JoinRow& l : rows_.a) {
+      const int64_t llo = l.ts_us / kSlideUs + 1, lhi = l.ts_us / kSlideUs + kNl;
+      for (const JoinRow& r : rows_.b) {
+        if (l.k != r.k) continue;
+        const int64_t rlo = r.ts_us / kSlideUs + 1;
+        const int64_t rhi = r.ts_us / kSlideUs + kNr;
+        if (std::max({llo, rlo, m0_}) <= std::min({lhi, rhi, m_last_})) ++pairs;
+      }
+    }
+    return pairs;
+  }
+
+  /// Rows of the final retained window, i.e. ts in RangeExtent(m_last_),
+  /// summed over both sides (every row's ts is below the last boundary).
+  uint64_t ExpectedRetainedRows() const {
+    uint64_t rows = 0;
+    for (const JoinRow& l : rows_.a)
+      if (l.ts_us >= (m_last_ - kNl) * kSlideUs) ++rows;
+    for (const JoinRow& r : rows_.b)
+      if (r.ts_us >= (m_last_ - kNr) * kSlideUs) ++rows;
+    return rows;
+  }
+
+  /// Pre-agg path: one group per (live basic window, distinct key).
+  uint64_t ExpectedRetainedGroups() const {
+    auto side = [&](const std::vector<JoinRow>& rows, int64_t n) {
+      uint64_t groups = 0;
+      for (int64_t j = m_last_ - n; j < m_last_; ++j) {
+        std::set<int64_t> keys;
+        for (const JoinRow& r : rows)
+          if (r.ts_us / kSlideUs == j) keys.insert(r.k);
+        groups += keys.size();
+      }
+      return groups;
+    };
+    return side(rows_.a, kNl) + side(rows_.b, kNr);
+  }
+
+  ChurnRows rows_;
+  int64_t m0_ = 0, m_last_ = 0;
+};
+
+TEST_F(DeltaJoinLongHorizon, RawPathCountersMatchBruteForce) {
+  std::vector<ColumnSet> emissions;
+  FactoryStats fs;
+  ASSERT_NO_FATAL_FAILURE(
+      RunChurn(kJoinProjection, kJoinProjTail, &emissions, &fs));
+  EXPECT_EQ(fs.delta_pairs, ExpectedDeltaPairs());
+  EXPECT_EQ(fs.retained_rows, ExpectedRetainedRows());
+  EXPECT_EQ(fs.index_entries, ExpectedRetainedRows());
+}
+
+TEST_F(DeltaJoinLongHorizon, PreAggPathCountersMatchBruteForce) {
+  std::vector<ColumnSet> emissions;
+  FactoryStats fs;
+  ASSERT_NO_FATAL_FAILURE(RunChurn(kJoinScalar, "", &emissions, &fs));
+  // Path-independent: the group-pairing product rule represents exactly
+  // the pairs the raw path would have materialized.
+  EXPECT_EQ(fs.delta_pairs, ExpectedDeltaPairs());
+  EXPECT_EQ(fs.retained_rows, ExpectedRetainedGroups());
+  EXPECT_EQ(fs.index_entries, ExpectedRetainedGroups());
+
+  // The dead zone forces emissions whose join result is empty: COUNT is 0
+  // and every other scalar aggregate is SQL NULL (not 0).
+  int empty_emissions = 0;
+  for (const ColumnSet& cs : emissions) {
+    ASSERT_EQ(cs.NumRows(), 1u);
+    if (cs.cols[0]->GetValue(0).AsI64() != 0) continue;
+    ++empty_emissions;
+    for (size_t c = 1; c < cs.cols.size(); ++c) {
+      EXPECT_TRUE(cs.cols[c]->IsNull(0)) << "col " << c;
+      EXPECT_TRUE(cs.cols[c]->GetValue(0).is_null()) << "col " << c;
+    }
+  }
+  EXPECT_GT(empty_emissions, 0);
 }
 
 }  // namespace

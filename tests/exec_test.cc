@@ -101,7 +101,9 @@ TEST_F(ExecTest, ScalarAggregateOverEmptyInputEmitsOneRow) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->NumRows(), 1u);
   EXPECT_EQ(result->cols[0]->GetValue(0).AsI64(), 0);
-  EXPECT_EQ(result->cols[1]->GetValue(0).AsI64(), 0);
+  // SQL empty-input conventions: COUNT is 0, SUM is NULL.
+  EXPECT_TRUE(result->cols[1]->GetValue(0).is_null());
+  EXPECT_TRUE(result->cols[1]->IsNull(0));
 }
 
 TEST_F(ExecTest, GroupedAggregateWithHavingOrderLimit) {

@@ -8,6 +8,7 @@
 #include "bat/ops_aggregate.h"
 #include "bat/ops_arith.h"
 #include "bat/ops_group.h"
+#include "bat/ops_index.h"
 #include "bat/ops_join.h"
 #include "bat/ops_select.h"
 #include "bat/ops_sort.h"
@@ -245,6 +246,119 @@ TEST(JoinTest, DeltaJoinSplitBeyondSizeFails) {
   EXPECT_FALSE(ops::DeltaJoin(*l, 2, *r, 0).ok());
 }
 
+TEST(JoinTest, JoinKeyDomain) {
+  auto dom = ops::JoinKeyDomain(TypeId::kI64, TypeId::kI64);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(*dom, TypeId::kI64);
+  dom = ops::JoinKeyDomain(TypeId::kI64, TypeId::kF64);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(*dom, TypeId::kF64);
+  dom = ops::JoinKeyDomain(TypeId::kStr, TypeId::kStr);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(*dom, TypeId::kStr);
+  EXPECT_FALSE(ops::JoinKeyDomain(TypeId::kStr, TypeId::kI64).ok());
+}
+
+// Reference check: IndexedDeltaJoin with indexes covering exactly the
+// retained (old) rows must produce the same pair multiset as the
+// non-indexed DeltaJoin over the same split.
+void CheckIndexedEqualsDeltaJoin(const Bat& l, uint64_t l_old, const Bat& r,
+                                 uint64_t r_old) {
+  auto dom = ops::JoinKeyDomain(l.type(), r.type());
+  ASSERT_TRUE(dom.ok());
+  ops::RollingJoinIndex li(*dom), ri(*dom);
+  ASSERT_TRUE(li.Append(l, 0, l_old).ok());
+  ASSERT_TRUE(ri.Append(r, 0, r_old).ok());
+  auto got = ops::IndexedDeltaJoin(l, l_old, li, r, r_old, ri);
+  ASSERT_TRUE(got.ok());
+  auto want = ops::DeltaJoin(l, l_old, r, r_old);
+  ASSERT_TRUE(want.ok());
+  std::multiset<std::pair<Oid, Oid>> got_set, want_set;
+  for (size_t i = 0; i < got->size(); ++i) {
+    got_set.emplace(got->left[i], got->right[i]);
+  }
+  for (size_t i = 0; i < want->size(); ++i) {
+    want_set.emplace(want->left[i], want->right[i]);
+  }
+  EXPECT_EQ(got_set, want_set);
+}
+
+TEST(JoinTest, IndexedDeltaJoinMatchesDeltaJoin) {
+  auto l = Bat::MakeI64({1, 2, 2, 3, 2, 1});  // old: rows 0-3, new: 4-5
+  auto r = Bat::MakeI64({2, 1, 4, 2, 1});     // old: rows 0-2, new: 3-4
+  CheckIndexedEqualsDeltaJoin(*l, 4, *r, 3);
+  // Empty retained portions (the seed fire): everything from new x new.
+  CheckIndexedEqualsDeltaJoin(*l, 0, *r, 0);
+  // Empty new portions: no pairs at all.
+  CheckIndexedEqualsDeltaJoin(*l, l->size(), *r, r->size());
+  // Mixed-type keys meet in the f64 domain.
+  auto rf = Bat::MakeF64({2.0, 1.0, 4.5, 2.0, 1.0});
+  CheckIndexedEqualsDeltaJoin(*l, 4, *rf, 3);
+  // String keys.
+  auto ls = Bat::MakeStr({"a", "b", "a", "c"});
+  auto rs = Bat::MakeStr({"b", "a", "a"});
+  CheckIndexedEqualsDeltaJoin(*ls, 2, *rs, 2);
+}
+
+TEST(RollingJoinIndexTest, AppendProbeEvict) {
+  auto keys = Bat::MakeI64({7, 8, 7, 9});
+  ops::RollingJoinIndex idx(TypeId::kI64);
+  ASSERT_TRUE(idx.Append(*keys, 0, keys->size()).ok());
+  EXPECT_EQ(idx.next_pos(), 4u);
+  EXPECT_EQ(idx.live_entries(), 4u);
+
+  auto probe = Bat::MakeI64({7, 9, 5});
+  std::vector<Oid> probe_out, pos_out;
+  ASSERT_TRUE(idx.Probe(*probe, 0, probe->size(), &probe_out, &pos_out).ok());
+  EXPECT_EQ(probe_out, (std::vector<Oid>{0, 0, 1}));
+  EXPECT_EQ(pos_out, (std::vector<Oid>{0, 2, 3}));  // ascending per probe row
+
+  // Evicting positions < 2 hides the first 7 but keeps the second.
+  idx.EvictBelow(2);
+  EXPECT_EQ(idx.live_entries(), 2u);
+  probe_out.clear();
+  pos_out.clear();
+  ASSERT_TRUE(idx.Probe(*probe, 0, probe->size(), &probe_out, &pos_out).ok());
+  EXPECT_EQ(probe_out, (std::vector<Oid>{0, 1}));
+  EXPECT_EQ(pos_out, (std::vector<Oid>{2, 3}));
+}
+
+TEST(RollingJoinIndexTest, RebaseShiftsPositionsWithOwnerTrim) {
+  // Mirrors the factory's physical trim: DropHead on the rolling column
+  // and Rebase on the index in the same step keep positions == row ids.
+  auto keys = Bat::MakeStr({"x", "y", "x", "z"});
+  ops::RollingJoinIndex idx(TypeId::kStr);
+  ASSERT_TRUE(idx.Append(*keys, 0, keys->size()).ok());
+  idx.EvictBelow(2);
+  EXPECT_EQ(idx.Rebase(), 2u);
+  keys->DropHead(2);
+  EXPECT_EQ(idx.next_pos(), 2u);
+  EXPECT_EQ(idx.dead_entries(), 0u);
+
+  auto probe = Bat::MakeStr({"x", "y", "z"});
+  std::vector<Oid> probe_out, pos_out;
+  ASSERT_TRUE(idx.Probe(*probe, 0, probe->size(), &probe_out, &pos_out).ok());
+  // Surviving rows are "x" (now row 0) and "z" (now row 1); "y" was
+  // evicted with the prefix.
+  EXPECT_EQ(probe_out, (std::vector<Oid>{0, 2}));
+  EXPECT_EQ(pos_out, (std::vector<Oid>{0, 1}));
+  for (size_t i = 0; i < pos_out.size(); ++i) {
+    EXPECT_EQ(keys->StrAt(pos_out[i]), probe->StrAt(probe_out[i]));
+  }
+}
+
+TEST(RollingJoinIndexTest, F64DomainPromotesAndNormalizesZero) {
+  auto keys = Bat::MakeF64({1.0, -0.0, 2.5});
+  ops::RollingJoinIndex idx(TypeId::kF64);
+  ASSERT_TRUE(idx.Append(*keys, 0, keys->size()).ok());
+  // i64 probe keys are promoted; +0.0 must find the indexed -0.0.
+  auto probe = Bat::MakeI64({1, 0});
+  std::vector<Oid> probe_out, pos_out;
+  ASSERT_TRUE(idx.Probe(*probe, 0, probe->size(), &probe_out, &pos_out).ok());
+  EXPECT_EQ(probe_out, (std::vector<Oid>{0, 1}));
+  EXPECT_EQ(pos_out, (std::vector<Oid>{0, 1}));
+}
+
 TEST(JoinTest, FetchOids) {
   auto col = Bat::MakeStr({"x", "y", "z"});
   auto out = ops::FetchOids(*col, {2, 0, 2});
@@ -316,22 +430,58 @@ TEST(AggStateTest, MergeEqualsWhole) {
   }
 }
 
-// Pins the empty-window NULL simplification (docs/INCREMENTAL.md "Known
-// divergences"): with no NULL in the type system, SUM/MIN/MAX/AVG over
-// empty input render as the input type's zero value, not SQL NULL, and
-// COUNT is 0 per SQL. If real NULLs ever land, update this test together
-// with AggState::Finalize.
+// SQL empty-input conventions: COUNT over zero rows is 0, everything else
+// is a typed NULL (SUM keeps its result-type rule: f64 in, f64 NULL out).
 TEST(AggStateTest, EmptyInputConventions) {
   ops::AggState s;
   EXPECT_EQ(s.Finalize(AggKind::kCount, TypeId::kI64).AsI64(), 0);
-  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kI64).AsI64(), 0);
-  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kF64).AsF64(), 0.0);
-  EXPECT_EQ(s.Finalize(AggKind::kAvg, TypeId::kI64).AsF64(), 0.0);
-  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kStr).AsStr(), "");
-  EXPECT_EQ(s.Finalize(AggKind::kMax, TypeId::kStr).AsStr(), "");
-  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kI64).AsI64(), 0);
-  EXPECT_EQ(s.Finalize(AggKind::kMax, TypeId::kF64).AsF64(), 0.0);
-  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kTs).AsI64(), 0);
+  EXPECT_TRUE(s.Finalize(AggKind::kSum, TypeId::kI64).is_null());
+  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kI64).type(), TypeId::kI64);
+  EXPECT_TRUE(s.Finalize(AggKind::kSum, TypeId::kF64).is_null());
+  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kF64).type(), TypeId::kF64);
+  EXPECT_TRUE(s.Finalize(AggKind::kAvg, TypeId::kI64).is_null());
+  EXPECT_EQ(s.Finalize(AggKind::kAvg, TypeId::kI64).type(), TypeId::kF64);
+  EXPECT_TRUE(s.Finalize(AggKind::kMin, TypeId::kStr).is_null());
+  EXPECT_TRUE(s.Finalize(AggKind::kMax, TypeId::kStr).is_null());
+  EXPECT_TRUE(s.Finalize(AggKind::kMin, TypeId::kI64).is_null());
+  EXPECT_TRUE(s.Finalize(AggKind::kMax, TypeId::kF64).is_null());
+  EXPECT_TRUE(s.Finalize(AggKind::kMin, TypeId::kTs).is_null());
+  EXPECT_EQ(s.Finalize(AggKind::kMin, TypeId::kTs).type(), TypeId::kTs);
+  EXPECT_EQ(s.Finalize(AggKind::kSum, TypeId::kI64).ToString(), "NULL");
+}
+
+TEST(AggStateTest, ScaledMergeEqualsRepeatedMerge) {
+  // Product rule of the pre-aggregated delta join: pairing a group of
+  // rows with `times` opposite-side rows replicates count/sums `times`
+  // times but leaves min/max untouched.
+  auto col = Bat::MakeI64({4, -1, 7});
+  ops::AggState other;
+  other.AddColumn(*col, nullptr);
+
+  ops::AggState scaled;
+  scaled.ScaledMerge(other, 3);
+  ops::AggState repeated;
+  for (int i = 0; i < 3; ++i) repeated.Merge(other);
+
+  EXPECT_EQ(scaled.count, repeated.count);
+  EXPECT_EQ(scaled.isum, repeated.isum);
+  EXPECT_EQ(scaled.dsum, repeated.dsum);
+  for (AggKind k : {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                    AggKind::kMin, AggKind::kMax}) {
+    EXPECT_EQ(scaled.Finalize(k, TypeId::kI64).ToString(),
+              repeated.Finalize(k, TypeId::kI64).ToString())
+        << ops::AggKindName(k);
+  }
+}
+
+TEST(AggStateTest, ScaledMergeZeroTimesIsIdentity) {
+  auto col = Bat::MakeI64({5});
+  ops::AggState other;
+  other.AddColumn(*col, nullptr);
+  ops::AggState s;
+  s.ScaledMerge(other, 0);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(s.Finalize(AggKind::kSum, TypeId::kI64).is_null());
 }
 
 TEST(GroupedMergerTest, MergePartialsEqualsWhole) {
@@ -366,6 +516,16 @@ TEST(GroupedMergerTest, MergePartialsEqualsWhole) {
   }
 }
 
+// Expands MergeSortedRuns' run-length slices back to (run, row) pairs.
+static std::vector<std::pair<int, Oid>> ExpandSlices(
+    const std::vector<ops::MergeSlice>& slices) {
+  std::vector<std::pair<int, Oid>> out;
+  for (const ops::MergeSlice& s : slices) {
+    for (uint64_t i = 0; i < s.len; ++i) out.emplace_back(s.run, s.begin + i);
+  }
+  return out;
+}
+
 TEST(SortTest, MergeSortedRunsEqualsStableSortOfConcat) {
   // Three runs with duplicate keys; merging must equal a stable sort of
   // the concatenation (ties keep run order, then in-run order) — the
@@ -378,7 +538,15 @@ TEST(SortTest, MergeSortedRunsEqualsStableSortOfConcat) {
   ASSERT_TRUE(merged.ok());
   const std::vector<std::pair<int, Oid>> want{
       {0, 0}, {1, 0}, {0, 1}, {0, 2}, {1, 1}, {2, 0}, {0, 3}, {1, 2}};
-  EXPECT_EQ(*merged, want);
+  EXPECT_EQ(ExpandSlices(*merged), want);
+  // Slices are maximal: consecutive rows from one run coalesce, so the
+  // 3,3 tie inside r0 is a single slice.
+  for (size_t i = 1; i < merged->size(); ++i) {
+    const ops::MergeSlice& prev = (*merged)[i - 1];
+    const ops::MergeSlice& cur = (*merged)[i];
+    EXPECT_FALSE(prev.run == cur.run && prev.begin + prev.len == cur.begin)
+        << "slices " << i - 1 << " and " << i << " should have coalesced";
+  }
 }
 
 TEST(SortTest, MergeSortedRunsDescendingAndEmptyRuns) {
@@ -389,7 +557,17 @@ TEST(SortTest, MergeSortedRunsDescendingAndEmptyRuns) {
       {{{r0.get(), false}}, {{r1.get(), false}}, {{r2.get(), false}}});
   ASSERT_TRUE(merged.ok());
   const std::vector<std::pair<int, Oid>> want{{0, 0}, {2, 0}, {0, 1}};
-  EXPECT_EQ(*merged, want);
+  EXPECT_EQ(ExpandSlices(*merged), want);
+}
+
+TEST(SortTest, MergeSortedRunsSingleRunIsOneSlice) {
+  auto r0 = Bat::MakeI64({1, 2, 3, 4});
+  auto merged = ops::MergeSortedRuns({{{r0.get(), true}}});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 1u);
+  EXPECT_EQ((*merged)[0].run, 0);
+  EXPECT_EQ((*merged)[0].begin, 0u);
+  EXPECT_EQ((*merged)[0].len, 4u);
 }
 
 TEST(SortTest, SingleKeyAscDesc) {
