@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the DataCell sources.
+
+Drives clang-tidy (config: .clang-tidy at the repo root) against a build
+directory's compile_commands.json (CMake exports it by default here —
+CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt). Paths may be
+narrowed to a subtree; findings print in the familiar compiler format.
+
+Exit status: 0 clean, 1 findings, 2 environment problems (no clang-tidy,
+no compile database). Pass --allow-missing to exit 0 when clang-tidy is
+not installed, so developer machines without LLVM are not broken while CI
+— which installs it — still enforces the gate.
+
+Usage:
+  run_clang_tidy.py [--build-dir build] [--jobs N] [--fix]
+                    [--allow-missing] [paths...]
+  paths default to src/ (tests/bench/examples are opt-in).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+SOURCE_EXTS = (".cc", ".cpp")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def compile_database_files(build_dir: str):
+    """Absolute source paths listed in the compile database."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.join(entry["directory"], path)
+        files.add(os.path.normpath(path))
+    return files
+
+
+def select_sources(paths, db_files):
+    """Compilable sources under the requested paths, per the database."""
+    selected = []
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            candidates = [path]
+        else:
+            candidates = [
+                os.path.join(dirpath, name)
+                for dirpath, _, names in os.walk(path)
+                for name in names
+                if name.endswith(SOURCE_EXTS)
+            ]
+        for c in sorted(candidates):
+            if os.path.normpath(c) in db_files:
+                selected.append(c)
+    return selected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(repo_root(), "build"))
+    parser.add_argument("--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    parser.add_argument("--fix", action="store_true",
+                        help="apply clang-tidy's suggested fixes in place")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 when clang-tidy is not installed")
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(repo_root(), "src")])
+    args = parser.parse_args()
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("run_clang_tidy.py: clang-tidy not found in PATH",
+              file=sys.stderr)
+        return 0 if args.allow_missing else 2
+
+    db_files = compile_database_files(args.build_dir)
+    if db_files is None:
+        print(
+            f"run_clang_tidy.py: no compile_commands.json in "
+            f"{args.build_dir} — configure first (cmake -B {args.build_dir})",
+            file=sys.stderr)
+        return 2
+
+    sources = select_sources(args.paths, db_files)
+    if not sources:
+        print("run_clang_tidy.py: no sources matched", file=sys.stderr)
+        return 2
+
+    cmd_base = [tidy, "-p", args.build_dir, "--quiet"]
+    if args.fix:
+        cmd_base.append("--fix")
+
+    failed = []
+
+    def run_one(source: str):
+        proc = subprocess.run(cmd_base + [source], capture_output=True,
+                              text=True)
+        return source, proc.returncode, proc.stdout, proc.stderr
+
+    # --fix must run serially: parallel fixers race on shared headers.
+    workers = 1 if args.fix else max(1, args.jobs)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for source, code, out, err in pool.map(run_one, sources):
+            rel = os.path.relpath(source, repo_root())
+            if out.strip() or code != 0:
+                print(f"--- {rel}")
+                if out.strip():
+                    print(out.strip())
+                if code != 0:
+                    failed.append(rel)
+                    if err.strip():
+                        print(err.strip(), file=sys.stderr)
+
+    print(f"run_clang_tidy.py: checked {len(sources)} files, "
+          f"{len(failed)} with errors")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,14 +19,14 @@ Basket::Basket(std::string name, Schema schema, size_t ts_col,
 
 void Basket::SetLimits(BasketLimits limits) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     limits_ = limits;
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
 }
 
 BasketLimits Basket::limits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return limits_;
 }
 
@@ -66,8 +66,7 @@ bool Basket::AtCapacityLocked() const {
   return false;
 }
 
-Status Basket::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
-                                  uint64_t n, Micros timeout_micros) {
+Status Basket::WaitForSpaceLocked(uint64_t n, Micros timeout_micros) {
   // Admission control: a batch is admitted as soon as the basket is below
   // the bound, so occupancy overshoots by at most the one in-flight batch
   // (and batches larger than the bound still make progress).
@@ -85,9 +84,7 @@ Status Basket::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
           "basket %s full with no readers to drain it", name_.c_str()));
     }
     const Micros wait_start = SteadyMicros();
-    space_cv_.wait(lock, [this] {
-      return !AtCapacityLocked() || readers_.empty();
-    });
+    while (AtCapacityLocked() && !readers_.empty()) space_cv_.Wait(mu_);
     stall_micros_ += SteadyMicros() - wait_start;
     admitted = !AtCapacityLocked();
     if (!admitted) {
@@ -99,9 +96,14 @@ Status Basket::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
     }
   } else {
     const Micros wait_start = SteadyMicros();
-    admitted = space_cv_.wait_for(
-        lock, std::chrono::microseconds(timeout_micros),
-        [this] { return !AtCapacityLocked(); });
+    const Micros deadline = wait_start + timeout_micros;
+    admitted = !AtCapacityLocked();
+    while (!admitted) {
+      const Micros now = SteadyMicros();
+      if (now >= deadline) break;
+      space_cv_.WaitFor(mu_, deadline - now);
+      admitted = !AtCapacityLocked();
+    }
     stall_micros_ += SteadyMicros() - wait_start;
   }
   if (admitted) return Status::OK();
@@ -116,10 +118,10 @@ Status Basket::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
 
 Status Basket::Append(const std::vector<BatPtr>& cols, Micros timeout_micros) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     uint64_t n = 0;
     DC_RETURN_NOT_OK(ValidateBatch(cols, &n));
-    DC_RETURN_NOT_OK(WaitForSpaceLocked(lock, n, timeout_micros));
+    DC_RETURN_NOT_OK(WaitForSpaceLocked(n, timeout_micros));
     DC_RETURN_NOT_OK(AppendLocked(cols));
   }
   NotifyAll();
@@ -199,7 +201,7 @@ Status Basket::AppendRow(const std::vector<Value>& row,
 
 void Basket::Heartbeat(Micros event_ts) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     watermark_ = std::max(watermark_, event_ts);
   }
   NotifyAll();
@@ -207,26 +209,26 @@ void Basket::Heartbeat(Micros event_ts) {
 
 void Basket::Seal() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sealed_ = true;
   }
   NotifyAll();
 }
 
 bool Basket::sealed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sealed_;
 }
 
 int Basket::AddListener(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int id = next_listener_++;
   listeners_[id] = std::move(fn);
   return id;
 }
 
 void Basket::RemoveListener(int listener_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   listeners_.erase(listener_id);
 }
 
@@ -234,7 +236,7 @@ void Basket::NotifyAll() {
   // Copy under lock, call outside it (listeners re-enter the scheduler).
   std::vector<std::function<void()>> fns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fns.reserve(listeners_.size());
     for (const auto& [id, fn] : listeners_) fns.push_back(fn);
   }
@@ -242,7 +244,7 @@ void Basket::NotifyAll() {
 }
 
 int Basket::RegisterReader(bool from_start, bool track_batches) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int id = next_reader_++;
   ReaderState st;
   st.cursor = from_start ? base_ : high_;
@@ -255,22 +257,22 @@ int Basket::RegisterReader(bool from_start, bool track_batches) {
 }
 
 uint64_t Basket::ReaderCursor(int reader_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = readers_.find(reader_id);
   return it == readers_.end() ? 0 : it->second.cursor;
 }
 
 void Basket::UnregisterReader(int reader_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     readers_.erase(reader_id);
     ShrinkLocked();
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
 }
 
 BasketView Basket::Read(uint64_t from_seq, uint64_t max_rows) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BasketView view;
   const uint64_t lo = std::max(from_seq, base_);
   const uint64_t hi =
@@ -291,7 +293,7 @@ Result<std::pair<uint64_t, uint64_t>> Basket::SeqRangeForTs(
     return Status::InvalidArgument(
         StrFormat("basket %s has no event-time column", name_.c_str()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto ts = cols_[ts_col_]->I64Data();
   auto lo_it = std::lower_bound(ts.begin(), ts.end(), ts_lo);
   auto hi_it = std::lower_bound(ts.begin(), ts.end(), ts_hi);
@@ -307,7 +309,7 @@ void Basket::AdvanceReader(int reader_id, uint64_t upto_seq) {
 void Basket::AdvanceReaderBatches(int reader_id, uint64_t upto_seq,
                                   uint64_t upto_ordinal) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = readers_.find(reader_id);
     if (it == readers_.end()) return;
     it->second.cursor =
@@ -316,7 +318,7 @@ void Basket::AdvanceReaderBatches(int reader_id, uint64_t upto_seq,
         std::max(it->second.batch_ord, std::min(upto_ordinal, append_batches_));
     ShrinkLocked();
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
 }
 
 void Basket::ShrinkLocked() {
@@ -350,22 +352,22 @@ void Basket::ShrinkLocked() {
 }
 
 uint64_t Basket::HighSeq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return high_;
 }
 
 uint64_t Basket::DropHorizon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return base_;
 }
 
 Micros Basket::EventWatermark() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return watermark_;
 }
 
 std::vector<BasketBatch> Basket::BatchesAfter(uint64_t from_ordinal) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<BasketBatch> out;
   for (const BasketBatch& b : batches_) {
     if (b.ordinal >= from_ordinal) out.push_back(b);
@@ -374,7 +376,7 @@ std::vector<BasketBatch> Basket::BatchesAfter(uint64_t from_ordinal) const {
 }
 
 BasketStats Basket::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BasketStats s;
   s.appended_total = high_;
   s.dropped_total = base_;

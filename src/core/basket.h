@@ -36,11 +36,9 @@
 #ifndef DATACELL_CORE_BASKET_H_
 #define DATACELL_CORE_BASKET_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +46,7 @@
 #include "storage/schema.h"
 #include "util/clock.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -216,43 +215,48 @@ class Basket {
     bool tracks_batches = false;
   };
 
-  Status AppendLocked(const std::vector<BatPtr>& cols);
-  Status ValidateBatch(const std::vector<BatPtr>& cols, uint64_t* n) const;
+  Status AppendLocked(const std::vector<BatPtr>& cols) DC_REQUIRES(mu_);
+  Status ValidateBatch(const std::vector<BatPtr>& cols, uint64_t* n) const
+      DC_REQUIRES(mu_);
   /// Blocks until the basket can admit `n` more rows; see Append.
-  Status WaitForSpaceLocked(std::unique_lock<std::mutex>& lock, uint64_t n,
-                            Micros timeout_micros);
-  bool AtCapacityLocked() const;
-  size_t MemoryBytesLocked() const;
-  void ShrinkLocked();
-  void NotifyAll();
+  Status WaitForSpaceLocked(uint64_t n, Micros timeout_micros)
+      DC_REQUIRES(mu_);
+  bool AtCapacityLocked() const DC_REQUIRES(mu_);
+  size_t MemoryBytesLocked() const DC_REQUIRES(mu_);
+  void ShrinkLocked() DC_REQUIRES(mu_);
+  void NotifyAll() DC_EXCLUDES(mu_);
 
   const std::string name_;
   const Schema schema_;
   const size_t ts_col_;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_cv_;  // pulsed when readers free space
-  BasketLimits limits_;
-  std::vector<BatPtr> cols_;         // resident rows, seq [base_, high_)
-  uint64_t base_ = 0;                // dropped prefix length
-  uint64_t high_ = 0;                // total appended
-  Micros watermark_ = INT64_MIN;
-  std::map<int, ReaderState> readers_;
-  int next_reader_ = 0;
-  std::deque<BasketBatch> batches_;  // batch log, trimmed in ShrinkLocked
-  uint64_t append_batches_ = 0;      // == next batch ordinal
-  uint64_t empty_batches_ = 0;
-  bool sealed_ = false;
+  mutable Mutex mu_{LockRank::kBasket};
+  CondVar space_cv_;  // pulsed when readers free space
+  BasketLimits limits_ DC_GUARDED_BY(mu_);
+  // Resident rows, seq [base_, high_). The column pointers are fixed at
+  // construction but the Bats they point at mutate under mu_.
+  std::vector<BatPtr> cols_ DC_GUARDED_BY(mu_);
+  uint64_t base_ DC_GUARDED_BY(mu_) = 0;  // dropped prefix length
+  uint64_t high_ DC_GUARDED_BY(mu_) = 0;  // total appended
+  Micros watermark_ DC_GUARDED_BY(mu_) = INT64_MIN;
+  std::map<int, ReaderState> readers_ DC_GUARDED_BY(mu_);
+  int next_reader_ DC_GUARDED_BY(mu_) = 0;
+  // Batch log, trimmed in ShrinkLocked.
+  std::deque<BasketBatch> batches_ DC_GUARDED_BY(mu_);
+  uint64_t append_batches_ DC_GUARDED_BY(mu_) = 0;  // == next batch ordinal
+  uint64_t empty_batches_ DC_GUARDED_BY(mu_) = 0;
+  bool sealed_ DC_GUARDED_BY(mu_) = false;
 
-  // Backpressure statistics (guarded by mu_).
-  uint64_t resident_hwm_rows_ = 0;
-  size_t memory_hwm_bytes_ = 0;
-  uint64_t append_stalls_ = 0;
-  uint64_t append_timeouts_ = 0;
-  Micros stall_micros_ = 0;
+  // Backpressure statistics.
+  uint64_t resident_hwm_rows_ DC_GUARDED_BY(mu_) = 0;
+  size_t memory_hwm_bytes_ DC_GUARDED_BY(mu_) = 0;
+  uint64_t append_stalls_ DC_GUARDED_BY(mu_) = 0;
+  uint64_t append_timeouts_ DC_GUARDED_BY(mu_) = 0;
+  Micros stall_micros_ DC_GUARDED_BY(mu_) = 0;
 
-  std::map<int, std::function<void()>> listeners_;  // keyed for removal
-  int next_listener_ = 0;
+  // Keyed for removal; invoked outside mu_ (NotifyAll copies first).
+  std::map<int, std::function<void()>> listeners_ DC_GUARDED_BY(mu_);
+  int next_listener_ DC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dc

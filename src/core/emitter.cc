@@ -1,7 +1,5 @@
 #include "core/emitter.h"
 
-#include <chrono>
-
 namespace dc {
 
 Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
@@ -16,10 +14,10 @@ Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
   batch_cursor_ = 0;
   listener_id_ = basket_->AddListener([this] {
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       wake_ = true;
     }
-    wake_cv_.notify_one();
+    wake_cv_.NotifyOne();
   });
 }
 
@@ -32,7 +30,7 @@ Emitter::~Emitter() {
 }
 
 int Emitter::Drain() {
-  std::lock_guard<std::mutex> lock(drain_mu_);
+  MutexLock lock(drain_mu_);
   int delivered = 0;
   for (const BasketBatch& b : basket_->BatchesAfter(batch_cursor_)) {
     // A zero-row batch reads back as typed empty columns, so the sink sees
@@ -61,16 +59,20 @@ void Emitter::Start() {
 
 void Emitter::Stop() {
   stop_.store(true);
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void Emitter::Run() {
   while (!stop_.load()) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait_for(lock, std::chrono::milliseconds(20),
-                        [this] { return wake_ || stop_.load(); });
+      MutexLock lock(wake_mu_);
+      const Micros deadline = SteadyMicros() + 20000;  // 20 ms fallback tick
+      while (!wake_ && !stop_.load()) {
+        const Micros now = SteadyMicros();
+        if (now >= deadline) break;
+        wake_cv_.WaitFor(wake_mu_, deadline - now);
+      }
       wake_ = false;
     }
     if (stop_.load()) break;
@@ -89,26 +91,26 @@ EmitterStats Emitter::Stats() const {
 
 Emitter::Sink ResultCollector::AsSink() {
   return [this](const ColumnSet& emission) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     emissions_.push_back(emission);
     rows_ += emission.NumRows();
   };
 }
 
 std::vector<ColumnSet> ResultCollector::TakeAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ColumnSet> out(emissions_.begin(), emissions_.end());
   emissions_.clear();
   return out;
 }
 
 size_t ResultCollector::EmissionCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return emissions_.size();
 }
 
 uint64_t ResultCollector::RowCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rows_;
 }
 

@@ -11,16 +11,15 @@
 #define DATACELL_CORE_EMITTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/basket.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -59,19 +58,22 @@ class Emitter {
   const std::vector<std::string> column_names_;
   Sink sink_;
   int reader_id_;
-  int listener_id_ = -1;   // wake listener on basket_ (removed in dtor)
-  uint64_t cursor_;        // consumed-up-to row sequence
-  uint64_t batch_cursor_;  // delivered batch ordinals < this
+  int listener_id_ = -1;  // wake listener on basket_ (removed in dtor)
 
-  std::mutex drain_mu_;  // serializes Drain callers
+  // Serializes Drain callers. Sinks run under it and may re-enter the
+  // engine, so kEmitterDrain ranks above only kMonitor.
+  Mutex drain_mu_{LockRank::kEmitterDrain};
+  // Consumed-up-to row sequence / delivered batch ordinals < batch_cursor_.
+  uint64_t cursor_ DC_GUARDED_BY(drain_mu_);
+  uint64_t batch_cursor_ DC_GUARDED_BY(drain_mu_);
   std::atomic<uint64_t> emissions_{0};
   std::atomic<uint64_t> empty_emissions_{0};
   std::atomic<uint64_t> rows_{0};
 
   std::thread thread_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool wake_ = false;
+  Mutex wake_mu_{LockRank::kEmitterWake};
+  CondVar wake_cv_;
+  bool wake_ DC_GUARDED_BY(wake_mu_) = false;
   std::atomic<bool> stop_{false};
 };
 
@@ -87,9 +89,9 @@ class ResultCollector {
   uint64_t RowCount() const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<ColumnSet> emissions_;
-  uint64_t rows_ = 0;
+  mutable Mutex mu_{LockRank::kCollector};
+  std::deque<ColumnSet> emissions_ DC_GUARDED_BY(mu_);
+  uint64_t rows_ DC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dc

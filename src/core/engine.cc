@@ -18,11 +18,21 @@ Engine::Engine(EngineOptions options)
 
 Engine::~Engine() {
   scheduler_.Stop();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, r] : receptors_) r->Stop();
-  for (auto& [id, q] : queries_) {
-    if (q.emitter) q.emitter->Stop();
+  // Take ownership of the threaded components under mu_, then stop them
+  // OUTSIDE it: Stop() joins threads whose sinks may re-enter the engine,
+  // which would deadlock against a held mu_.
+  std::map<int, std::unique_ptr<Receptor>> receptors;
+  std::vector<std::shared_ptr<Emitter>> emitters;
+  {
+    MutexLock lock(mu_);
+    receptors = std::move(receptors_);
+    receptors_.clear();
+    for (auto& [id, q] : queries_) {
+      if (q.emitter) emitters.push_back(q.emitter);
+    }
   }
+  for (auto& [id, r] : receptors) r->Stop();
+  for (auto& e : emitters) e->Stop();
 }
 
 Status Engine::Execute(std::string_view sql) {
@@ -60,7 +70,7 @@ Status Engine::ExecuteOne(const sql::Statement& stmt) {
                                            options_.basket_limits);
     // No broadcast listener here: the scheduler attaches a targeted arc
     // per continuous query reading this basket (SubmitContinuous).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     baskets_[create.name] = std::move(basket);
     return Status::OK();
   }
@@ -163,7 +173,7 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
 
   QueryEntry entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entry.id = next_query_id_++;
   }
   entry.sql = std::string(sql);
@@ -215,7 +225,7 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
     entry.collector = std::make_shared<ResultCollector>();
     sink = entry.collector->AsSink();
   }
-  entry.emitter = std::make_unique<Emitter>(name + ".emit", entry.out_basket,
+  entry.emitter = std::make_shared<Emitter>(name + ".emit", entry.out_basket,
                                             out_names, std::move(sink));
   if (options_.scheduler_workers > 0) entry.emitter->Start();
 
@@ -227,7 +237,7 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
   scheduler_.AddFactory(entry.factory);
   const int id = entry.id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queries_.emplace(id, std::move(entry));
   }
   return id;
@@ -236,7 +246,7 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
 Status Engine::RemoveContinuous(int query_id) {
   QueryEntry entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) return Status::NotFound("no such query");
     entry = std::move(it->second);
@@ -263,14 +273,17 @@ Status Engine::ResumeQuery(int query_id) {
 }
 
 Result<std::vector<ColumnSet>> Engine::TakeResults(int query_id) {
+  // Snapshot shared ownership under mu_, drain outside it: the sink runs
+  // inside Drain() and may re-enter the engine, and a concurrent
+  // RemoveContinuous() must not destroy the emitter under the drainer.
   std::shared_ptr<ResultCollector> collector;
-  Emitter* emitter = nullptr;
+  std::shared_ptr<Emitter> emitter;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) return Status::NotFound("no such query");
     collector = it->second.collector;
-    emitter = it->second.emitter.get();
+    emitter = it->second.emitter;
   }
   if (collector == nullptr) {
     return Status::InvalidArgument(
@@ -325,7 +338,7 @@ Result<int> Engine::AttachReceptor(std::string_view stream,
                                    Receptor::Options options) {
   Basket* basket = GetBasket(stream);
   if (basket == nullptr) return Status::NotFound("no such stream");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int id = next_receptor_id_++;
   auto receptor = std::make_unique<Receptor>(
       StrFormat("%.*s.recv%d", static_cast<int>(stream.size()),
@@ -342,7 +355,7 @@ Status Engine::PauseReceptor(int receptor_id) {
   // so other Engine calls are not stalled behind the handshake.
   Receptor* r = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = receptors_.find(receptor_id);
     if (it == receptors_.end()) return Status::NotFound("no such receptor");
     r = it->second.get();
@@ -352,7 +365,7 @@ Status Engine::PauseReceptor(int receptor_id) {
 }
 
 Status Engine::ResumeReceptor(int receptor_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = receptors_.find(receptor_id);
   if (it == receptors_.end()) return Status::NotFound("no such receptor");
   it->second->Resume();
@@ -362,7 +375,7 @@ Status Engine::ResumeReceptor(int receptor_id) {
 Status Engine::WaitReceptor(int receptor_id) {
   Receptor* r = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = receptors_.find(receptor_id);
     if (it == receptors_.end()) return Status::NotFound("no such receptor");
     r = it->second.get();
@@ -371,17 +384,24 @@ Status Engine::WaitReceptor(int receptor_id) {
   return Status::OK();
 }
 
+std::vector<std::shared_ptr<Emitter>> Engine::SnapshotEmitters() const {
+  std::vector<std::shared_ptr<Emitter>> emitters;
+  MutexLock lock(mu_);
+  emitters.reserve(queries_.size());
+  for (const auto& [id, q] : queries_) {
+    if (q.emitter) emitters.push_back(q.emitter);
+  }
+  return emitters;
+}
+
 int Engine::Pump() {
   int total = 0;
   while (true) {
     const int fires = scheduler_.DrainReady();
+    // Drain outside mu_: sinks run inside Drain() and may re-enter the
+    // engine (e.g. a sink that pushes derived rows into another stream).
     int drained = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto& [id, q] : queries_) {
-        if (q.emitter) drained += q.emitter->Drain();
-      }
-    }
+    for (const auto& e : SnapshotEmitters()) drained += e->Drain();
     total += fires;
     if (fires == 0 && drained == 0) break;
   }
@@ -392,13 +412,9 @@ bool Engine::WaitIdle(int timeout_ms) {
   const Micros deadline = SteadyMicros() + timeout_ms * kMicrosPerMilli;
   while (SteadyMicros() < deadline) {
     if (!scheduler_.AnyBusyOrReady()) {
-      // Flush emitters, then double-check quiescence.
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (auto& [id, q] : queries_) {
-          if (q.emitter) q.emitter->Drain();
-        }
-      }
+      // Flush emitters (outside mu_ — sinks may re-enter the engine),
+      // then double-check quiescence.
+      for (const auto& e : SnapshotEmitters()) e->Drain();
       if (!scheduler_.AnyBusyOrReady()) return true;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -407,7 +423,7 @@ bool Engine::WaitIdle(int timeout_ms) {
 }
 
 std::vector<ContinuousQueryInfo> Engine::Queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ContinuousQueryInfo> out;
   for (const auto& [id, q] : queries_) {
     ContinuousQueryInfo info;
@@ -431,20 +447,20 @@ std::vector<ContinuousQueryInfo> Engine::Queries() const {
 }
 
 Result<BasketStats> Engine::StreamStats(std::string_view stream) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = baskets_.find(std::string(stream));
   if (it == baskets_.end()) return Status::NotFound("no such stream");
   return it->second->Stats();
 }
 
 Basket* Engine::GetBasket(std::string_view stream) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = baskets_.find(std::string(stream));
   return it == baskets_.end() ? nullptr : it->second.get();
 }
 
 FactoryPtr Engine::GetFactory(int query_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queries_.find(query_id);
   return it == queries_.end() ? nullptr : it->second.factory;
 }

@@ -22,7 +22,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "plan/explain.h"
 #include "storage/catalog.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -165,12 +165,19 @@ class Engine {
     ExecMode mode;
     FactoryPtr factory;
     std::shared_ptr<Basket> out_basket;
-    std::unique_ptr<Emitter> emitter;
+    // Shared so Pump/WaitIdle/TakeResults can snapshot it under mu_ and
+    // drain OUTSIDE the lock: sinks run inside Drain() and may re-enter
+    // the engine, and a concurrent RemoveContinuous must not leave a
+    // drainer holding a dangling pointer.
+    std::shared_ptr<Emitter> emitter;
     std::shared_ptr<ResultCollector> collector;  // when no sink given
   };
 
   Status ExecuteOne(const sql::Statement& stmt);
   Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
+  /// Shared handles to every live emitter, for draining outside mu_.
+  std::vector<std::shared_ptr<Emitter>> SnapshotEmitters() const
+      DC_EXCLUDES(mu_);
   /// Space-wait budget for PushRow/PushColumns: block in threaded mode,
   /// fail fast in synchronous mode (blocking would self-deadlock — only
   /// the pushing thread could ever Pump()).
@@ -179,12 +186,12 @@ class Engine {
   const EngineOptions options_;
   Catalog catalog_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Basket>> baskets_;
-  std::map<int, QueryEntry> queries_;
-  std::map<int, std::unique_ptr<Receptor>> receptors_;
-  int next_query_id_ = 1;
-  int next_receptor_id_ = 1;
+  mutable Mutex mu_{LockRank::kEngine};
+  std::map<std::string, std::shared_ptr<Basket>> baskets_ DC_GUARDED_BY(mu_);
+  std::map<int, QueryEntry> queries_ DC_GUARDED_BY(mu_);
+  std::map<int, std::unique_ptr<Receptor>> receptors_ DC_GUARDED_BY(mu_);
+  int next_query_id_ DC_GUARDED_BY(mu_) = 1;
+  int next_receptor_id_ DC_GUARDED_BY(mu_) = 1;
 
   // Declared last so it is destroyed first: scheduler entries hold factory
   // references whose destructors unregister basket readers — the baskets

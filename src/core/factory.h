@@ -18,7 +18,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "exec/executor.h"
 #include "storage/table.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -125,30 +125,34 @@ class Factory {
           std::shared_ptr<exec::QueryExecutor> executor, ExecMode mode,
           std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output);
 
-  Status Validate();
+  /// Runs pre-publication from Create, which takes mu_ around the call so
+  /// the analysis can check Validate's guarded writes.
+  Status Validate() DC_REQUIRES(mu_);
 
-  bool CheckReadyLocked() const;
-  Status FireLocked();
-  Status FirePerBatch();
-  Status FireSingleWindow();
-  Status FireDualWindow();
+  bool CheckReadyLocked() const DC_REQUIRES(mu_);
+  Status FireLocked() DC_REQUIRES(mu_);
+  Status FirePerBatch() DC_REQUIRES(mu_);
+  Status FireSingleWindow() DC_REQUIRES(mu_);
+  Status FireDualWindow() DC_REQUIRES(mu_);
 
   /// Initializes the first RANGE emission boundary from the earliest
   /// resident event; returns false if no data yet.
-  bool EnsureRangeOrigin(int rel, int64_t* m) const;
+  bool EnsureRangeOrigin(int rel, int64_t* m) const DC_REQUIRES(mu_);
 
   /// RANGE-window readiness of one stream side at boundary m, including
   /// the sealed-stream flush rule.
-  bool RangeSideReady(int rel, const WindowMath& wm, int64_t m) const;
+  bool RangeSideReady(int rel, const WindowMath& wm, int64_t m) const
+      DC_REQUIRES(mu_);
 
   /// Reads the stream rows of stream input `rel` covering [lo, hi) in the
   /// window coordinate space (seqs for ROWS, event ts for RANGE).
   Result<exec::StageInput> ReadStreamExtent(int rel, bool rows_mode,
-                                            int64_t lo, int64_t hi) const;
+                                            int64_t lo, int64_t hi) const
+      DC_REQUIRES(mu_);
 
-  exec::StageInput TableInput(int rel) const;
+  exec::StageInput TableInput(int rel) const DC_REQUIRES(mu_);
 
-  Status EmitResult(const ColumnSet& result);
+  Status EmitResult(const ColumnSet& result) DC_REQUIRES(mu_);
 
   /// Incremental caches. `compact_` holds per-(rel, basic-window) prejoin
   /// outputs (kept when a second relation needs re-joining); `partials_`
@@ -166,33 +170,37 @@ class Factory {
   };
 
   Result<const exec::StageInput*> EnsureCompact(int rel, bool rows_mode,
-                                                int64_t bw);
+                                                int64_t bw) DC_REQUIRES(mu_);
   Result<const exec::Partial*> EnsureSinglePartial(int64_t bw, bool rows_mode,
-                                                   uint64_t table_version);
+                                                   uint64_t table_version)
+      DC_REQUIRES(mu_);
 
   /// Reads and prejoins basic window `bw` of stream `rel` (RANGE mode).
   /// Each basic window is prejoined exactly once per side — the result is
   /// appended to the rolling retained-side state, never recomputed.
-  Result<exec::StageOutput> PrejoinBasicWindow(int rel, int64_t bw);
+  Result<exec::StageOutput> PrejoinBasicWindow(int rel, int64_t bw)
+      DC_REQUIRES(mu_);
 
   /// One incremental stream-stream emission: delta-join the newest basic
   /// window against the retained window, bucket new pairs by expiry, and
   /// merge all live partials.
   Status FireDualWindowDelta(int64_t m, const WindowMath& wl,
-                             const WindowMath& wr);
+                             const WindowMath& wr) DC_REQUIRES(mu_);
 
   /// Row-pairing delta step: appends the new basic window(s) to each
   /// side's rolling concatenation, runs the indexed delta postjoin, and
   /// files the new pairs into expiry-keyed partials.
   Status FireDeltaRows(int64_t m, int64_t lfirst, int64_t rfirst, int64_t nl,
-                       int64_t nr);
+                       int64_t nr) DC_REQUIRES(mu_);
 
   /// Pre-aggregated delta step (compiled().delta_pre_agg.eligible): pairs
   /// per-key groups instead of rows and accumulates expiry-bucketed
   /// scalar aggregate states directly (product rule).
   Status FireDeltaPreAgg(int64_t m, int64_t lfirst, int64_t rfirst,
-                         int64_t nl, int64_t nr);
+                         int64_t nl, int64_t nr) DC_REQUIRES(mu_);
 
+  // Immutable after construction (Validate only reads them): safe without
+  // mu_, e.g. for InputBaskets() and the destructor's reader unregistration.
   const int id_;
   const std::string name_;
   std::shared_ptr<exec::QueryExecutor> executor_;
@@ -200,50 +208,55 @@ class Factory {
   std::vector<FactoryInput> inputs_;
   std::shared_ptr<Basket> output_;
 
-  Shape shape_ = Shape::kPerBatch;
-  int stream_rels_[2] = {-1, -1};  // relation indices of stream inputs
-  int table_rel_ = -1;             // relation index of the table input
-  bool incremental_active_ = false;
+  mutable Mutex mu_{LockRank::kFactory};
+
+  Shape shape_ DC_GUARDED_BY(mu_) = Shape::kPerBatch;
+  // Relation indices of the stream inputs / the table input.
+  int stream_rels_[2] DC_GUARDED_BY(mu_) = {-1, -1};
+  int table_rel_ DC_GUARDED_BY(mu_) = -1;
+  bool incremental_active_ DC_GUARDED_BY(mu_) = false;
   /// Dual-window delta state: false until the first incremental emission
   /// joined the whole initial window (everything "new"); afterwards each
   /// emission delta-joins only basic window m-1.
-  bool delta_seeded_ = false;
+  bool delta_seeded_ DC_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex mu_;
-  bool paused_ = false;
-  bool failed_ = false;
-  std::string last_error_;
+  bool paused_ DC_GUARDED_BY(mu_) = false;
+  bool failed_ DC_GUARDED_BY(mu_) = false;
+  std::string last_error_ DC_GUARDED_BY(mu_);
 
   // Per-batch cursor (kPerBatch).
-  uint64_t batch_cursor_ = 0;
+  uint64_t batch_cursor_ DC_GUARDED_BY(mu_) = 0;
 
-  // Window progression (kSingleWindow / kDualWindow).
-  mutable std::optional<int64_t> next_emission_;  // k (ROWS) or m (RANGE)
+  // Window progression (kSingleWindow / kDualWindow); k (ROWS) or
+  // m (RANGE), advanced lazily by the readiness probe.
+  mutable std::optional<int64_t> next_emission_ DC_GUARDED_BY(mu_);
 
   // Registration-time cursor per relation slot (window coordinates for
   // ROWS windows are relative to this origin).
-  std::vector<uint64_t> origin_seq_;
+  std::vector<uint64_t> origin_seq_ DC_GUARDED_BY(mu_);
 
-  std::map<std::pair<int, int64_t>, exec::StageInput> compact_;
-  std::map<PartialKey, exec::Partial> partials_;
-  std::map<PartialKey, uint64_t> partial_versions_;
-  std::optional<exec::StageInput> table_compact_;
-  uint64_t table_compact_version_ = 0;
+  std::map<std::pair<int, int64_t>, exec::StageInput> compact_
+      DC_GUARDED_BY(mu_);
+  std::map<PartialKey, exec::Partial> partials_ DC_GUARDED_BY(mu_);
+  std::map<PartialKey, uint64_t> partial_versions_ DC_GUARDED_BY(mu_);
+  std::optional<exec::StageInput> table_compact_ DC_GUARDED_BY(mu_);
+  uint64_t table_compact_version_ DC_GUARDED_BY(mu_) = 0;
 
   /// Rolling retained-side state per join side (kDualWindow incremental):
   /// the row path uses delta_side_, the pre-aggregated path delta_groups_.
-  exec::DeltaSideState delta_side_[2];
-  exec::DeltaGroupTrack delta_groups_[2];
+  exec::DeltaSideState delta_side_[2] DC_GUARDED_BY(mu_);
+  exec::DeltaGroupTrack delta_groups_[2] DC_GUARDED_BY(mu_);
   /// Per aggregate: its index among its side's local aggregates (parallel
   /// to delta_pre_agg.agg_side), or -1 for COUNT(*).
-  std::vector<int> preagg_local_;
+  std::vector<int> preagg_local_ DC_GUARDED_BY(mu_);
   /// Reusable expiry-bucket scratch, indexed expiry - (m + 1); every pair
   /// created at emission m expires in [m + 1, m + min(nl, nr)].
-  std::vector<std::vector<Oid>> expiry_rows_;                // row path
-  std::vector<std::vector<ops::AggState>> expiry_states_;    // pre-agg path
-  std::vector<uint8_t> expiry_dirty_;                        // pre-agg path
+  std::vector<std::vector<Oid>> expiry_rows_ DC_GUARDED_BY(mu_);  // row path
+  std::vector<std::vector<ops::AggState>> expiry_states_
+      DC_GUARDED_BY(mu_);                               // pre-agg path
+  std::vector<uint8_t> expiry_dirty_ DC_GUARDED_BY(mu_);  // pre-agg path
 
-  FactoryStats stats_;
+  FactoryStats stats_ DC_GUARDED_BY(mu_);
 };
 
 using FactoryPtr = std::shared_ptr<Factory>;

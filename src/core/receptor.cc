@@ -19,13 +19,13 @@ Receptor::~Receptor() { Stop(); }
 
 void Receptor::Start() {
   if (thread_.joinable()) return;
-  start_time_ = SteadyMicros();
+  start_time_.store(SteadyMicros());
   thread_ = std::thread([this] { Run(); });
 }
 
 void Receptor::Stop() {
   stop_.store(true);
-  pause_cv_.notify_all();  // interrupt a pacing sleep
+  pause_cv_.NotifyAll();  // interrupt a pacing sleep
   if (thread_.joinable()) thread_.join();
 }
 
@@ -34,19 +34,19 @@ void Receptor::WaitFinished() {
 }
 
 void Receptor::Pause() {
-  std::unique_lock<std::mutex> lock(pause_mu_);
+  MutexLock lock(pause_mu_);
   paused_.store(true);
-  pause_cv_.notify_all();  // interrupt a pacing sleep so the ack is prompt
+  pause_cv_.NotifyAll();  // interrupt a pacing sleep so the ack is prompt
   // Wait for the ingestion thread to acknowledge (or to have finished):
   // an in-flight batch may still land during this wait, but once Pause()
   // returns nothing more reaches the basket until Resume().
-  pause_cv_.wait(lock, [this] {
-    return pause_acked_ || finished_.load() || !thread_.joinable();
-  });
+  while (!pause_acked_ && !finished_.load() && thread_.joinable()) {
+    pause_cv_.Wait(pause_mu_);
+  }
 }
 
 void Receptor::Resume() {
-  std::lock_guard<std::mutex> lock(pause_mu_);
+  MutexLock lock(pause_mu_);
   paused_.store(false);
   pause_acked_ = false;
 }
@@ -60,7 +60,8 @@ ReceptorStats Receptor::Stats() const {
   s.parked = parked_.load();
   s.parks = parks_.load();
   s.parked_micros = parked_micros_.load();
-  s.running_micros = start_time_ == 0 ? 0 : SteadyMicros() - start_time_;
+  const Micros started = start_time_.load();
+  s.running_micros = started == 0 ? 0 : SteadyMicros() - started;
   return s;
 }
 
@@ -99,10 +100,10 @@ void Receptor::Run() {
   // stale ack with an append still landing.
   auto ack_pause_and_idle = [&] {
     {
-      std::lock_guard<std::mutex> lock(pause_mu_);
+      MutexLock lock(pause_mu_);
       if (paused_.load()) pause_acked_ = true;
     }
-    pause_cv_.notify_all();
+    pause_cv_.NotifyAll();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   };
 
@@ -175,9 +176,12 @@ void Receptor::Run() {
       if (next_deadline > now) {
         // Interruptible pacing sleep: Pause()/Stop() must not have to wait
         // out the full inter-batch gap (batch_rows/rate can be seconds).
-        std::unique_lock<std::mutex> lock(pause_mu_);
-        pause_cv_.wait_for(lock, std::chrono::microseconds(next_deadline - now),
-                           [this] { return paused_.load() || stop_.load(); });
+        MutexLock lock(pause_mu_);
+        while (!paused_.load() && !stop_.load()) {
+          const Micros cur = SteadyMicros();
+          if (cur >= next_deadline) break;
+          pause_cv_.WaitFor(pause_mu_, next_deadline - cur);
+        }
       } else if (now - next_deadline > kMicrosPerSecond) {
         next_deadline = now;  // fell behind badly; do not burst-catch-up
       }
@@ -186,10 +190,10 @@ void Receptor::Run() {
   flush();
   {
     // Under pause_mu_ so a concurrent Pause() cannot miss the wakeup.
-    std::lock_guard<std::mutex> lock(pause_mu_);
+    MutexLock lock(pause_mu_);
     finished_.store(true);
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
   if (options_.seal_on_finish && !stop_.load()) basket_->Seal();
 }
 

@@ -17,10 +17,8 @@
 #define DATACELL_CORE_RECEPTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +26,7 @@
 #include "core/basket.h"
 #include "util/clock.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -91,15 +90,16 @@ class Receptor {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> finished_{false};
-  std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool pause_acked_ = false;  // guarded by pause_mu_
+  Mutex pause_mu_{LockRank::kReceptorPause};
+  CondVar pause_cv_;
+  bool pause_acked_ DC_GUARDED_BY(pause_mu_) = false;
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<bool> parked_{false};
   std::atomic<uint64_t> parks_{0};
   std::atomic<int64_t> parked_micros_{0};
-  Micros start_time_ = 0;
+  // Written by Start(), read by Stats() from any thread.
+  std::atomic<Micros> start_time_{0};
 };
 
 /// Builds a RowGen replaying a CSV file against the basket schema.

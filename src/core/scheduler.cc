@@ -1,7 +1,8 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "util/clock.h"
 
 #include "util/logging.h"
 
@@ -22,7 +23,7 @@ Scheduler::~Scheduler() {
   // Baskets are required to outlive the scheduler (see header).
   std::vector<std::pair<Basket*, int>> listeners;
   {
-    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    WriterLock reg(reg_mu_);
     for (auto& [basket, arcs] : arcs_) {
       if (arcs.listener_id >= 0) listeners.emplace_back(basket, arcs.listener_id);
     }
@@ -41,7 +42,7 @@ int Scheduler::ShardOf(int factory_id) const {
 void Scheduler::AddFactory(FactoryPtr factory) {
   const int id = factory->id();
   {
-    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    WriterLock reg(reg_mu_);
     auto entry = std::make_unique<Entry>();
     entry->factory = std::move(factory);
     entry->shard = ShardOf(id);
@@ -60,14 +61,16 @@ void Scheduler::RemoveFactory(int factory_id) {
   while (true) {
     bool quiesced = false;
     {
-      std::shared_lock<std::shared_mutex> reg(reg_mu_);
+      ReaderLock reg(reg_mu_);
       auto it = entries_.find(factory_id);
       if (it == entries_.end()) return;
       Entry& e = *it->second;
       Shard& s = *shards_[e.shard];
-      std::unique_lock<std::mutex> lock(s.mu);
-      s.cv.wait_for(lock, std::chrono::milliseconds(1),
-                    [&] { return e.state != EntryState::kRunning; });
+      MutexLock lock(s.mu);
+      if (e.state == EntryState::kRunning) {
+        // One 1 ms slice; the outer loop re-takes reg_mu_ and re-checks.
+        s.cv.WaitFor(s.mu, 1000);
+      }
       if (e.state != EntryState::kRunning) {
         if (e.state == EntryState::kQueued) std::erase(s.ready, factory_id);
         e.state = EntryState::kRemoving;  // blocks re-enqueue until unlinked
@@ -79,7 +82,7 @@ void Scheduler::RemoveFactory(int factory_id) {
   // Phase 2: unlink the registration and every arc pointing at it.
   std::vector<std::pair<Basket*, int>> dead_listeners;
   {
-    std::unique_lock<std::shared_mutex> reg(reg_mu_);
+    WriterLock reg(reg_mu_);
     entries_.erase(factory_id);
     for (auto it = arcs_.begin(); it != arcs_.end();) {
       std::erase(it->second.factory_ids, factory_id);
@@ -97,7 +100,7 @@ void Scheduler::RemoveFactory(int factory_id) {
 }
 
 std::vector<FactoryPtr> Scheduler::Factories() const {
-  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  ReaderLock reg(reg_mu_);
   std::vector<FactoryPtr> out;
   out.reserve(entries_.size());
   for (const auto& [id, e] : entries_) out.push_back(e->factory);
@@ -105,7 +108,7 @@ std::vector<FactoryPtr> Scheduler::Factories() const {
 }
 
 void Scheduler::AttachArc(Basket* basket, int factory_id) {
-  std::unique_lock<std::shared_mutex> reg(reg_mu_);
+  WriterLock reg(reg_mu_);
   ArcList& arcs = arcs_[basket];
   if (std::find(arcs.factory_ids.begin(), arcs.factory_ids.end(),
                 factory_id) != arcs.factory_ids.end()) {
@@ -122,7 +125,7 @@ bool Scheduler::EnqueueIfIdleLocked(int factory_id) {
   if (it == entries_.end()) return false;
   Entry& e = *it->second;
   Shard& s = *shards_[e.shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (e.state != EntryState::kIdle) return false;
   e.state = EntryState::kQueued;
   s.ready.push_back(factory_id);
@@ -135,7 +138,7 @@ bool Scheduler::EnqueueIfIdleLocked(int factory_id) {
 void Scheduler::WakeWorkers(int newly_queued) {
   if (newly_queued <= 0) return;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     wake_tokens_ += static_cast<uint64_t>(newly_queued);
   }
   // With stealing on, any woken worker can claim the work, so one wake per
@@ -143,9 +146,9 @@ void Scheduler::WakeWorkers(int newly_queued) {
   // notify_one might pick a non-owner that consumes the token and parks
   // again, stranding the entry until the fallback tick. Wake everyone.
   if (newly_queued == 1 && options_.work_stealing) {
-    idle_cv_.notify_one();
+    idle_cv_.NotifyOne();
   } else {
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -153,7 +156,7 @@ void Scheduler::Pulse(Basket* basket) {
   notifications_.fetch_add(1, std::memory_order_relaxed);
   int enqueued = 0;
   {
-    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    ReaderLock reg(reg_mu_);
     auto it = arcs_.find(basket);
     if (it == arcs_.end()) return;
     for (int id : it->second.factory_ids) {
@@ -167,7 +170,7 @@ void Scheduler::Notify() {
   notifications_.fetch_add(1, std::memory_order_relaxed);
   int enqueued = 0;
   {
-    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    ReaderLock reg(reg_mu_);
     for (const auto& [id, e] : entries_) {
       if (EnqueueIfIdleLocked(id)) ++enqueued;
     }
@@ -178,14 +181,14 @@ void Scheduler::Notify() {
 void Scheduler::NotifyFactory(int factory_id) {
   int enqueued = 0;
   {
-    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    ReaderLock reg(reg_mu_);
     if (EnqueueIfIdleLocked(factory_id)) enqueued = 1;
   }
   WakeWorkers(enqueued);
 }
 
 bool Scheduler::ClaimNext(int worker_index, Claimed* out) {
-  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  ReaderLock reg(reg_mu_);
   const int num_shards = static_cast<int>(shards_.size());
   const int num_workers = std::max(1, options_.num_workers);
   // Pass 0: FIFO-pop the shards this worker owns. Pass 1: steal from the
@@ -197,7 +200,7 @@ bool Scheduler::ClaimNext(int worker_index, Claimed* out) {
       const bool owned = (si % num_workers) == worker_index;
       if ((pass == 0) != owned) continue;
       Shard& s = *shards_[si];
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       while (!s.ready.empty()) {
         int id;
         if (pass == 0) {
@@ -223,12 +226,12 @@ bool Scheduler::ClaimNext(int worker_index, Claimed* out) {
 }
 
 bool Scheduler::TryClaimById(int factory_id) {
-  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  ReaderLock reg(reg_mu_);
   auto it = entries_.find(factory_id);
   if (it == entries_.end()) return false;
   Entry& e = *it->second;
   Shard& s = *shards_[e.shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (e.state == EntryState::kQueued) {
     std::erase(s.ready, factory_id);
   } else if (e.state != EntryState::kIdle) {
@@ -241,12 +244,12 @@ bool Scheduler::TryClaimById(int factory_id) {
 void Scheduler::CompleteFire(const Claimed& c, bool fired, bool error,
                              bool requeue) {
   {
-    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    ReaderLock reg(reg_mu_);
     auto it = entries_.find(c.id);
     if (it != entries_.end()) {
       Entry& e = *it->second;
       Shard& s = *shards_[e.shard];
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       if (fired) {
         ++s.stats.fires;
         if (error) ++s.stats.fire_errors;
@@ -255,7 +258,7 @@ void Scheduler::CompleteFire(const Claimed& c, bool fired, bool error,
       }
       e.state = EntryState::kIdle;
       // A RemoveFactory() may be waiting for this entry to stop running.
-      s.cv.notify_all();
+      s.cv.NotifyAll();
     }
   }
   // A factory can be multiply enabled (several windows completed by one
@@ -278,13 +281,17 @@ void Scheduler::WorkerLoop(int worker_index) {
       CompleteFire(c, fired, error, /*requeue=*/true);
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     if (stop_) return;
     if (wake_tokens_ == 0) {
       // Event-driven wait with a fallback tick (guards against wake
       // tokens lost to claim races).
-      idle_cv_.wait_for(lock, std::chrono::milliseconds(20),
-                        [&] { return stop_ || wake_tokens_ > 0; });
+      const Micros deadline = SteadyMicros() + 20000;
+      while (!stop_ && wake_tokens_ == 0) {
+        const Micros now = SteadyMicros();
+        if (now >= deadline) break;
+        idle_cv_.WaitFor(idle_mu_, deadline - now);
+      }
     }
     if (stop_) return;
     if (wake_tokens_ > 0) --wake_tokens_;
@@ -292,7 +299,7 @@ void Scheduler::WorkerLoop(int worker_index) {
 }
 
 void Scheduler::Start() {
-  std::lock_guard<std::mutex> lock(idle_mu_);
+  MutexLock lock(idle_mu_);
   if (running_) return;
   running_ = true;
   stop_ = false;
@@ -303,16 +310,30 @@ void Scheduler::Start() {
 }
 
 void Scheduler::Stop() {
+  // Exactly one caller becomes the joiner; it takes ownership of the
+  // worker threads under idle_mu_ and joins them outside it. A concurrent
+  // Stop() waits for the joiner to finish instead of double-joining the
+  // same std::thread objects, and only returns once the pool is down.
+  // running_ stays true until the join completes so Start() cannot launch
+  // a second pool mid-teardown.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
+    while (stopping_) idle_cv_.Wait(idle_mu_);
     if (!running_) return;
+    stopping_ = true;
     stop_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
   }
-  idle_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
-  std::lock_guard<std::mutex> lock(idle_mu_);
-  running_ = false;
+  idle_cv_.NotifyAll();
+  for (std::thread& t : workers) t.join();
+  {
+    MutexLock lock(idle_mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+  idle_cv_.NotifyAll();
 }
 
 int Scheduler::DrainReady() {
@@ -321,7 +342,7 @@ int Scheduler::DrainReady() {
     // Deterministic pass: probe and fire in factory-id order.
     std::vector<Claimed> snapshot;
     {
-      std::shared_lock<std::shared_mutex> reg(reg_mu_);
+      ReaderLock reg(reg_mu_);
       snapshot.reserve(entries_.size());
       for (const auto& [id, e] : entries_) {
         snapshot.push_back(Claimed{id, e->factory});
@@ -344,11 +365,11 @@ int Scheduler::DrainReady() {
 bool Scheduler::AnyBusyOrReady() const {
   std::vector<FactoryPtr> factories;
   {
-    std::shared_lock<std::shared_mutex> reg(reg_mu_);
+    ReaderLock reg(reg_mu_);
     factories.reserve(entries_.size());
     for (const auto& [id, e] : entries_) {
       Shard& s = *shards_[e->shard];
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       if (e->state == EntryState::kRunning) return true;
       factories.push_back(e->factory);
     }
@@ -365,7 +386,7 @@ SchedulerStats Scheduler::Stats() const {
   out.shards.reserve(shards_.size());
   for (const auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     SchedulerShardStats ss = s.stats;
     ss.queue_depth = s.ready.size();
     out.fires += ss.fires;

@@ -31,11 +31,14 @@
 // Such drops are counted as `spurious_pops` — cheap, and the price of
 // keeping producers out of factory locks.
 //
-// Lock ordering (deadlock-freedom invariant):
+// Lock ordering (deadlock-freedom invariant): the scheduler owns three
+// consecutive ranks of the engine lock hierarchy, acquired in the order
 //   registry lock (reg_mu_)  ->  shard lock  ->  idle lock / basket lock
-// and Factory::CheckReady()/Fire() are only ever called with NO scheduler
-// lock held: a firing factory appends to its output basket, whose pulse
-// listeners re-enter the scheduler (Pulse -> reg_mu_ -> shard lock).
+// — see docs/CONCURRENCY.md for the full ranked table, which the debug
+// lock validator enforces at runtime. Factory::CheckReady()/Fire() are
+// only ever called with NO scheduler lock held: a firing factory appends
+// to its output basket, whose pulse listeners re-enter the scheduler
+// (Pulse -> reg_mu_ -> shard lock).
 //
 // Lifetime: baskets passed to AttachArc must outlive the scheduler (the
 // destructor unregisters its pulse listeners from them). Engine satisfies
@@ -45,16 +48,14 @@
 #define DATACELL_CORE_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "core/factory.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -169,15 +170,19 @@ class Scheduler {
 
   struct Entry {
     FactoryPtr factory;
-    int shard = 0;                       // home shard: id % num_shards
-    EntryState state = EntryState::kIdle;  // guarded by the home shard lock
+    int shard = 0;  // home shard: id % num_shards
+    // Guarded by the home shard's lock (shards_[shard]->mu) — an indexed
+    // capability Clang TSA cannot express, so the contract is enforced by
+    // the rank validator + TSan rather than GUARDED_BY.
+    EntryState state = EntryState::kIdle;
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;  // pulsed on state changes (remove waiters)
-    std::deque<int> ready;       // queued factory ids homed on this shard
-    SchedulerShardStats stats;   // guarded by mu
+    mutable Mutex mu{LockRank::kSchedShard};
+    CondVar cv;  // pulsed on state changes (remove waiters)
+    // Queued factory ids homed on this shard.
+    std::deque<int> ready DC_GUARDED_BY(mu);
+    SchedulerShardStats stats DC_GUARDED_BY(mu);
   };
 
   /// Arcs of one basket plus the pulse listener that feeds them.
@@ -195,8 +200,7 @@ class Scheduler {
   /// Data-arrival pulse from `basket` (wired as its listener).
   void Pulse(Basket* basket);
   /// kIdle -> kQueued on the home shard; false if absent or not idle.
-  /// Caller must hold reg_mu_ (shared suffices).
-  bool EnqueueIfIdleLocked(int factory_id);
+  bool EnqueueIfIdleLocked(int factory_id) DC_REQUIRES_SHARED(reg_mu_);
   void WakeWorkers(int newly_queued);
   /// Pops the next queued factory: owned shards FIFO first, then (if
   /// stealing) other shards LIFO. Transitions the entry to kRunning.
@@ -215,22 +219,26 @@ class Scheduler {
   /// Registration bookkeeping: the factory registry and the basket arcs.
   /// Hot-path readers take it shared; AddFactory/RemoveFactory/AttachArc
   /// take it unique. Never held across CheckReady()/Fire().
-  mutable std::shared_mutex reg_mu_;
-  std::map<int, std::unique_ptr<Entry>> entries_;  // id-ordered (DrainReady)
-  std::map<Basket*, ArcList> arcs_;
+  mutable SharedMutex reg_mu_{LockRank::kSchedRegistry};
+  // Id-ordered map so DrainReady fires deterministically.
+  std::map<int, std::unique_ptr<Entry>> entries_ DC_GUARDED_BY(reg_mu_);
+  std::map<Basket*, ArcList> arcs_ DC_GUARDED_BY(reg_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;  // fixed at construction
 
   /// Idle-worker parking lot: wake tokens are added per enqueue so a
   /// pulse on any shard wakes a sleeper promptly; a 20ms fallback tick
   /// guards against token loss under races (workers re-scan all shards).
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  uint64_t wake_tokens_ = 0;  // guarded by idle_mu_
-  bool running_ = false;      // guarded by idle_mu_
-  bool stop_ = false;         // guarded by idle_mu_
+  Mutex idle_mu_{LockRank::kSchedIdle};
+  CondVar idle_cv_;
+  uint64_t wake_tokens_ DC_GUARDED_BY(idle_mu_) = 0;
+  bool running_ DC_GUARDED_BY(idle_mu_) = false;
+  bool stop_ DC_GUARDED_BY(idle_mu_) = false;
+  /// True while one Stop() is joining workers; a concurrent Stop() waits
+  /// for it instead of double-joining the same threads.
+  bool stopping_ DC_GUARDED_BY(idle_mu_) = false;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ DC_GUARDED_BY(idle_mu_);
   std::atomic<uint64_t> notifications_{0};
 };
 

@@ -17,7 +17,7 @@ void AnalysisPane::Record(const std::string& metric, Micros t, double value) {
 
 void AnalysisPane::Sample(Engine& engine) {
   const Micros now = SteadyMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   auto rate = [&](const std::string& metric, double cumulative) {
     auto it = prev_counter_.find(metric);
@@ -99,7 +99,7 @@ void AnalysisPane::Sample(Engine& engine) {
 }
 
 std::vector<std::string> AnalysisPane::MetricNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, dq] : series_) out.push_back(name);
   return out;
@@ -107,7 +107,7 @@ std::vector<std::string> AnalysisPane::MetricNames() const {
 
 Result<SeriesAggregate> AnalysisPane::Aggregate(const std::string& metric,
                                                 Micros period_us) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = series_.find(metric);
   if (it == series_.end()) {
     return Status::NotFound("unknown metric '" + metric + "'");
@@ -135,7 +135,7 @@ Result<SeriesAggregate> AnalysisPane::Aggregate(const std::string& metric,
 
 Result<std::vector<SamplePoint>> AnalysisPane::Series(
     const std::string& metric) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = series_.find(metric);
   if (it == series_.end()) {
     return Status::NotFound("unknown metric '" + metric + "'");
@@ -144,7 +144,7 @@ Result<std::vector<SamplePoint>> AnalysisPane::Series(
 }
 
 std::string AnalysisPane::ToCsv() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::set<Micros> instants;
   for (const auto& [name, dq] : series_) {
     for (const SamplePoint& p : dq) instants.insert(p.t);

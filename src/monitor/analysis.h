@@ -10,12 +10,12 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace dc::monitor {
 
@@ -65,13 +65,17 @@ class AnalysisPane {
   std::string RenderSummary(Micros period_us = 0) const;
 
  private:
-  void Record(const std::string& metric, Micros t, double value);
+  void Record(const std::string& metric, Micros t, double value)
+      DC_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::deque<SamplePoint>> series_;
+  // kMonitor is the outermost rank: Sample() holds mu_ while calling into
+  // the engine's introspection surface (engine/basket/factory locks).
+  mutable Mutex mu_{LockRank::kMonitor};
+  std::map<std::string, std::deque<SamplePoint>> series_ DC_GUARDED_BY(mu_);
   // Previous cumulative counters for rate computation.
-  std::map<std::string, std::pair<Micros, double>> prev_counter_;
+  std::map<std::string, std::pair<Micros, double>> prev_counter_
+      DC_GUARDED_BY(mu_);
 };
 
 }  // namespace dc::monitor

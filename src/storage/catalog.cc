@@ -9,7 +9,7 @@ bool Catalog::NameTakenLocked(const std::string& name) const {
 }
 
 Status Catalog::RegisterTable(TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (NameTakenLocked(table->name())) {
     return Status::AlreadyExists(
         StrFormat("name '%s' already in catalog", table->name().c_str()));
@@ -19,7 +19,7 @@ Status Catalog::RegisterTable(TablePtr table) {
 }
 
 Status Catalog::RegisterStream(StreamDef def) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (NameTakenLocked(def.name)) {
     return Status::AlreadyExists(
         StrFormat("name '%s' already in catalog", def.name.c_str()));
@@ -38,7 +38,7 @@ Status Catalog::RegisterStream(StreamDef def) {
 }
 
 Result<TablePtr> Catalog::GetTable(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(std::string(name));
   if (it == tables_.end()) {
     return Status::NotFound(StrFormat("no table named '%.*s'",
@@ -49,7 +49,7 @@ Result<TablePtr> Catalog::GetTable(std::string_view name) const {
 }
 
 Result<StreamDef> Catalog::GetStream(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(std::string(name));
   if (it == streams_.end()) {
     return Status::NotFound(StrFormat("no stream named '%.*s'",
@@ -60,17 +60,17 @@ Result<StreamDef> Catalog::GetStream(std::string_view name) const {
 }
 
 bool Catalog::IsStream(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return streams_.count(std::string(name)) > 0;
 }
 
 bool Catalog::IsTable(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(std::string(name)) > 0;
 }
 
 Status Catalog::DropTable(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.erase(std::string(name)) == 0) {
     return Status::NotFound("table not found");
   }
@@ -78,7 +78,7 @@ Status Catalog::DropTable(std::string_view name) {
 }
 
 Status Catalog::DropStream(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (streams_.erase(std::string(name)) == 0) {
     return Status::NotFound("stream not found");
   }
@@ -86,14 +86,14 @@ Status Catalog::DropStream(std::string_view name) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [k, v] : tables_) out.push_back(k);
   return out;
 }
 
 std::vector<std::string> Catalog::StreamNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [k, v] : streams_) out.push_back(k);
   return out;

@@ -10,13 +10,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -51,11 +51,11 @@ class Catalog {
   std::vector<std::string> StreamNames() const;
 
  private:
-  bool NameTakenLocked(const std::string& name) const;
+  bool NameTakenLocked(const std::string& name) const DC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, TablePtr> tables_;
-  std::map<std::string, StreamDef> streams_;
+  mutable Mutex mu_{LockRank::kCatalog};
+  std::map<std::string, TablePtr> tables_ DC_GUARDED_BY(mu_);
+  std::map<std::string, StreamDef> streams_ DC_GUARDED_BY(mu_);
 };
 
 }  // namespace dc

@@ -18,7 +18,7 @@ Table::Table(std::string name, Schema schema)
 uint64_t Table::NumRows() const { return Snapshot()->NumRows(); }
 
 TableVersionPtr Table::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
@@ -61,7 +61,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
 
 Status Table::AppendColumns(const std::vector<BatPtr>& cols) {
   DC_RETURN_NOT_OK(CheckColumnsMatch(cols));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto next = std::make_shared<TableVersion>();
   next->version = current_->version + 1;
   next->cols.reserve(schema_.NumColumns());
@@ -80,7 +80,7 @@ Result<std::shared_ptr<const HashIndex>> Table::GetHashIndex(
   DC_ASSIGN_OR_RETURN(size_t ci, schema_.Find(column));
   TableVersionPtr snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (hash_indexes_[ci] != nullptr &&
         hash_indexes_[ci]->version() == current_->version) {
       return hash_indexes_[ci];
@@ -90,7 +90,7 @@ Result<std::shared_ptr<const HashIndex>> Table::GetHashIndex(
   // Build outside the lock; publish if still current.
   DC_ASSIGN_OR_RETURN(auto idx, HashIndex::Build(*snap->cols[ci],
                                                  snap->version));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (snap->version == current_->version) hash_indexes_[ci] = idx;
   return idx;
 }

@@ -11,7 +11,6 @@
 #define DATACELL_STORAGE_TABLE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "storage/index.h"
 #include "storage/schema.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace dc {
 
@@ -64,10 +64,11 @@ class Table {
   const std::string name_;
   const Schema schema_;
 
-  mutable std::mutex mu_;
-  TableVersionPtr current_;
+  mutable Mutex mu_{LockRank::kTable};
+  TableVersionPtr current_ DC_GUARDED_BY(mu_);
   // column index -> cached index (version-stamped).
-  std::vector<std::shared_ptr<const HashIndex>> hash_indexes_;
+  std::vector<std::shared_ptr<const HashIndex>> hash_indexes_
+      DC_GUARDED_BY(mu_);
 };
 
 using TablePtr = std::shared_ptr<Table>;

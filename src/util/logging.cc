@@ -3,13 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace dc {
 
 namespace {
 std::atomic<LogLevel> g_min_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+// kLogging is the absolute leaf rank: log statements may run while any
+// engine lock is held, so this mutex must never precede another.
+constinit Mutex g_log_mutex{LockRank::kLogging};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,7 +42,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   const char* base = strrchr(file_, '/');
   base = base ? base + 1 : file_;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base, line_,
           stream_.str().c_str());
 }

@@ -1,0 +1,43 @@
+// Copyright 2026 The DataCell Authors.
+//
+// MUST NOT COMPILE under Clang with -Werror=thread-safety. CMake's
+// configure step try_compile()s this file when DC_THREAD_SAFETY is ON and
+// fails the configure if it is *accepted* — proving the DC_GUARDED_BY /
+// DC_REQUIRES contracts in src/util/sync.h are still enforced and not
+// accidentally compiled out.
+//
+// Both violations below are the two misuse classes the analysis exists to
+// catch: touching a guarded field without the lock, and calling a
+// DC_REQUIRES helper without holding its capability.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpWithoutLock() {
+    // Violation 1: guarded field written without holding mu_.
+    ++value_;
+  }
+
+  void CallHelperWithoutLock() {
+    // Violation 2: DC_REQUIRES(mu_) helper invoked lock-free.
+    BumpLocked();
+  }
+
+ private:
+  void BumpLocked() DC_REQUIRES(mu_) { ++value_; }
+
+  dc::Mutex mu_{dc::LockRank::kLeaf};
+  int value_ DC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.BumpWithoutLock();
+  c.CallHelperWithoutLock();
+  return 0;
+}

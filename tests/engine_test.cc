@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "tests/test_util.h"
 #include "util/string_util.h"
 
@@ -201,6 +203,54 @@ TEST_F(EngineTest, ExplainShowsPlanTransformation) {
   EXPECT_NE(incr->find("basket.candidates"), std::string::npos);
   EXPECT_NE(incr->find("per basic window"), std::string::npos);
   EXPECT_NE(incr->find("merge"), std::string::npos);
+}
+
+// Regression: Pump()/WaitIdle()/TakeResults() used to hold the engine
+// registry lock across emitter drains, so a sink that re-enters the
+// engine (the monitor does exactly this) self-deadlocked. Drains now run
+// on a snapshot outside the lock; under the lock-rank validator the
+// re-entry is also checked (kEmitterDrain < kEngine).
+TEST_F(EngineTest, SinkMayReenterEngineDuringPump) {
+  Exec("CREATE STREAM s (ts timestamp, v int)");
+  int reentries = 0;
+  Engine::ContinuousOptions opts;
+  opts.name = "reenter";
+  opts.sink = [&](const ColumnSet&) {
+    // Introspection re-entry, as the analysis pane performs per sample.
+    EXPECT_FALSE(engine_.Queries().empty());
+    EXPECT_TRUE(engine_.StreamStats("s").ok());
+    ++reentries;
+  };
+  auto qid = engine_.SubmitContinuous("SELECT v FROM s", opts);
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    PushPump("s", {Value::Ts(i), Value::I64(i)});
+  }
+  EXPECT_GE(reentries, 1);
+}
+
+// Regression: TakeResults() snapshotted a raw Emitter* under the lock and
+// drained it after release, so a concurrent RemoveContinuous() destroyed
+// the emitter mid-drain (use-after-free under ASan). The entry now holds
+// a shared_ptr that drainers copy.
+TEST(EngineConcurrencyTest, TakeResultsRacesRemoveContinuous) {
+  Engine engine;  // threaded mode: 2 scheduler workers
+  ASSERT_TRUE(
+      engine.Execute("CREATE STREAM s (ts timestamp, v int)").ok());
+  for (int round = 0; round < 25; ++round) {
+    auto qid = engine.SubmitContinuous("SELECT v FROM s");
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(engine.PushRow("s", {Value::Ts(i), Value::I64(i)}).ok());
+    }
+    std::thread taker([&] {
+      // Races the removal: NotFound after the removal wins is expected.
+      for (int i = 0; i < 16; ++i) (void)engine.TakeResults(*qid);
+    });
+    std::thread remover([&] { (void)engine.RemoveContinuous(*qid); });
+    taker.join();
+    remover.join();
+  }
 }
 
 TEST_F(EngineTest, ErrorsSurfaceCleanly) {

@@ -43,6 +43,28 @@ TEST(ReceptorTest, IngestsEverythingAndSeals) {
   EXPECT_EQ(view.cols[1]->I64Data()[99], 99);
 }
 
+// Regression: start_time_ was a plain Micros written by Start() and read
+// by Stats() from other threads — a data race TSan flags. It is atomic
+// now; this test keeps the racing pair exercised so the TSan CI preset
+// would catch a reintroduction.
+TEST(ReceptorTest, StatsRacesIngestionThread) {
+  Basket basket("s", TsI64Schema(), 0);
+  Receptor::Options opts;
+  opts.rows_per_sec = 50000;
+  opts.batch_rows = 16;
+  Receptor r("r", &basket, CountingGen(2000), opts);
+  r.Start();
+  uint64_t last_rows = 0;
+  while (!r.Stats().finished) {
+    const ReceptorStats st = r.Stats();
+    EXPECT_GE(st.rows, last_rows);
+    EXPECT_GE(st.running_micros, 0);
+    last_rows = st.rows;
+  }
+  r.WaitFinished();
+  EXPECT_EQ(r.Stats().rows, 2000u);
+}
+
 TEST(ReceptorTest, RateControlApproximatesTarget) {
   Basket basket("s", TsI64Schema(), 0);
   Receptor::Options opts;

@@ -169,6 +169,31 @@ TEST_F(SchedulerTest, ConcurrentAddRemoveUnderFire) {
   EXPECT_EQ(sched.Factories().size(), 0u);
 }
 
+// Regression: two threads calling Stop() concurrently used to race on
+// joining the same worker threads (std::thread::join on a joinable-by-
+// both handle). Stop() now elects one joiner; the loser blocks until
+// teardown completes, and a Start() issued mid-teardown must not
+// relaunch workers that are still being joined.
+TEST_F(SchedulerTest, ConcurrentStopIsSingleJoin) {
+  for (int round = 0; round < 20; ++round) {
+    Scheduler::Options opts;
+    opts.num_workers = 2;
+    Scheduler sched(opts);
+    auto f1 = MakeFactory(1);
+    sched.AddFactory(f1);
+    sched.Start();
+    Push(round);
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&] { sched.Stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+    // Stop/Start/Stop afterwards still behaves.
+    sched.Start();
+    sched.Stop();
+  }
+}
+
 TEST_F(SchedulerTest, PausedFactoriesAreSkipped) {
   Scheduler sched;
   auto f1 = MakeFactory(1);
