@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "bench/bench_common.h"
 #include "monitor/network.h"
@@ -132,6 +133,124 @@ void WriteSchedulerJson(const std::vector<SweepPoint>& points, int queries,
   printf("\nwrote BENCH_scheduler.json (%zu sweep points)\n", points.size());
 }
 
+// --- E5c: common-subexpression sharing (docs/SHARING.md) ------------------
+
+/// One engine run of the shared-prefix family: `queries` standing queries
+/// that differ only in their HAVING constant, so under sharing they ride
+/// one window node (one basket reader, one partial build per basic
+/// window) while unshared each keeps a private factory.
+struct SharingRun {
+  Micros wall = 0;
+  Micros exec = 0;          // unique-factory total_exec_micros
+  uint64_t builds = 0;      // unique-factory fragments_computed
+  uint64_t sharing_hits = 0;
+  uint64_t shared_nodes = 0;
+  uint64_t readers = 0;
+  uint64_t emissions = 0;
+};
+
+SharingRun RunSharedPrefix(bool sharing, int queries,
+                           const std::vector<std::vector<BatPtr>>& batches) {
+  EngineOptions o = Sync();
+  o.enable_sharing = sharing;
+  Engine engine(o);
+  DC_CHECK_OK(engine.Execute(workload::PacketDdl("pkts")));
+  std::vector<int> qids;
+  for (int i = 0; i < queries; ++i) {
+    auto qid = engine.SubmitContinuous(
+        StrFormat("SELECT port, count(*), sum(bytes) FROM pkts "
+                  "[RANGE 1 SECONDS SLIDE 250 MILLISECONDS] "
+                  "GROUP BY port HAVING count(*) > %d ORDER BY port", i),
+        QueryOpts(ExecMode::kIncremental, StrFormat("p%d", i),
+                  bench::NullSink()));
+    DC_CHECK_OK(qid.status());
+    qids.push_back(*qid);
+  }
+  SharingRun r;
+  r.wall = bench::FeedAndPump(engine, "pkts", batches);
+  std::set<const Factory*> seen;  // dedupe tier-F-aliased factories
+  for (int qid : qids) {
+    const auto f = engine.GetFactory(qid);
+    if (!seen.insert(f.get()).second) continue;
+    const FactoryStats fs = f->Stats();
+    r.builds += fs.fragments_computed;
+    r.exec += fs.total_exec_micros;
+    r.emissions += fs.emissions;
+  }
+  const SharingStats ss = engine.GetSharingStats();
+  r.sharing_hits = ss.sharing_hits;
+  r.shared_nodes = ss.shared_nodes;
+  r.readers = engine.StreamStats("pkts")->readers;
+  return r;
+}
+
+void PrintSharingRow(const char* label, const SharingRun& r) {
+  printf("%9s | %10.1f %10.1f | %10llu %10llu | %6llu %8llu\n", label,
+         static_cast<double>(r.wall) / 1000.0,
+         static_cast<double>(r.exec) / 1000.0,
+         static_cast<unsigned long long>(r.builds),
+         static_cast<unsigned long long>(r.sharing_hits),
+         static_cast<unsigned long long>(r.shared_nodes),
+         static_cast<unsigned long long>(r.readers));
+}
+
+void SharingJsonSection(FILE* f, const char* key, const SharingRun& r,
+                        const char* trail) {
+  fprintf(f,
+          "  \"%s\": {\"wall_ms\": %.3f, \"exec_ms\": %.3f, "
+          "\"partial_builds\": %llu, \"sharing_hits\": %llu, "
+          "\"shared_nodes\": %llu, \"stream_readers\": %llu, "
+          "\"emissions\": %llu}%s\n",
+          key, static_cast<double>(r.wall) / 1000.0,
+          static_cast<double>(r.exec) / 1000.0,
+          static_cast<unsigned long long>(r.builds),
+          static_cast<unsigned long long>(r.sharing_hits),
+          static_cast<unsigned long long>(r.shared_nodes),
+          static_cast<unsigned long long>(r.readers),
+          static_cast<unsigned long long>(r.emissions), trail);
+}
+
+/// BENCH_multiquery.json — schema in docs/BENCHMARKS.md. Gated in CI by
+/// scripts/check_bench_regression.py --multiquery: the shared run must do
+/// O(1) partial builds per slide regardless of query count.
+void WriteMultiqueryJson(int queries, uint64_t rows, const SharingRun& shared,
+                         const SharingRun& unshared) {
+  FILE* f = fopen("BENCH_multiquery.json", "w");
+  if (f == nullptr) {
+    printf("  !! cannot write BENCH_multiquery.json\n");
+    return;
+  }
+  const double ratio = shared.builds == 0
+                           ? 0.0
+                           : static_cast<double>(unshared.builds) /
+                                 static_cast<double>(shared.builds);
+  fprintf(f, "{\n  \"bench\": \"multiquery\",\n");
+  fprintf(f, "  \"generated_by\": \"bench_multiquery\",\n");
+  fprintf(f, "  \"rows\": %llu,\n  \"queries\": %d,\n",
+          static_cast<unsigned long long>(rows), queries);
+  SharingJsonSection(f, "shared", shared, ",");
+  SharingJsonSection(f, "unshared", unshared, ",");
+  fprintf(f, "  \"build_ratio\": %.2f\n}\n", ratio);
+  fclose(f);
+  printf("\nwrote BENCH_multiquery.json (build ratio %.1fx)\n", ratio);
+}
+
+void RunSharingExperiment(uint64_t rows,
+                          const std::vector<std::vector<BatPtr>>& batches) {
+  Banner("E5c", "shared-prefix family: one window node vs N private factories");
+  constexpr int kSharedQueries = 32;
+  printf("\n%d queries differing only in HAVING constant, %llu rows\n",
+         kSharedQueries, static_cast<unsigned long long>(rows));
+  printf("\n%9s | %10s %10s | %10s %10s | %6s %8s\n", "mode", "wall ms",
+         "exec ms", "builds", "hits", "nodes", "readers");
+  printf("%s\n", std::string(76, '-').c_str());
+  const SharingRun shared = RunSharedPrefix(true, kSharedQueries, batches);
+  const SharingRun unshared = RunSharedPrefix(false, kSharedQueries, batches);
+  PrintSharingRow("shared", shared);
+  PrintSharingRow("unshared", unshared);
+  WriteMultiqueryJson(kSharedQueries, rows, shared, unshared);
+}
+
 }  // namespace
 }  // namespace dc
 
@@ -173,6 +292,7 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(p.sched.notifications));
     }
     WriteSchedulerJson(points, sweep_queries, rows);
+    RunSharingExperiment(rows, batches);
     if (smoke) return 0;
   }
 
@@ -204,8 +324,12 @@ int main(int argc, char** argv) {
     engine.Pump();
     const Micros wall = watch.ElapsedMicros();
     Micros exec_total = 0;
+    std::set<const Factory*> seen;  // identical texts alias one factory
     for (int qid : qids) {
-      exec_total += engine.GetFactory(qid)->Stats().total_exec_micros;
+      const auto f = engine.GetFactory(qid);
+      if (seen.insert(f.get()).second) {
+        exec_total += f->Stats().total_exec_micros;
+      }
     }
     printf("%4d | %12.1f %14.0f | %12.1f %12.1f %14llu\n", n,
            static_cast<double>(wall) / 1000.0,

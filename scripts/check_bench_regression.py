@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Bench-regression guard over BENCH_incremental.json.
+"""Bench-regression guard over the BENCH_*.json artifacts.
 
-Fails (exit 1) when the E2b stream-stream join sweep no longer shows the
-incremental win the indexed delta-join path is supposed to deliver:
-the speedup at --n-bw (default 8) must be >= --min-speedup (default 2.0).
+Default mode (BENCH_incremental.json): fails (exit 1) when the E2b
+stream-stream join sweep no longer shows the incremental win the indexed
+delta-join path is supposed to deliver: the speedup at --n-bw (default 8)
+must be >= --min-speedup (default 2.0).
+
+--multiquery mode (BENCH_multiquery.json): fails when the sharing
+registry no longer collapses the shared-prefix family (docs/SHARING.md):
+at N standing queries sharing a fragment prefix, the shared run must keep
+one basket reader and do O(1) partial builds per slide, i.e.
+build_ratio (unshared builds / shared builds) >= N / 2, and both runs
+must produce the same emission count.
 
 Non-fatal diagnostics: the join speedup curve is expected to be
 monotonically increasing in n_bw; inversions are printed as warnings so
-noisy smoke timings do not flake CI, while the headline point stays a
-hard gate.
+noisy smoke timings do not flake CI, while the headline points stay hard
+gates.
 
 Usage: check_bench_regression.py BENCH_incremental.json [--n-bw N]
        [--min-speedup X]
+       check_bench_regression.py BENCH_multiquery.json --multiquery
 """
 
 import argparse
@@ -19,21 +28,7 @@ import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("json_path", help="path to BENCH_incremental.json")
-    parser.add_argument("--scenario", default="join")
-    parser.add_argument("--n-bw", type=int, default=8)
-    parser.add_argument("--min-speedup", type=float, default=2.0)
-    args = parser.parse_args()
-
-    try:
-        with open(args.json_path, "r", encoding="utf-8") as f:
-            bench = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"FAIL: cannot read {args.json_path}: {e}")
-        return 1
-
+def check_join(bench, args) -> int:
     sweep = [p for p in bench.get("sweep", [])
              if p.get("scenario") == args.scenario]
     if not sweep:
@@ -65,6 +60,76 @@ def main() -> int:
     print(f"OK: {args.scenario} speedup at n_bw={args.n_bw} is "
           f"{speedup:.3f}x (floor {args.min_speedup:.1f}x)")
     return 0
+
+
+def check_multiquery(bench, args) -> int:
+    try:
+        queries = bench["queries"]
+        shared = bench["shared"]
+        unshared = bench["unshared"]
+        ratio = bench["build_ratio"]
+    except KeyError as e:
+        print(f"FAIL: {args.json_path} is missing key {e}")
+        return 1
+
+    print(f"multiquery sharing ({args.json_path}): {queries} queries")
+    print(f"  shared:   builds={shared['partial_builds']} "
+          f"readers={shared['stream_readers']} "
+          f"nodes={shared['shared_nodes']} wall={shared['wall_ms']:.1f}ms")
+    print(f"  unshared: builds={unshared['partial_builds']} "
+          f"readers={unshared['stream_readers']} "
+          f"wall={unshared['wall_ms']:.1f}ms")
+
+    failed = False
+    # One receptor fan-out for the whole family: the shared node owns the
+    # only basket reader regardless of query count.
+    if shared["stream_readers"] != 1:
+        print(f"FAIL: shared run holds {shared['stream_readers']} basket "
+              f"readers for {queries} shared-prefix queries, expected 1")
+        failed = True
+    if shared["shared_nodes"] < 1:
+        print("FAIL: shared run registered no shared window node")
+        failed = True
+    # O(1) builds per slide: the unshared run builds each basic-window
+    # partial once per query, the shared run once total — so the ratio
+    # tracks the query count. Half of N leaves slack for boundary windows.
+    floor = queries / 2
+    if ratio < floor:
+        print(f"FAIL: build ratio {ratio:.2f}x is below the {floor:.0f}x "
+              f"floor at {queries} queries — partial builds are no longer "
+              f"O(1) per slide")
+        failed = True
+    if shared["emissions"] != unshared["emissions"]:
+        print(f"FAIL: emission counts diverge (shared "
+              f"{shared['emissions']} vs unshared {unshared['emissions']})")
+        failed = True
+    if failed:
+        return 1
+    print(f"OK: build ratio {ratio:.2f}x (floor {floor:.0f}x), "
+          f"1 reader, {shared['shared_nodes']} node(s)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="path to a BENCH_*.json artifact")
+    parser.add_argument("--multiquery", action="store_true",
+                        help="gate BENCH_multiquery.json sharing results")
+    parser.add_argument("--scenario", default="join")
+    parser.add_argument("--n-bw", type=int, default=8)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    try:
+        with open(args.json_path, "r", encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read {args.json_path}: {e}")
+        return 1
+
+    if args.multiquery:
+        return check_multiquery(bench, args)
+    return check_join(bench, args)
 
 
 if __name__ == "__main__":

@@ -230,6 +230,12 @@ int Basket::AddListener(std::function<void()> fn) {
 void Basket::RemoveListener(int listener_id) {
   MutexLock lock(mu_);
   listeners_.erase(listener_id);
+  // A notify pass snapshots listeners before invoking them, so one that
+  // started before the erase may still hold this listener. Callers tear
+  // the listener's target down right after we return (e.g. ~Emitter on a
+  // shared output basket whose aliased factory keeps firing), so block
+  // until every in-flight pass has finished.
+  while (notify_active_ > 0) notify_cv_.Wait(mu_);
 }
 
 void Basket::NotifyAll() {
@@ -239,8 +245,11 @@ void Basket::NotifyAll() {
     MutexLock lock(mu_);
     fns.reserve(listeners_.size());
     for (const auto& [id, fn] : listeners_) fns.push_back(fn);
+    ++notify_active_;
   }
   for (auto& fn : fns) fn();
+  MutexLock lock(mu_);
+  if (--notify_active_ == 0) notify_cv_.NotifyAll();
 }
 
 int Basket::RegisterReader(bool from_start, bool track_batches) {
@@ -392,6 +401,7 @@ BasketStats Basket::Stats() const {
   s.append_stalls = append_stalls_;
   s.append_timeouts = append_timeouts_;
   s.stall_micros = stall_micros_;
+  s.readers = readers_.size();
   return s;
 }
 

@@ -80,6 +80,10 @@ struct BasketStats {
   uint64_t append_stalls = 0;
   uint64_t append_timeouts = 0;
   Micros stall_micros = 0;          // total time producers spent waiting
+  /// Registered readers (factories, shared nodes, emitters). With sharing
+  /// enabled a stream has one reader per shared node / private factory,
+  /// not one per query — the multi-query benches assert this stays O(1).
+  uint64_t readers = 0;
 };
 
 /// A contiguous, copied-out view of basket rows (factories never hold
@@ -148,8 +152,13 @@ class Basket {
   /// scheduler subscribes one pulse listener per basket and fans the pulse
   /// out to exactly the factories with an attached arc (targeted
   /// enablement, not a broadcast). Returns a listener id for
-  /// RemoveListener. Listeners are invoked outside the basket lock; a
-  /// listener removed concurrently with a pulse may be invoked once more.
+  /// RemoveListener. Listeners are invoked outside the basket lock.
+  /// RemoveListener blocks until every in-flight notify pass has finished,
+  /// so once it returns the listener can never run again and its captures
+  /// may be destroyed — required by emitters on shared output baskets,
+  /// where an aliased factory keeps appending after one alias is removed
+  /// (docs/SHARING.md). Consequently a listener must never call
+  /// RemoveListener on its own basket.
   int AddListener(std::function<void()> fn);
   void RemoveListener(int listener_id);
 
@@ -257,6 +266,10 @@ class Basket {
   // Keyed for removal; invoked outside mu_ (NotifyAll copies first).
   std::map<int, std::function<void()>> listeners_ DC_GUARDED_BY(mu_);
   int next_listener_ DC_GUARDED_BY(mu_) = 0;
+  // In-flight NotifyAll passes; RemoveListener drains them before
+  // returning so removed listeners are never invoked afterwards.
+  int notify_active_ DC_GUARDED_BY(mu_) = 0;
+  CondVar notify_cv_;  // pulsed when notify_active_ drops to zero
 };
 
 }  // namespace dc

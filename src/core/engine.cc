@@ -8,6 +8,35 @@
 
 namespace dc {
 
+namespace {
+
+// Canonical sharing keys (docs/SHARING.md). The prefix key identifies a
+// shareable fragment build: prefix signature, masked-out literal values,
+// and execution mode — window geometry deliberately excluded so window
+// subsumption can serve several geometries from one node. The full key
+// adds the finish signature and the exact geometry: two queries with
+// equal full keys are the same factory.
+void SharingKeys(const plan::CompiledQuery& cq, ExecMode mode,
+                 std::string* prefix_key, std::string* full_key) {
+  std::string params;
+  for (const std::string& p : cq.sig_params) {
+    params += p;
+    params += '\x1f';
+  }
+  *prefix_key = cq.prefix_signature + '\x1e' + params + '\x1e' +
+                ExecModeName(mode);
+  std::string geom;
+  for (const plan::BoundRelation& rel : cq.bound.rels) {
+    if (rel.window.has_value()) {
+      geom += rel.window->ToString();
+      geom += ';';
+    }
+  }
+  *full_key = *prefix_key + '\x1e' + cq.finish_signature + '\x1e' + geom;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
     : options_(options),
       scheduler_(Scheduler::Options{options.scheduler_workers,
@@ -145,7 +174,41 @@ Result<std::string> Engine::ExplainSql(std::string_view sql,
   plan::OptimizerReport report = plan::Optimize(&bound);
   DC_ASSIGN_OR_RETURN(plan::CompiledQuery cq,
                       plan::Compile(std::move(bound)));
-  return plan::Explain(cq, mode, &report);
+  if (mode == plan::PlanMode::kOneTime || !cq.bound.is_continuous) {
+    return plan::Explain(cq, mode, &report);
+  }
+
+  // Continuous plans: report what the sharing registry would do with
+  // this query (docs/SHARING.md) — "shared with N queries".
+  const ExecMode exec_mode = mode == plan::PlanMode::kContinuousIncremental
+                                 ? ExecMode::kIncremental
+                                 : ExecMode::kFullReeval;
+  std::string prefix_key, full_key;
+  SharingKeys(cq, exec_mode, &prefix_key, &full_key);
+  plan::SharingNote note;
+  note.enabled = options_.enable_sharing;
+  if (note.enabled) {
+    MutexLock share(share_mu_);
+    if (auto it = full_entries_.find(full_key); it != full_entries_.end()) {
+      note.shared_with = it->second.refs;
+      note.detail = "factory-level dedup";
+    } else if (auto pit = prefix_nodes_.find(prefix_key);
+               pit != prefix_nodes_.end()) {
+      const plan::BoundQuery& q = cq.bound;
+      if (q.rels.size() == 1 && q.rels[0].window.has_value()) {
+        const plan::WindowSpec& w = *q.rels[0].window;
+        for (const SharedWindowNodePtr& n : pit->second) {
+          if (w.slide > 0 && w.size % w.slide == 0 &&
+              n->Compatible(w.rows, w.slide)) {
+            note.shared_with = n->subscribers();
+            note.detail = StrFormat("window node %s", n->label().c_str());
+            break;
+          }
+        }
+      }
+    }
+  }
+  return plan::Explain(cq, mode, &report, &note);
 }
 
 Result<int> Engine::SubmitContinuous(std::string_view sql) {
@@ -180,8 +243,85 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
   entry.mode = options.mode;
   const std::string name =
       options.name.empty() ? StrFormat("q%d", entry.id) : options.name;
+  entry.name = name;
 
-  // Wire the factory inputs.
+  std::string prefix_key, full_key;
+  SharingKeys(executor->compiled(), options.mode, &prefix_key, &full_key);
+
+  // Held across all sharing decisions AND the engine/scheduler wiring
+  // they produce, so a concurrent submit/remove of a matching query
+  // cannot race the refcounts. Fires never take share_mu_, so a
+  // RemoveFactory underneath it still drains.
+  MutexLock share(share_mu_);
+
+  // Tier F: a standing query with the same full compiled identity —
+  // alias its factory; this query only adds a private emitter on the
+  // shared output basket.
+  if (options_.enable_sharing) {
+    auto it = full_entries_.find(full_key);
+    if (it != full_entries_.end()) {
+      SharedFullEntry& fe = it->second;
+      ++fe.refs;
+      ++full_hits_;
+      entry.factory = fe.factory;
+      entry.out_basket = fe.out_basket;
+      entry.full_key = full_key;
+      Emitter::Sink sink = options.sink;
+      if (!sink) {
+        entry.collector = std::make_shared<ResultCollector>();
+        sink = entry.collector->AsSink();
+      }
+      entry.emitter = std::make_shared<Emitter>(
+          name + ".emit", entry.out_basket, fe.out_names, std::move(sink));
+      if (options_.scheduler_workers > 0) entry.emitter->Start();
+      const int id = entry.id;
+      {
+        MutexLock lock(mu_);
+        queries_.emplace(id, std::move(entry));
+      }
+      return id;
+    }
+  }
+
+  // Tier P: a single divisible-window incremental stream query can hang
+  // off a SharedWindowNode as a merge tail — find a grid-compatible node
+  // under this prefix (window subsumption) or found a new one. The node
+  // owns the only basket reader; non-divisible windows keep the private
+  // fallback-to-full path (FactoryStats::fell_back_to_full).
+  SharedWindowNodePtr node;
+  int node_sub = -1;
+  const bool tier_p_eligible =
+      options_.enable_sharing && options.mode == ExecMode::kIncremental &&
+      q.rels.size() == 1 && q.rels[0].is_stream &&
+      q.rels[0].window.has_value() && q.rels[0].window->slide > 0 &&
+      q.rels[0].window->size % q.rels[0].window->slide == 0;
+  if (tier_p_eligible) {
+    std::shared_ptr<Basket> stream;
+    {
+      MutexLock lock(mu_);
+      auto bit = baskets_.find(q.rels[0].name);
+      if (bit == baskets_.end()) return Status::Internal("basket missing");
+      stream = bit->second;
+    }
+    const plan::WindowSpec& w = *q.rels[0].window;
+    std::vector<SharedWindowNodePtr>& nodes = prefix_nodes_[prefix_key];
+    for (const SharedWindowNodePtr& n : nodes) {
+      if (n->basket() == stream.get() && n->Compatible(w.rows, w.slide)) {
+        node = n;
+        ++prefix_hits_;
+        break;
+      }
+    }
+    if (node == nullptr) {
+      node = std::make_shared<SharedWindowNode>(
+          StrFormat("%s#%d", q.rels[0].name.c_str(), next_node_ord_++),
+          stream, executor, w.rows, w.slide);
+      nodes.push_back(node);
+    }
+    node_sub = node->Subscribe();
+  }
+
+  // Wire the factory inputs (a shared tail carries no reader of its own).
   std::vector<FactoryInput> inputs(q.rels.size());
   for (size_t r = 0; r < q.rels.size(); ++r) {
     if (q.rels[r].is_stream) {
@@ -190,7 +330,9 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
       FactoryInput in;
       in.is_stream = true;
       in.basket = basket;
-      in.reader_id = basket->RegisterReader(/*from_start=*/true);
+      if (node == nullptr) {
+        in.reader_id = basket->RegisterReader(/*from_start=*/true);
+      }
       in.window = q.rels[r].window;
       inputs[r] = std::move(in);
     } else {
@@ -215,10 +357,36 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
   entry.out_basket =
       std::make_shared<Basket>(name + ".out", out_schema);
 
-  DC_ASSIGN_OR_RETURN(
-      entry.factory,
-      Factory::Create(entry.id, name, executor, options.mode,
-                      std::move(inputs), entry.out_basket));
+  if (node != nullptr) {
+    auto tail = Factory::CreateSharedTail(entry.id, name, executor,
+                                          std::move(inputs), entry.out_basket,
+                                          node, node_sub);
+    if (!tail.ok()) {
+      node->Unsubscribe(node_sub);
+      PruneIdleNodesLocked();
+      return tail.status();
+    }
+    entry.factory = *std::move(tail);
+  } else {
+    DC_ASSIGN_OR_RETURN(
+        entry.factory,
+        Factory::Create(entry.id, name, executor, options.mode,
+                        std::move(inputs), entry.out_basket));
+  }
+
+  // Publish the factory for tier-F aliasing by later identical queries.
+  if (options_.enable_sharing) {
+    SharedFullEntry fe;
+    fe.factory_id = entry.id;
+    fe.refs = 1;
+    fe.factory = entry.factory;
+    fe.out_basket = entry.out_basket;
+    fe.out_names = out_names;
+    fe.node = node;
+    fe.node_sub = node_sub;
+    full_entries_.emplace(full_key, std::move(fe));
+    entry.full_key = full_key;
+  }
 
   Emitter::Sink sink = options.sink;
   if (!sink) {
@@ -246,15 +414,70 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
 Status Engine::RemoveContinuous(int query_id) {
   QueryEntry entry;
   {
-    MutexLock lock(mu_);
-    auto it = queries_.find(query_id);
-    if (it == queries_.end()) return Status::NotFound("no such query");
-    entry = std::move(it->second);
-    queries_.erase(it);
+    // Refcounted teardown (docs/SHARING.md): the factory leaves the
+    // scheduler only when its last subscriber unregisters, and its node
+    // subscription is dropped — possibly reclaiming the node — in the
+    // same critical section, so a concurrent submit cannot observe a
+    // half-torn-down entry.
+    MutexLock share(share_mu_);
+    {
+      MutexLock lock(mu_);
+      auto it = queries_.find(query_id);
+      if (it == queries_.end()) return Status::NotFound("no such query");
+      entry = std::move(it->second);
+      queries_.erase(it);
+    }
+    if (!entry.full_key.empty()) {
+      auto it = full_entries_.find(entry.full_key);
+      if (it != full_entries_.end() && --it->second.refs == 0) {
+        SharedFullEntry fe = std::move(it->second);
+        full_entries_.erase(it);
+        // Blocks on in-flight fires; safe under share_mu_ because fires
+        // never take it.
+        scheduler_.RemoveFactory(fe.factory_id);
+        if (fe.node != nullptr) {
+          fe.node->Unsubscribe(fe.node_sub);
+          PruneIdleNodesLocked();
+        }
+      }
+    } else {
+      scheduler_.RemoveFactory(query_id);
+    }
   }
-  scheduler_.RemoveFactory(query_id);
+  // Outside both locks: Stop() joins a thread whose sink may re-enter
+  // the engine.
   if (entry.emitter) entry.emitter->Stop();
   return Status::OK();
+}
+
+void Engine::PruneIdleNodesLocked() {
+  for (auto it = prefix_nodes_.begin(); it != prefix_nodes_.end();) {
+    std::erase_if(it->second, [](const SharedWindowNodePtr& n) {
+      return n->subscribers() == 0;
+    });
+    it = it->second.empty() ? prefix_nodes_.erase(it) : std::next(it);
+  }
+}
+
+SharingStats Engine::GetSharingStats() const {
+  MutexLock share(share_mu_);
+  SharingStats s;
+  s.enabled = options_.enable_sharing;
+  s.full_hits = full_hits_;
+  s.prefix_hits = prefix_hits_;
+  for (const auto& [key, fe] : full_entries_) {
+    if (fe.refs > 1) ++s.shared_factories;
+  }
+  uint64_t node_hits = 0;
+  for (const auto& [key, nodes] : prefix_nodes_) {
+    for (const SharedWindowNodePtr& n : nodes) {
+      s.nodes.push_back(n->Stats());
+      node_hits += s.nodes.back().sharing_hits;
+      ++s.shared_nodes;
+    }
+  }
+  s.sharing_hits = s.full_hits + s.prefix_hits + node_hits;
+  return s;
 }
 
 Status Engine::PauseQuery(int query_id) {
@@ -423,15 +646,29 @@ bool Engine::WaitIdle(int timeout_ms) {
 }
 
 std::vector<ContinuousQueryInfo> Engine::Queries() const {
+  MutexLock share(share_mu_);
   MutexLock lock(mu_);
   std::vector<ContinuousQueryInfo> out;
   for (const auto& [id, q] : queries_) {
     ContinuousQueryInfo info;
     info.id = id;
-    info.name = q.factory->name();
+    info.name = q.name.empty() ? q.factory->name() : q.name;
     info.sql = q.sql;
     info.mode = q.mode;
     info.factory = q.factory->Stats();
+    if (!q.full_key.empty()) {
+      auto fit = full_entries_.find(q.full_key);
+      if (fit != full_entries_.end()) {
+        info.shared_with = fit->second.refs;
+        if (fit->second.node != nullptr) {
+          info.sharing = StrFormat("node %s x%d",
+                                   fit->second.node->label().c_str(),
+                                   fit->second.node->subscribers());
+        } else if (fit->second.refs > 1) {
+          info.sharing = StrFormat("factory x%d", fit->second.refs);
+        }
+      }
+    }
     if (q.emitter) info.emitter = q.emitter->Stats();
     if (q.out_basket) info.out_basket = q.out_basket->Stats();
     for (const FactoryInput& in : q.factory->inputs()) {

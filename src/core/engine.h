@@ -30,6 +30,7 @@
 #include "core/factory.h"
 #include "core/receptor.h"
 #include "core/scheduler.h"
+#include "core/sharing.h"
 #include "plan/explain.h"
 #include "storage/catalog.h"
 #include "util/result.h"
@@ -63,6 +64,13 @@ struct EngineOptions {
   /// Query output baskets stay unbounded: they are drained by emitters,
   /// and blocking a factory mid-fire would stall the scheduler.
   BasketLimits basket_limits{/*max_rows=*/1 << 20, /*max_bytes=*/0};
+
+  /// Multi-query sharing (docs/SHARING.md): queries with matching
+  /// compiled identities alias one factory, and compatible windowed
+  /// prefixes share one basic-window partial store (SharedWindowNode).
+  /// Off restores one private factory chain per query — the differential
+  /// equivalence suite runs both and asserts identical emissions.
+  bool enable_sharing = true;
 };
 
 /// One registered continuous query (introspection snapshot).
@@ -76,6 +84,11 @@ struct ContinuousQueryInfo {
   BasketStats out_basket;  // emission buffer occupancy/backlog
   std::vector<std::string> input_streams;
   std::vector<std::string> input_tables;
+  /// Queries currently sharing this query's factory (itself included);
+  /// 1 when it runs alone. `sharing` is a human-readable note for the
+  /// monitor pane: "factory x3", "node pkts#1 x8", or "".
+  int shared_with = 1;
+  std::string sharing;
 };
 
 /// The DataCell engine.
@@ -115,6 +128,8 @@ class Engine {
   Result<int> SubmitContinuous(std::string_view sql);
 
   Status RemoveContinuous(int query_id);
+  /// Note: with sharing enabled, queries aliasing one factory (identical
+  /// compiled identity) pause and resume together.
   Status PauseQuery(int query_id);
   Status ResumeQuery(int query_id);
 
@@ -152,6 +167,9 @@ class Engine {
   std::vector<ContinuousQueryInfo> Queries() const;
   Result<BasketStats> StreamStats(std::string_view stream) const;
   SchedulerStats SchedStats() const { return scheduler_.Stats(); }
+  /// Multi-query sharing snapshot: live shared nodes, per-node subscriber
+  /// counts, and cumulative sharing hits (docs/SHARING.md).
+  SharingStats GetSharingStats() const;
   Basket* GetBasket(std::string_view stream);
   FactoryPtr GetFactory(int query_id) const;
   std::vector<std::string> StreamNames() const {
@@ -162,6 +180,7 @@ class Engine {
   struct QueryEntry {
     int id;
     std::string sql;
+    std::string name;
     ExecMode mode;
     FactoryPtr factory;
     std::shared_ptr<Basket> out_basket;
@@ -171,10 +190,33 @@ class Engine {
     // drainer holding a dangling pointer.
     std::shared_ptr<Emitter> emitter;
     std::shared_ptr<ResultCollector> collector;  // when no sink given
+    /// Sharing registry key of the factory this query subscribes to, or
+    /// "" when the factory is privately owned (sharing disabled).
+    /// Teardown is refcounted through full_entries_[full_key].
+    std::string full_key;
+  };
+
+  /// One refcounted shared factory (tier F, docs/SHARING.md): every
+  /// submitted query publishes its factory here keyed by full compiled
+  /// identity; later identical queries alias it (refs++) with their own
+  /// emitters on the shared output basket. The factory leaves the
+  /// scheduler — and its node subscription, when it is a shared tail —
+  /// only when refs hits zero.
+  struct SharedFullEntry {
+    int factory_id = 0;  // scheduler id (the first subscriber's query id)
+    int refs = 0;
+    FactoryPtr factory;
+    std::shared_ptr<Basket> out_basket;
+    std::vector<std::string> out_names;
+    SharedWindowNodePtr node;  // set when the factory is a shared tail
+    int node_sub = -1;         // engine-owned node subscription
   };
 
   Status ExecuteOne(const sql::Statement& stmt);
   Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
+  /// Drops zero-subscriber shared nodes from the registry (their basket
+  /// readers unregister with them).
+  void PruneIdleNodesLocked() DC_REQUIRES(share_mu_);
   /// Shared handles to every live emitter, for draining outside mu_.
   std::vector<std::shared_ptr<Emitter>> SnapshotEmitters() const
       DC_EXCLUDES(mu_);
@@ -192,6 +234,23 @@ class Engine {
   std::map<int, std::unique_ptr<Receptor>> receptors_ DC_GUARDED_BY(mu_);
   int next_query_id_ DC_GUARDED_BY(mu_) = 1;
   int next_receptor_id_ DC_GUARDED_BY(mu_) = 1;
+
+  // Multi-query sharing registry (docs/SHARING.md). share_mu_ ranks
+  // BELOW mu_ (kSharingRegistry < kEngine) because Submit/Remove hold it
+  // across their whole bookkeeping — engine map updates (mu_), scheduler
+  // registration, node subscription — while factory fires never touch
+  // it. Declared after baskets_ so node destructors can still unregister
+  // their basket readers during engine teardown.
+  mutable Mutex share_mu_{LockRank::kSharingRegistry};
+  std::map<std::string, SharedFullEntry> full_entries_
+      DC_GUARDED_BY(share_mu_);
+  /// Live tier-P nodes per prefix key; one prefix can hold several nodes
+  /// with incompatible grids (non-subsumable slides).
+  std::map<std::string, std::vector<SharedWindowNodePtr>> prefix_nodes_
+      DC_GUARDED_BY(share_mu_);
+  uint64_t full_hits_ DC_GUARDED_BY(share_mu_) = 0;
+  uint64_t prefix_hits_ DC_GUARDED_BY(share_mu_) = 0;
+  int next_node_ord_ DC_GUARDED_BY(share_mu_) = 1;
 
   // Declared last so it is destroyed first: scheduler entries hold factory
   // references whose destructors unregister basket readers — the baskets

@@ -15,13 +15,16 @@ const char* ExecModeName(ExecMode m) {
 Factory::Factory(int id, std::string name,
                  std::shared_ptr<exec::QueryExecutor> executor, ExecMode mode,
                  std::vector<FactoryInput> inputs,
-                 std::shared_ptr<Basket> output)
+                 std::shared_ptr<Basket> output, SharedWindowNodePtr node,
+                 int sub_id)
     : id_(id),
       name_(std::move(name)),
       executor_(std::move(executor)),
       mode_(mode),
       inputs_(std::move(inputs)),
-      output_(std::move(output)) {}
+      output_(std::move(output)),
+      node_(std::move(node)),
+      node_sub_(sub_id) {}
 
 Factory::~Factory() {
   for (const FactoryInput& in : inputs_) {
@@ -47,6 +50,23 @@ Result<std::shared_ptr<Factory>> Factory::Create(
   return f;
 }
 
+Result<std::shared_ptr<Factory>> Factory::CreateSharedTail(
+    int id, std::string name, std::shared_ptr<exec::QueryExecutor> executor,
+    std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output,
+    SharedWindowNodePtr node, int sub_id) {
+  if (node == nullptr || sub_id < 0) {
+    return Status::InvalidArgument("shared tail requires a node subscription");
+  }
+  auto f = std::shared_ptr<Factory>(new Factory(
+      id, std::move(name), std::move(executor), ExecMode::kIncremental,
+      std::move(inputs), std::move(output), std::move(node), sub_id));
+  {
+    MutexLock lock(f->mu_);
+    DC_RETURN_NOT_OK(f->Validate());
+  }
+  return f;
+}
+
 Status Factory::Validate() {
   const plan::CompiledQuery& cq = executor_->compiled();
   if (inputs_.size() != cq.bound.rels.size()) {
@@ -58,14 +78,19 @@ Status Factory::Validate() {
   for (size_t r = 0; r < inputs_.size(); ++r) {
     FactoryInput& in = inputs_[r];
     if (in.is_stream) {
-      if (in.basket == nullptr || in.reader_id < 0) {
+      // Shared tails carry no reader of their own: the node owns the one
+      // reader, and window coordinates anchor at the node's origin.
+      if (in.basket == nullptr ||
+          (in.reader_id < 0 && node_ == nullptr)) {
         return Status::InvalidArgument("stream input missing basket/reader");
       }
       if (num_streams >= 2) {
         return Status::NotImplemented("more than two stream inputs");
       }
       stream_rels_[num_streams++] = static_cast<int>(r);
-      origin_seq_[r] = in.basket->ReaderCursor(in.reader_id);
+      origin_seq_[r] = node_ != nullptr
+                           ? node_->origin_seq()
+                           : in.basket->ReaderCursor(in.reader_id);
       if (in.window.has_value()) ++num_windowed;
     } else {
       if (in.table == nullptr) {
@@ -98,6 +123,30 @@ Status Factory::Validate() {
   } else {
     shape_ = Shape::kPerBatch;
     batch_cursor_ = origin_seq_[stream_rels_[0]];
+  }
+
+  if (node_ != nullptr) {
+    // Shared tail: exactly one windowed stream on the node's basket, with
+    // a divisible window the node's grid can serve (docs/SHARING.md).
+    const int rel = stream_rels_[0];
+    const auto& w = inputs_[rel].window;
+    if (shape_ != Shape::kSingleWindow || num_streams != 1 ||
+        table_rel_ >= 0 || !w.has_value()) {
+      return Status::InvalidArgument(
+          "shared tail requires exactly one windowed stream input");
+    }
+    if (inputs_[rel].basket != node_->basket()) {
+      return Status::InvalidArgument(
+          "shared tail input basket does not match its node");
+    }
+    if (w->size % w->slide != 0 ||
+        !node_->Compatible(w->rows, w->slide)) {
+      return Status::InvalidArgument(
+          "shared tail window is not grid-compatible with its node");
+    }
+    shape_ = Shape::kSharedTail;
+    incremental_active_ = true;
+    return Status::OK();
   }
 
   // Decide whether incremental processing is applicable. The rule itself
@@ -211,7 +260,11 @@ bool Factory::CheckReadyLocked() const {
       const int rel = stream_rels_[0];
       return inputs_[rel].basket->HighSeq() > batch_cursor_;
     }
+    case Shape::kSharedTail:
     case Shape::kSingleWindow: {
+      // Shared tails probe exactly like private single-window factories:
+      // origin_seq_ was anchored at the node's origin in Validate, and
+      // readiness only reads the basket's high seq / watermark.
       const int rel = stream_rels_[0];
       const FactoryInput& in = inputs_[rel];
       const WindowMath wm(*in.window);
@@ -318,6 +371,8 @@ Status Factory::FireLocked() {
       return FireSingleWindow();
     case Shape::kDualWindow:
       return FireDualWindow();
+    case Shape::kSharedTail:
+      return FireSharedTail();
   }
   return Status::Internal("bad shape");
 }
@@ -457,6 +512,47 @@ Status Factory::FireSingleWindow() {
                         in.basket->SeqRangeForTs(next_lo, next_lo + 1));
     in.basket->AdvanceReader(in.reader_id, range.first);
   }
+  next_emission_ = k + 1;
+  return Status::OK();
+}
+
+Status Factory::FireSharedTail() {
+  const int rel = stream_rels_[0];
+  const FactoryInput& in = inputs_[rel];
+  const WindowMath wm(*in.window);
+  const bool rows_mode = in.window->rows;
+  const int64_t k = next_emission_.value_or(0);
+
+  int64_t ext_lo, ext_hi;  // window extent in window coordinates
+  if (rows_mode) {
+    ext_lo = wm.RowsWindowStart(k);
+    ext_hi = wm.RowsWindowEnd(k);
+  } else {
+    std::tie(ext_lo, ext_hi) = wm.RangeExtent(k);
+  }
+
+  // The node serves (and caches) the grid partials covering this window;
+  // whichever subscriber fires first pays for a build, everyone else hits.
+  std::vector<PartialPtr> parts;
+  uint64_t built = 0, hits = 0, rows_in = 0;
+  DC_RETURN_NOT_OK(
+      node_->EnsureRange(ext_lo, ext_hi, &parts, &built, &hits, &rows_in));
+  stats_.fragments_computed += built;
+  stats_.sharing_hits += hits;
+  stats_.tuples_in += rows_in;
+  std::vector<const exec::Partial*> ps;
+  ps.reserve(parts.size());
+  for (const PartialPtr& p : parts) ps.push_back(p.get());
+  DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
+  DC_RETURN_NOT_OK(EmitResult(result));
+
+  // Release everything before the next window's start; the node advances
+  // its reader / evicts at the minimum mark across subscribers.
+  const int64_t next_lo =
+      rows_mode ? wm.RowsWindowStart(k + 1) : wm.RangeExtent(k + 1).first;
+  const WindowMath grid(
+      plan::WindowSpec{rows_mode, node_->grid_slide(), node_->grid_slide()});
+  node_->Release(node_sub_, grid.BasicWindowOf(next_lo));
   next_emission_ = k + 1;
   return Status::OK();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/basket.h"
+#include "core/sharing.h"
 #include "core/window.h"
 #include "exec/executor.h"
 #include "storage/table.h"
@@ -74,6 +75,10 @@ struct FactoryStats {
   uint64_t retained_dead_rows = 0;
   /// Live entries across both sides' rolling join-key hash indexes.
   uint64_t index_entries = 0;
+  /// Shared-tail factories (docs/SHARING.md): basic-window partials this
+  /// query needed that were served from its shared node's cache instead
+  /// of being rebuilt (fragments_computed counts the ones it built).
+  uint64_t sharing_hits = 0;
   bool fell_back_to_full = false;   // incremental requested, not divisible
   bool paused = false;
   std::string last_error;
@@ -90,6 +95,20 @@ class Factory {
       int id, std::string name, std::shared_ptr<exec::QueryExecutor> executor,
       ExecMode mode, std::vector<FactoryInput> inputs,
       std::shared_ptr<Basket> output);
+
+  /// Shared-tail variant (docs/SHARING.md): a per-query merge tail over a
+  /// SharedWindowNode. `inputs` must be exactly one windowed stream with
+  /// reader_id = -1 (the node owns the only reader); the window must be
+  /// divisible (slide | size) and grid-compatible with the node
+  /// (node->Compatible). The tail merges the node's grid partials
+  /// covering its own window extents and releases consumed grid windows
+  /// through `sub_id` — the engine owns the subscription
+  /// (node->Subscribe before creation, node->Unsubscribe after the tail
+  /// leaves the scheduler).
+  static Result<std::shared_ptr<Factory>> CreateSharedTail(
+      int id, std::string name, std::shared_ptr<exec::QueryExecutor> executor,
+      std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output,
+      SharedWindowNodePtr node, int sub_id);
 
   ~Factory();
 
@@ -119,11 +138,12 @@ class Factory {
   FactoryStats Stats() const;
 
  private:
-  enum class Shape { kPerBatch, kSingleWindow, kDualWindow };
+  enum class Shape { kPerBatch, kSingleWindow, kDualWindow, kSharedTail };
 
   Factory(int id, std::string name,
           std::shared_ptr<exec::QueryExecutor> executor, ExecMode mode,
-          std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output);
+          std::vector<FactoryInput> inputs, std::shared_ptr<Basket> output,
+          SharedWindowNodePtr node = nullptr, int sub_id = -1);
 
   /// Runs pre-publication from Create, which takes mu_ around the call so
   /// the analysis can check Validate's guarded writes.
@@ -134,6 +154,7 @@ class Factory {
   Status FirePerBatch() DC_REQUIRES(mu_);
   Status FireSingleWindow() DC_REQUIRES(mu_);
   Status FireDualWindow() DC_REQUIRES(mu_);
+  Status FireSharedTail() DC_REQUIRES(mu_);
 
   /// Initializes the first RANGE emission boundary from the earliest
   /// resident event; returns false if no data yet.
@@ -207,6 +228,10 @@ class Factory {
   const ExecMode mode_;
   std::vector<FactoryInput> inputs_;
   std::shared_ptr<Basket> output_;
+  /// Shared-tail factories only: the node serving this query's partials
+  /// and the engine-owned subscription id used for Release calls.
+  const SharedWindowNodePtr node_;
+  const int node_sub_ = -1;
 
   mutable Mutex mu_{LockRank::kFactory};
 

@@ -383,6 +383,14 @@ bool Scheduler::AnyBusyOrReady() const {
 SchedulerStats Scheduler::Stats() const {
   SchedulerStats out;
   out.notifications = notifications_.load(std::memory_order_relaxed);
+  {
+    // Registry before shard locks (kSchedRegistry < kSchedShard).
+    ReaderLock reg(reg_mu_);
+    out.factories = entries_.size();
+    for (const auto& [basket, arcs] : arcs_) {
+      out.arcs += arcs.factory_ids.size();
+    }
+  }
   out.shards.reserve(shards_.size());
   for (const auto& sp : shards_) {
     Shard& s = *sp;

@@ -96,6 +96,10 @@ struct SchedulerStats {
   uint64_t enqueues = 0;
   uint64_t steals = 0;
   uint64_t spurious_pops = 0;
+  /// Registered factories and live (basket, factory) arcs — the lifecycle
+  /// tests assert both return to zero after query churn.
+  uint64_t factories = 0;
+  uint64_t arcs = 0;
   std::vector<SchedulerShardStats> shards;
 };
 

@@ -1,0 +1,146 @@
+#include "core/sharing.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dc {
+
+SharedWindowNode::SharedWindowNode(
+    std::string label, std::shared_ptr<Basket> basket,
+    std::shared_ptr<exec::QueryExecutor> executor, bool rows_mode,
+    int64_t grid_slide)
+    : label_(std::move(label)),
+      basket_(std::move(basket)),
+      executor_(std::move(executor)),
+      rows_mode_(rows_mode),
+      grid_slide_(grid_slide) {
+  reader_id_ = basket_->RegisterReader(/*from_start=*/true);
+  origin_seq_ = basket_->ReaderCursor(reader_id_);
+}
+
+SharedWindowNode::~SharedWindowNode() {
+  if (reader_id_ >= 0) basket_->UnregisterReader(reader_id_);
+}
+
+int SharedWindowNode::Subscribe() {
+  MutexLock lock(mu_);
+  const int id = next_sub_++;
+  subs_.emplace(id, kUnreleased);
+  return id;
+}
+
+void SharedWindowNode::Unsubscribe(int sub_id) {
+  MutexLock lock(mu_);
+  subs_.erase(sub_id);
+  // The departed subscriber may have been the one pinning retention.
+  if (!subs_.empty()) EvictLocked();
+}
+
+int SharedWindowNode::subscribers() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(subs_.size());
+}
+
+Result<exec::StageInput> SharedWindowNode::ReadExtent(int64_t lo,
+                                                      int64_t hi) const {
+  BasketView view;
+  if (rows_mode_) {
+    const int64_t origin = static_cast<int64_t>(origin_seq_);
+    const int64_t abs_lo = std::max<int64_t>(origin + lo, origin);
+    const int64_t abs_hi = std::max<int64_t>(origin + hi, abs_lo);
+    view = basket_->Read(static_cast<uint64_t>(abs_lo),
+                         static_cast<uint64_t>(abs_hi - abs_lo));
+  } else {
+    DC_ASSIGN_OR_RETURN(auto range, basket_->SeqRangeForTs(lo, hi));
+    const uint64_t seq_lo = std::max(range.first, origin_seq_);
+    const uint64_t seq_hi = std::max(range.second, seq_lo);
+    view = basket_->Read(seq_lo, seq_hi - seq_lo);
+  }
+  return exec::StageInput{std::move(view.cols), view.rows};
+}
+
+Status SharedWindowNode::EnsureRange(int64_t lo, int64_t hi,
+                                     std::vector<PartialPtr>* out,
+                                     uint64_t* built, uint64_t* hits,
+                                     uint64_t* rows_in) {
+  MutexLock lock(mu_);
+  const WindowMath gm(GridSpec());
+  const int64_t first = gm.BasicWindowOf(lo);
+  // Subsumption keeps tail extents grid-aligned; tolerate a ragged end
+  // anyway by covering through the last coordinate.
+  const int64_t last = lo < hi ? gm.BasicWindowOf(hi - 1) + 1 : first;
+  for (int64_t j = first; j < last; ++j) {
+    if (auto it = cache_.find(j); it != cache_.end()) {
+      out->push_back(it->second);
+      ++*hits;
+      ++hits_;
+      continue;
+    }
+    const auto [blo, bhi] = gm.BasicWindowExtent(j);
+    std::vector<exec::StageInput> raw(1);
+    DC_ASSIGN_OR_RETURN(raw[0], ReadExtent(blo, bhi));
+    *rows_in += raw[0].rows;
+    tuples_in_ += raw[0].rows;
+    DC_ASSIGN_OR_RETURN(exec::Partial p, executor_->ComputePartial(raw));
+    auto sp = std::make_shared<const exec::Partial>(std::move(p));
+    cache_.emplace(j, sp);
+    out->push_back(std::move(sp));
+    ++*built;
+    ++builds_;
+  }
+  return Status::OK();
+}
+
+void SharedWindowNode::Release(int sub_id, int64_t first_needed_bw) {
+  MutexLock lock(mu_);
+  auto it = subs_.find(sub_id);
+  if (it == subs_.end()) return;
+  if (first_needed_bw > it->second) it->second = first_needed_bw;
+  EvictLocked();
+}
+
+void SharedWindowNode::EvictLocked() {
+  int64_t min_mark = INT64_MAX;
+  for (const auto& [id, mark] : subs_) {
+    if (mark == kUnreleased) return;  // a tail still needs everything
+    min_mark = std::min(min_mark, mark);
+  }
+  if (subs_.empty() || min_mark == INT64_MAX) return;
+  cache_.erase(cache_.begin(), cache_.lower_bound(min_mark));
+  // Advance the shared reader to the first retained grid window's start
+  // (the Factory release rule, applied at the fleet minimum).
+  if (rows_mode_) {
+    if (min_mark <= 0) return;
+    basket_->AdvanceReader(
+        reader_id_,
+        origin_seq_ + static_cast<uint64_t>(min_mark) *
+                          static_cast<uint64_t>(grid_slide_));
+  } else {
+    if (min_mark <= INT64_MIN / grid_slide_ ||
+        min_mark >= INT64_MAX / grid_slide_) {
+      return;
+    }
+    const int64_t ts = min_mark * grid_slide_;
+    auto range = basket_->SeqRangeForTs(ts, ts + 1);
+    if (range.ok()) basket_->AdvanceReader(reader_id_, range->first);
+  }
+}
+
+SharedNodeStats SharedWindowNode::Stats() const {
+  MutexLock lock(mu_);
+  SharedNodeStats s;
+  s.label = label_;
+  s.stream = basket_->name();
+  s.subscribers = static_cast<int>(subs_.size());
+  s.grid_slide = grid_slide_;
+  s.rows = rows_mode_;
+  s.partial_builds = builds_;
+  s.sharing_hits = hits_;
+  s.tuples_in = tuples_in_;
+  s.cached_partials = cache_.size();
+  for (const auto& [j, p] : cache_) s.cached_bytes += p->MemoryBytes();
+  return s;
+}
+
+}  // namespace dc

@@ -54,6 +54,7 @@ void AnalysisPane::Sample(Engine& engine) {
   for (const ContinuousQueryInfo& q : engine.Queries()) {
     const std::string p = "query." + q.name;
     Record(p + ".emissions", now, static_cast<double>(q.factory.emissions));
+    Record(p + ".shared_with", now, static_cast<double>(q.shared_with));
     Record(p + ".tuples_out", now,
            static_cast<double>(q.factory.tuples_out));
     Record(p + ".cached_bytes", now,
@@ -74,6 +75,27 @@ void AnalysisPane::Sample(Engine& engine) {
   }
   Record("net.total_tuples_in", now, net_in);
   Record("net.total_tuples_out", now, net_out);
+
+  // Sharing pane (docs/SHARING.md): how much multi-query work the shared
+  // registry is absorbing, plus per-node subscriber/build counts.
+  const SharingStats sharing = engine.GetSharingStats();
+  Record("sharing.shared_nodes", now,
+         static_cast<double>(sharing.shared_nodes));
+  Record("sharing.shared_factories", now,
+         static_cast<double>(sharing.shared_factories));
+  Record("sharing.sharing_hits", now,
+         static_cast<double>(sharing.sharing_hits));
+  Record("sharing.hit_rate_per_s", now,
+         rate("sharing.hits_counter",
+              static_cast<double>(sharing.sharing_hits)));
+  for (const SharedNodeStats& n : sharing.nodes) {
+    const std::string p = "sharing.node." + n.label;
+    Record(p + ".subscribers", now, static_cast<double>(n.subscribers));
+    Record(p + ".partial_builds", now,
+           static_cast<double>(n.partial_builds));
+    Record(p + ".sharing_hits", now, static_cast<double>(n.sharing_hits));
+    Record(p + ".cached_bytes", now, static_cast<double>(n.cached_bytes));
+  }
 
   // Scheduler pane: global fire throughput and the per-shard ready-queue
   // picture (fires, steals, depths) of the sharded scheduler.

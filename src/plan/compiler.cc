@@ -72,6 +72,7 @@ class Compiler {
     }
     DC_RETURN_NOT_OK(BuildFinish());
     BuildClassification();
+    BuildSignatures();
     return std::move(out_);
   }
 
@@ -739,6 +740,153 @@ class Compiler {
           inc_ok ? "merge of sorted runs (each partial pre-sorted once)"
                  : fallback);
     }
+  }
+
+  // --- Sharing signatures (docs/SHARING.md) ---------------------------------
+
+  /// Canonical rendering of a bound expression. With `mask` set, literal
+  /// values become `?:<type>` and the value is filed into sig_params in
+  /// traversal order — so constant-differing queries collide on the
+  /// signature and the registry compares params separately. Unmasked
+  /// rendering inlines the value (used for the finish signature, where
+  /// only full identity shares).
+  void SigExpr(const BExpr& e, bool mask, std::string* out) {
+    switch (e.kind) {
+      case BKind::kLiteral:
+        if (mask) {
+          *out += StrFormat("?:%s", TypeName(e.literal.type()));
+          out_.sig_params.push_back(e.literal.ToString());
+        } else {
+          *out += e.literal.ToString();
+        }
+        return;
+      case BKind::kColRef:
+        *out += StrFormat("r%d.c%d", e.rel, e.col);
+        return;
+      case BKind::kKeyRef:
+        *out += StrFormat("key#%d", e.index);
+        return;
+      case BKind::kAggRef:
+        *out += StrFormat("agg#%d", e.index);
+        return;
+      case BKind::kArith:
+        *out += "(";
+        SigExpr(*e.children[0], mask, out);
+        *out += StrFormat(" %s ", ArithOpName(e.arith_op));
+        SigExpr(*e.children[1], mask, out);
+        *out += ")";
+        return;
+      case BKind::kCmp:
+        *out += "(";
+        SigExpr(*e.children[0], mask, out);
+        *out += StrFormat(" %s ", CmpOpName(e.cmp_op));
+        SigExpr(*e.children[1], mask, out);
+        *out += ")";
+        return;
+      case BKind::kAnd:
+      case BKind::kOr:
+        *out += "(";
+        SigExpr(*e.children[0], mask, out);
+        *out += e.kind == BKind::kAnd ? " AND " : " OR ";
+        SigExpr(*e.children[1], mask, out);
+        *out += ")";
+        return;
+      case BKind::kNot:
+        *out += "(NOT ";
+        SigExpr(*e.children[0], mask, out);
+        *out += ")";
+        return;
+    }
+  }
+
+  /// Fills prefix_signature / finish_signature / sig_params. The prefix
+  /// covers everything that shapes the per-basic-window fragment;
+  /// binder-resolved structures (not SQL text) make the rendering
+  /// canonical: aliases are gone, columns are (rel, col) indices, filters
+  /// appear in pushed-down order, aggregates are deduplicated. Window
+  /// geometry is deliberately excluded (only ROWS-vs-RANGE is part of the
+  /// prefix) so a shared node can serve subsumable geometries.
+  void BuildSignatures() {
+    const BoundQuery& q = out_.bound;
+    std::string p;
+    for (size_t r = 0; r < q.rels.size(); ++r) {
+      const BoundRelation& rel = q.rels[r];
+      p += StrFormat("rel%zu=%s:%s%s;", r, rel.is_stream ? "stream" : "table",
+                     rel.name.c_str(),
+                     rel.window ? (rel.window->rows ? "|rows" : "|range")
+                                : "");
+    }
+    for (size_t r = 0; r < q.rel_filters.size(); ++r) {
+      for (const BExprPtr& f : q.rel_filters[r]) {
+        p += StrFormat("filter%zu=", r);
+        SigExpr(*f, /*mask=*/true, &p);
+        p += ";";
+      }
+    }
+    if (q.join.has_value()) {
+      p += "join=";
+      SigExpr(*q.join->left, /*mask=*/true, &p);
+      p += "=";
+      SigExpr(*q.join->right, /*mask=*/true, &p);
+      p += ";";
+    }
+    for (const BExprPtr& f : q.post_join_filters) {
+      p += "postfilter=";
+      SigExpr(*f, /*mask=*/true, &p);
+      p += ";";
+    }
+    for (const BExprPtr& g : q.group_by) {
+      p += "key=";
+      SigExpr(*g, /*mask=*/true, &p);
+      p += ";";
+    }
+    for (const BoundAgg& a : q.aggs) {
+      p += StrFormat("agg=%s(", ops::AggKindName(a.kind));
+      if (a.arg) {
+        SigExpr(*a.arg, /*mask=*/true, &p);
+      } else {
+        p += "*";
+      }
+      p += StrFormat("):%s;", TypeName(a.out_type));
+    }
+    if (!q.is_aggregate) {
+      // Non-aggregate fragments materialize the select list and the
+      // hidden sort columns, so both belong to the prefix.
+      for (const BExprPtr& s : q.select_exprs) {
+        p += "sel=";
+        SigExpr(*s, /*mask=*/true, &p);
+        p += ";";
+      }
+      for (const auto& [e, asc] : q.order_by) {
+        p += asc ? "sortA=" : "sortD=";
+        SigExpr(*e, /*mask=*/true, &p);
+        p += ";";
+      }
+    }
+    out_.prefix_signature = std::move(p);
+
+    // Finish tail: only full identity shares it, so literals stay inline.
+    std::string t;
+    if (q.is_aggregate) {
+      for (const BExprPtr& s : q.select_exprs) {
+        t += "sel=";
+        SigExpr(*s, /*mask=*/false, &t);
+        t += ";";
+      }
+      if (q.having) {
+        t += "having=";
+        SigExpr(*q.having, /*mask=*/false, &t);
+        t += ";";
+      }
+      for (const auto& [e, asc] : q.order_by) {
+        t += asc ? "sortA=" : "sortD=";
+        SigExpr(*e, /*mask=*/false, &t);
+        t += ";";
+      }
+    }
+    t += StrFormat("limit=%lld;", static_cast<long long>(q.limit));
+    for (const std::string& n : q.out_names) t += "name=" + n + ";";
+    out_.finish_signature = std::move(t);
   }
 
   CompiledQuery out_;

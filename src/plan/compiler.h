@@ -118,6 +118,24 @@ struct CompiledQuery {
   std::vector<int> agg_arg_slots;
 
   FinishSpec finish;
+
+  /// Canonical fragment signatures for multi-query sharing (the engine's
+  /// shared-node registry, docs/SHARING.md). `prefix_signature` covers
+  /// everything that shapes the per-basic-window fragment — relations,
+  /// filters, join, grouping, aggregates (and, for non-aggregate queries,
+  /// the select list and sort exprs, which the fragment materializes) —
+  /// but NOT window geometry (registered separately, so window
+  /// subsumption can share partials across geometries) and NOT literal
+  /// constants, which are rendered as `?` with their values collected in
+  /// traversal order into `sig_params`. `finish_signature` covers the
+  /// per-query merge tail (finish-domain select/HAVING/ORDER BY, LIMIT,
+  /// output names). Two queries share work iff the relevant signatures
+  /// AND their sig_params match — masking constants makes near-identical
+  /// queries collide on the signature key so the registry can compare
+  /// params cheaply.
+  std::string prefix_signature;
+  std::string finish_signature;
+  std::vector<std::string> sig_params;
 };
 
 /// Compiles a bound query. Run the optimizer first (plan/optimizer.h).

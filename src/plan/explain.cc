@@ -49,7 +49,8 @@ std::string FinishToString(const CompiledQuery& cq, PlanMode mode) {
 }  // namespace
 
 std::string Explain(const CompiledQuery& cq, PlanMode mode,
-                    const OptimizerReport* report) {
+                    const OptimizerReport* report,
+                    const SharingNote* sharing) {
   const BoundQuery& q = cq.bound;
   std::string out;
   switch (mode) {
@@ -116,6 +117,18 @@ std::string Explain(const CompiledQuery& cq, PlanMode mode,
     out += "stage finish:\n";
   }
   out += FinishToString(cq, mode);
+  if (sharing != nullptr && mode != PlanMode::kOneTime) {
+    if (!sharing->enabled) {
+      out += "sharing: disabled (EngineOptions::enable_sharing = false)\n";
+    } else if (sharing->shared_with > 0) {
+      out += StrFormat("sharing: shared with %d quer%s (%s)\n",
+                       sharing->shared_with,
+                       sharing->shared_with == 1 ? "y" : "ies",
+                       sharing->detail.c_str());
+    } else {
+      out += "sharing: not shared (no matching standing queries)\n";
+    }
+  }
   out += "output: (";
   for (size_t i = 0; i < cq.finish.out_names.size(); ++i) {
     if (i > 0) out += ", ";

@@ -17,10 +17,23 @@ namespace dc::plan {
 
 enum class PlanMode { kOneTime, kContinuousFull, kContinuousIncremental };
 
+/// How this plan would share work with the engine's standing queries
+/// (filled by Engine::ExplainSql from the sharing registry,
+/// docs/SHARING.md). Rendered as the "sharing:" section.
+struct SharingNote {
+  bool enabled = false;  // EngineOptions::enable_sharing
+  /// Standing queries this plan would share a factory or shared window
+  /// node with (0: it would run alone).
+  int shared_with = 0;
+  std::string detail;  // e.g. "factory-level dedup", "window node pkts#1"
+};
+
 /// Human-readable plan listing for `mode`. Pass the optimizer report to
-/// include the applied-rewrites section.
+/// include the applied-rewrites section; pass `sharing` to include the
+/// continuous-plan sharing section.
 std::string Explain(const CompiledQuery& cq, PlanMode mode,
-                    const OptimizerReport* report = nullptr);
+                    const OptimizerReport* report = nullptr,
+                    const SharingNote* sharing = nullptr);
 
 }  // namespace dc::plan
 

@@ -96,19 +96,25 @@ namespace dc {
 /// each rank guards and why each edge exists — lives in
 /// docs/CONCURRENCY.md; keep the two in sync when adding a rank.
 ///
-/// Values are spaced so future subsystems (shared multi-query registry,
-/// engine shards, WAL) can slot between existing ranks without renumber-
-/// ing the world.
+/// Values are spaced so future subsystems (engine shards, WAL) can slot
+/// between existing ranks without renumbering the world — the sharing
+/// registry (25) and shared window nodes (65) landed exactly that way.
 enum class LockRank : int {
   kMonitor = 10,        // monitor::AnalysisPane::mu_ (holds while sampling
                         // the whole engine, so it is the outermost rank)
   kEmitterDrain = 20,   // Emitter::drain_mu_ (sinks run under it and may
                         // re-enter Engine, so it precedes kEngine)
+  kSharingRegistry = 25,  // Engine::share_mu_ (multi-query sharing registry;
+                          // held across SubmitContinuous/RemoveContinuous
+                          // bookkeeping, which takes kEngine and scheduler
+                          // locks underneath)
   kEngine = 30,         // Engine::mu_ (registry of baskets/queries/receptors)
   kCatalog = 40,        // Catalog::mu_
   kReceptorPause = 50,  // Receptor::pause_mu_
   kFactory = 60,        // Factory::mu_ (Fire holds it across basket I/O and
                         // the output-basket pulse into the scheduler)
+  kSharedNode = 65,     // SharedWindowNode::mu_ (a tail Fire holds kFactory,
+                        // calls into its shared node, which reads baskets)
   kSchedRegistry = 70,  // Scheduler::reg_mu_ (reg -> shard -> idle)
   kSchedShard = 80,     // Scheduler::Shard::mu
   kSchedIdle = 90,      // Scheduler::idle_mu_
@@ -126,6 +132,8 @@ inline const char* LockRankName(LockRank r) {
       return "monitor";
     case LockRank::kEmitterDrain:
       return "emitter-drain";
+    case LockRank::kSharingRegistry:
+      return "sharing-registry";
     case LockRank::kEngine:
       return "engine";
     case LockRank::kCatalog:
@@ -134,6 +142,8 @@ inline const char* LockRankName(LockRank r) {
       return "receptor-pause";
     case LockRank::kFactory:
       return "factory";
+    case LockRank::kSharedNode:
+      return "shared-node";
     case LockRank::kSchedRegistry:
       return "sched-registry";
     case LockRank::kSchedShard:

@@ -232,7 +232,11 @@ TEST(BasketTest, BlockedAppendWakesWhenReaderFreesSpace) {
   const int r = b.RegisterReader(true);
   ASSERT_TRUE(b.Append({Bat::MakeTs({1, 2}), Bat::MakeI64({1, 2})}).ok());
   std::thread consumer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Wait for the producer to actually stall (the counter bumps before
+    // the wait) so the stall assertion below can't race a loaded machine.
+    while (b.Stats().append_stalls == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     b.AdvanceReader(r, 2);
   });
   // Blocks until the consumer drains, then lands without loss.

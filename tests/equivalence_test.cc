@@ -685,5 +685,214 @@ TEST_F(DeltaJoinLongHorizon, PreAggPathCountersMatchBruteForce) {
   EXPECT_GT(empty_emissions, 0);
 }
 
+// --- Shared vs unshared differential matrix (docs/SHARING.md) -------------
+//
+// The sharing registry must be invisible in the output: every query running
+// in a shared engine (one receptor fan-out per stream, shared window nodes,
+// deduplicated factories) must emit byte-for-byte what it emits alone in an
+// engine with EngineOptions::enable_sharing = false. The matrix covers
+// factory-level dedup (identical texts, incl. joins and full re-evaluation
+// mode), shared window nodes (same fragment prefix, differing HAVING/LIMIT
+// tails), window subsumption (coarser compatible slides riding a finer
+// grid), and the paths sharing must NOT capture (non-divisible fallback,
+// incompatible slides).
+
+EngineOptions SharingOpts(bool enable) {
+  EngineOptions o = testutil::SyncOptions();
+  o.enable_sharing = enable;
+  return o;
+}
+
+class SharingDifferential : public ::testing::Test {
+ protected:
+  struct ShareCase {
+    std::string sql;
+    ExecMode mode = ExecMode::kIncremental;
+  };
+
+  static void Ddl(Engine& e) {
+    ASSERT_TRUE(
+        e.Execute("CREATE STREAM s (ts timestamp, g int, v int, w double)")
+            .ok());
+    ASSERT_TRUE(
+        e.Execute("CREATE STREAM r (rts timestamp, kr int, y int)").ok());
+  }
+
+  /// Identical deterministic feed for the shared engine and every solo
+  /// replay: both streams advance on one timestamp sequence.
+  static void Feed(Engine& e) {
+    const std::vector<Row> rows = MakeRows(4242, 240);
+    for (const Row& r : rows) {
+      ASSERT_TRUE(
+          e.PushRow("s", {Value::Ts(r.ts_us), Value::I64(r.g), Value::I64(r.v),
+                          Value::F64(static_cast<double>(r.w16) / 16.0)})
+              .ok());
+      ASSERT_TRUE(e.PushRow("r", {Value::Ts(r.ts_us), Value::I64(r.v % 5),
+                                  Value::I64(r.w16)})
+                      .ok());
+      e.Pump();
+    }
+    ASSERT_TRUE(e.SealStream("s").ok());
+    ASSERT_TRUE(e.SealStream("r").ok());
+    e.Pump();
+  }
+
+  /// Runs every case concurrently in `shared` and each case alone in a
+  /// fresh unshared engine; emissions must match byte-for-byte.
+  void RunMatrix(const std::vector<ShareCase>& cases, Engine* shared) {
+    ASSERT_NO_FATAL_FAILURE(Ddl(*shared));
+    for (const ShareCase& c : cases) {
+      auto qid = shared->SubmitContinuous(c.sql, testutil::WithMode(c.mode));
+      ASSERT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << c.sql;
+      query_ids_.push_back(*qid);
+    }
+    ASSERT_NO_FATAL_FAILURE(Feed(*shared));
+    for (size_t i = 0; i < cases.size(); ++i) {
+      auto got = shared->TakeResults(query_ids_[i]);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_GT(got->size(), 2u) << cases[i].sql;
+
+      Engine solo(SharingOpts(false));
+      ASSERT_NO_FATAL_FAILURE(Ddl(solo));
+      auto sq = solo.SubmitContinuous(cases[i].sql,
+                                      testutil::WithMode(cases[i].mode));
+      ASSERT_TRUE(sq.ok()) << sq.status().ToString() << "\nsql: "
+                           << cases[i].sql;
+      ASSERT_NO_FATAL_FAILURE(Feed(solo));
+      auto want = solo.TakeResults(*sq);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      EXPECT_EQ(testutil::EmissionStrings(*got),
+                testutil::EmissionStrings(*want))
+          << "query " << i << " diverges under sharing\nsql: " << cases[i].sql;
+    }
+  }
+
+  std::vector<int> query_ids_;
+};
+
+TEST_F(SharingDifferential, RangePrefixFamilyWithSubsumptionAndFallback) {
+  std::vector<ShareCase> cases;
+  // Same fragment prefix, four HAVING constants: one shared node, four tails.
+  for (int i = 0; i < 4; ++i) {
+    cases.push_back({StrFormat(
+        "SELECT g, count(*), sum(v), avg(w) FROM s "
+        "[RANGE 4 SECONDS SLIDE 1 SECONDS] "
+        "GROUP BY g HAVING count(*) > %d ORDER BY g", i)});
+  }
+  // Coarser compatible geometry rides the same node (slide 2 on grid 1).
+  cases.push_back({"SELECT g, count(*), sum(v), avg(w) FROM s "
+                   "[RANGE 8 SECONDS SLIDE 2 SECONDS] "
+                   "GROUP BY g HAVING count(*) > 1 ORDER BY g"});
+  // Non-divisible window: must stay on the solo full-reevaluation fallback.
+  cases.push_back({"SELECT g, count(*), sum(v), avg(w) FROM s "
+                   "[RANGE 6 SECONDS SLIDE 4 SECONDS] "
+                   "GROUP BY g HAVING count(*) > 1 ORDER BY g"});
+
+  Engine shared(SharingOpts(true));
+  RunMatrix(cases, &shared);
+
+  const SharingStats ss = shared.GetSharingStats();
+  EXPECT_TRUE(ss.enabled);
+  ASSERT_EQ(ss.shared_nodes, 1u);
+  EXPECT_EQ(ss.nodes[0].subscribers, 5);
+  EXPECT_EQ(ss.prefix_hits, 4u);
+  EXPECT_GT(ss.sharing_hits, 0u);
+  // Six queries, two basket readers: the shared node plus the one fallback
+  // factory — receptor fan-out is per shared node, not per query.
+  EXPECT_EQ(shared.StreamStats("s")->readers, 2u);
+  EXPECT_TRUE(shared.GetFactory(query_ids_.back())->Stats().fell_back_to_full);
+  EXPECT_FALSE(
+      shared.GetFactory(query_ids_.front())->Stats().fell_back_to_full);
+
+  // The monitor-facing per-query sharing note names the node for members.
+  int noted = 0;
+  for (const ContinuousQueryInfo& q : shared.Queries()) {
+    if (q.sharing.find("node") != std::string::npos) ++noted;
+  }
+  EXPECT_EQ(noted, 5);
+}
+
+TEST_F(SharingDifferential, RowsPrefixFamilyWithSubsumption) {
+  std::vector<ShareCase> cases;
+  for (int i = 0; i < 3; ++i) {
+    cases.push_back({StrFormat(
+        "SELECT g, count(*), sum(v) FROM s [ROWS 12 SLIDE 4] "
+        "GROUP BY g HAVING count(*) > %d ORDER BY g", i)});
+  }
+  // ROWS subsumption: slide 8 rides the 4-row grid.
+  cases.push_back({"SELECT g, count(*), sum(v) FROM s [ROWS 24 SLIDE 8] "
+                   "GROUP BY g HAVING count(*) > 0 ORDER BY g"});
+
+  Engine shared(SharingOpts(true));
+  RunMatrix(cases, &shared);
+
+  const SharingStats ss = shared.GetSharingStats();
+  ASSERT_EQ(ss.shared_nodes, 1u);
+  EXPECT_EQ(ss.nodes[0].subscribers, 4);
+  EXPECT_EQ(ss.prefix_hits, 3u);
+  EXPECT_EQ(shared.StreamStats("s")->readers, 1u);
+}
+
+TEST_F(SharingDifferential, FactoryDedupForDuplicateTextsJoinsAndFullMode) {
+  const char* kAgg =
+      "SELECT count(*), sum(v) FROM s [RANGE 2 SECONDS SLIDE 2 SECONDS]";
+  const char* kFull =
+      "SELECT g, count(*) FROM s [RANGE 4 SECONDS SLIDE 2 SECONDS] "
+      "GROUP BY g ORDER BY g";
+  const char* kJoin =
+      "SELECT count(*), sum(v), sum(y) FROM "
+      "s [RANGE 4 SECONDS SLIDE 2 SECONDS] JOIN "
+      "r [RANGE 4 SECONDS SLIDE 2 SECONDS] ON g = kr";
+  const std::vector<ShareCase> cases = {
+      {kAgg}, {kAgg},  // identical incremental window aggregates
+      {kFull, ExecMode::kFullReeval},  // identical full-reeval queries
+      {kFull, ExecMode::kFullReeval},
+      {kJoin}, {kJoin},  // identical stream-stream delta joins
+      // Same join text in the other mode: must NOT dedup across modes.
+      {kJoin, ExecMode::kFullReeval},
+  };
+
+  Engine shared(SharingOpts(true));
+  RunMatrix(cases, &shared);
+
+  const SharingStats ss = shared.GetSharingStats();
+  EXPECT_EQ(ss.full_hits, 3u);
+  EXPECT_EQ(ss.shared_factories, 3u);
+  int aliased = 0;
+  for (const ContinuousQueryInfo& q : shared.Queries()) {
+    if (q.shared_with > 1) {
+      EXPECT_EQ(q.shared_with, 2);
+      ++aliased;
+    }
+  }
+  EXPECT_EQ(aliased, 6);
+}
+
+TEST_F(SharingDifferential, IncompatibleSlidesSplitNodes) {
+  // Grid 2 s first; slide 3 s does not divide it, so the same prefix gets a
+  // second node. Later queries join the first compatible node.
+  const std::vector<ShareCase> cases = {
+      {"SELECT g, count(*) FROM s [RANGE 4 SECONDS SLIDE 2 SECONDS] "
+       "GROUP BY g ORDER BY g"},
+      {"SELECT g, count(*) FROM s [RANGE 9 SECONDS SLIDE 3 SECONDS] "
+       "GROUP BY g ORDER BY g"},
+      {"SELECT g, count(*) FROM s [RANGE 12 SECONDS SLIDE 6 SECONDS] "
+       "GROUP BY g ORDER BY g"},
+      {"SELECT g, count(*) FROM s [RANGE 12 SECONDS SLIDE 3 SECONDS] "
+       "GROUP BY g ORDER BY g"},
+  };
+
+  Engine shared(SharingOpts(true));
+  RunMatrix(cases, &shared);
+
+  const SharingStats ss = shared.GetSharingStats();
+  ASSERT_EQ(ss.shared_nodes, 2u);
+  EXPECT_EQ(ss.prefix_hits, 2u);
+  EXPECT_EQ(shared.StreamStats("s")->readers, 2u);
+  int subs = 0;
+  for (const SharedNodeStats& n : ss.nodes) subs += n.subscribers;
+  EXPECT_EQ(subs, 4);
+}
+
 }  // namespace
 }  // namespace dc

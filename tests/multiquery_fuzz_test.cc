@@ -1,0 +1,284 @@
+// Randomized multi-query sharing fuzzer (docs/SHARING.md).
+//
+// Draws 8-32 queries from a small grammar biased toward shareable shapes
+// (same fragment prefixes, compatible window grids) and runs them all in
+// one sharing engine against a per-query solo oracle (a fresh engine with
+// EngineOptions::enable_sharing = false over identical data). Any
+// divergence is shrunk by greedily dropping co-registered queries until a
+// minimal diverging set remains, which is what the failure message prints.
+//
+// Also hosts the register/unregister-during-ingest lifecycle churn test:
+// queries come and go while a producer thread feeds the stream, and at the
+// end every refcount must have hit zero — no shared nodes, no scheduler
+// arcs or factories, no basket readers left behind. Run under ASan/TSan in
+// CI (the `multiquery_churn` CTest entry is in the repeat-until-fail set).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace dc {
+namespace {
+
+EngineOptions FuzzOpts(bool sharing) {
+  EngineOptions o = testutil::SyncOptions();
+  o.enable_sharing = sharing;
+  return o;
+}
+
+/// One query from the grammar: aggregate / grouped / projection shapes over
+/// RANGE and ROWS windows whose slides mostly share a grid (1, 2, 4), with
+/// occasional non-divisible geometries to exercise the solo fallback and
+/// occasional full re-evaluation mode to exercise factory-level dedup.
+std::string GenQuery(Rng& rng, ExecMode* mode) {
+  *mode = rng.UniformInt(0, 7) == 0 ? ExecMode::kFullReeval
+                                    : ExecMode::kIncremental;
+  std::string window;
+  if (rng.UniformInt(0, 3) == 0) {
+    const int64_t slide = 4 * (1 + rng.UniformInt(0, 1));          // 4 or 8
+    const int64_t size = slide * (1 + rng.UniformInt(0, 2));       // 1-3 grids
+    window = StrFormat("ROWS %lld SLIDE %lld", static_cast<long long>(size),
+                       static_cast<long long>(slide));
+  } else if (rng.UniformInt(0, 9) == 0) {
+    window = "RANGE 6 SECONDS SLIDE 4 SECONDS";  // non-divisible fallback
+  } else {
+    const int64_t slide = int64_t{1} << rng.UniformInt(0, 2);      // 1, 2, 4
+    const int64_t size = slide * (1 + rng.UniformInt(0, 3));       // 1-4 grids
+    window =
+        StrFormat("RANGE %lld SECONDS SLIDE %lld SECONDS",
+                  static_cast<long long>(size), static_cast<long long>(slide));
+  }
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      return StrFormat(
+          "SELECT g, count(*), sum(v) FROM s [%s] "
+          "GROUP BY g HAVING count(*) > %lld ORDER BY g",
+          window.c_str(), static_cast<long long>(rng.UniformInt(0, 6)));
+    case 1:
+      return StrFormat("SELECT count(*), sum(v), min(v), max(v) FROM s [%s]",
+                       window.c_str());
+    case 2:
+      return StrFormat(
+          "SELECT g, count(*), avg(w) FROM s [%s] GROUP BY g ORDER BY g",
+          window.c_str());
+    default:
+      return StrFormat(
+          "SELECT ts, g, v FROM s [%s] WHERE v > %lld ORDER BY ts, g, v",
+          window.c_str(), static_cast<long long>(rng.UniformInt(-20, 20)));
+  }
+}
+
+struct FuzzQuery {
+  std::string sql;
+  ExecMode mode;
+};
+
+void Ddl(Engine& e) {
+  ASSERT_TRUE(
+      e.Execute("CREATE STREAM s (ts timestamp, g int, v int, w double)")
+          .ok());
+}
+
+void Feed(Engine& e, uint64_t data_seed, int n) {
+  Rng rng(data_seed);
+  int64_t ts_sec = 0;
+  for (int i = 0; i < n; ++i) {
+    ts_sec += rng.UniformInt(0, 3) / 2;  // 0 or 1 s per row
+    ASSERT_TRUE(
+        e.PushRow("s",
+                  {Value::Ts(ts_sec * kMicrosPerSecond),
+                   Value::I64(rng.UniformInt(0, 5)),
+                   Value::I64(rng.UniformInt(-50, 50)),
+                   Value::F64(static_cast<double>(rng.UniformInt(0, 160)) /
+                              16.0)})
+            .ok());
+    e.Pump();
+  }
+  ASSERT_TRUE(e.SealStream("s").ok());
+  e.Pump();
+}
+
+constexpr int kFeedRows = 200;
+
+/// All queries in one sharing engine; one emission-string vector per query.
+std::vector<std::vector<std::string>> RunShared(
+    const std::vector<FuzzQuery>& queries, uint64_t data_seed) {
+  Engine engine(FuzzOpts(true));
+  Ddl(engine);
+  std::vector<int> ids;
+  for (const FuzzQuery& q : queries) {
+    auto qid = engine.SubmitContinuous(q.sql, testutil::WithMode(q.mode));
+    EXPECT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << q.sql;
+    ids.push_back(qid.ok() ? *qid : -1);
+  }
+  Feed(engine, data_seed, kFeedRows);
+  std::vector<std::vector<std::string>> out;
+  for (int id : ids) {
+    auto res = engine.TakeResults(id);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    out.push_back(res.ok() ? testutil::EmissionStrings(*res)
+                           : std::vector<std::string>{});
+  }
+  return out;
+}
+
+/// The oracle: the same query alone in an engine with sharing disabled.
+std::vector<std::string> RunSolo(const FuzzQuery& q, uint64_t data_seed) {
+  Engine engine(FuzzOpts(false));
+  Ddl(engine);
+  auto qid = engine.SubmitContinuous(q.sql, testutil::WithMode(q.mode));
+  EXPECT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << q.sql;
+  if (!qid.ok()) return {};
+  Feed(engine, data_seed, kFeedRows);
+  auto res = engine.TakeResults(*qid);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? testutil::EmissionStrings(*res)
+                  : std::vector<std::string>{};
+}
+
+/// Greedy shrink: drop co-registered queries one at a time as long as the
+/// victim query still diverges from its solo oracle in the reduced set.
+std::vector<FuzzQuery> Shrink(std::vector<FuzzQuery> queries, size_t victim,
+                              const std::vector<std::string>& oracle,
+                              uint64_t data_seed) {
+  for (size_t j = 0; j < queries.size();) {
+    if (j == victim) {
+      ++j;
+      continue;
+    }
+    std::vector<FuzzQuery> reduced = queries;
+    reduced.erase(reduced.begin() + static_cast<ptrdiff_t>(j));
+    const size_t v = victim - (j < victim ? 1 : 0);
+    if (RunShared(reduced, data_seed)[v] != oracle) {
+      queries = std::move(reduced);
+      victim = v;
+    } else {
+      ++j;
+    }
+  }
+  return queries;
+}
+
+TEST(MultiQueryFuzz, SharedMatchesSoloOracle) {
+  uint64_t base_seed = 20260809;
+  int rounds = 3;
+  if (const char* env = std::getenv("DC_FUZZ_SEED")) {
+    base_seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("DC_FUZZ_ROUNDS")) {
+    rounds = std::atoi(env);
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(round);
+    Rng rng(seed);
+    const int nq = static_cast<int>(rng.UniformInt(8, 32));
+    std::vector<FuzzQuery> queries;
+    for (int i = 0; i < nq; ++i) {
+      FuzzQuery q;
+      q.sql = GenQuery(rng, &q.mode);
+      queries.push_back(std::move(q));
+    }
+    const uint64_t data_seed = seed * 31 + 7;
+    const std::vector<std::vector<std::string>> shared =
+        RunShared(queries, data_seed);
+    ASSERT_EQ(shared.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const std::vector<std::string> oracle = RunSolo(queries[i], data_seed);
+      if (shared[i] == oracle) continue;
+      const std::vector<FuzzQuery> minimal =
+          Shrink(queries, i, oracle, data_seed);
+      std::string repro = StrFormat(
+          "seed %llu: query diverges under sharing\nvictim: %s\n"
+          "minimal co-registered set (%zu queries):\n",
+          static_cast<unsigned long long>(seed), queries[i].sql.c_str(),
+          minimal.size());
+      for (const FuzzQuery& q : minimal) {
+        repro += "  " + q.sql +
+                 (q.mode == ExecMode::kFullReeval ? "  [full]\n" : "\n");
+      }
+      FAIL() << repro;
+    }
+  }
+}
+
+// --- Register/unregister churn during ingest (lifecycle) ------------------
+//
+// Queries come and go while a producer feeds the stream: every submit may
+// create or join a shared node / alias a factory, every remove drops a
+// refcount, and removal of the last subscriber must tear the shared state
+// down while fires are still in flight. Asserts the end state only (all
+// refcounts zero, nothing orphaned); emission equality for steady-state
+// registrations is pinned by the differential suites. Sanitizer presets
+// make this a use-after-free and race hunt.
+TEST(MultiQueryChurn, RegisterUnregisterDuringIngest) {
+  EngineOptions opts = testutil::Threaded(2);
+  opts.enable_sharing = true;
+  Engine engine(opts);
+  ASSERT_TRUE(
+      engine.Execute("CREATE STREAM s (ts timestamp, g int, v int, w double)")
+          .ok());
+
+  constexpr int kRows = 2000;
+  std::thread producer([&] {
+    Rng rng(555);
+    int64_t ts_sec = 0;
+    for (int i = 0; i < kRows; ++i) {
+      ts_sec += rng.UniformInt(0, 3) / 2;
+      ASSERT_TRUE(
+          engine
+              .PushRow("s",
+                       {Value::Ts(ts_sec * kMicrosPerSecond),
+                        Value::I64(rng.UniformInt(0, 5)),
+                        Value::I64(rng.UniformInt(-50, 50)),
+                        Value::F64(
+                            static_cast<double>(rng.UniformInt(0, 160)) /
+                            16.0)})
+              .ok());
+    }
+  });
+
+  Rng rng(717);
+  std::deque<int> active;
+  for (int i = 0; i < 80; ++i) {
+    FuzzQuery q;
+    q.sql = GenQuery(rng, &q.mode);
+    auto qid = engine.SubmitContinuous(q.sql, testutil::WithMode(q.mode));
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString() << "\nsql: " << q.sql;
+    active.push_back(*qid);
+    while (active.size() > 8) {
+      ASSERT_TRUE(engine.RemoveContinuous(active.front()).ok());
+      active.pop_front();
+    }
+    if (i % 5 == 0) (void)engine.GetSharingStats();
+    std::this_thread::yield();
+  }
+  producer.join();
+  ASSERT_TRUE(engine.SealStream("s").ok());
+  ASSERT_TRUE(engine.WaitIdle());
+  while (!active.empty()) {
+    ASSERT_TRUE(engine.RemoveContinuous(active.front()).ok());
+    active.pop_front();
+  }
+
+  // Every refcount must have hit zero: no shared nodes, no scheduler
+  // factories or arcs, no basket readers left registered.
+  const SharingStats ss = engine.GetSharingStats();
+  EXPECT_EQ(ss.shared_nodes, 0u);
+  EXPECT_EQ(ss.shared_factories, 0u);
+  const SchedulerStats sched = engine.SchedStats();
+  EXPECT_EQ(sched.factories, 0u);
+  EXPECT_EQ(sched.arcs, 0u);
+  EXPECT_EQ(engine.StreamStats("s")->readers, 0u);
+}
+
+}  // namespace
+}  // namespace dc
