@@ -1,0 +1,121 @@
+// Tracing overhead guard (ISSUE 9): the event tracer must be effectively
+// free when EngineOptions::enable_tracing is off (one relaxed atomic load
+// per span site) and cheap when on. This harness runs a fixed deterministic
+// workload — sync engine, incremental windowed aggregate, bulk batches —
+// with tracing off and on, interleaved, and fails (exit 1) if the best-of-N
+// traced time exceeds the best-of-N untraced time by more than ~3% plus an
+// absolute slack that absorbs timer noise at smoke scale.
+//
+// Side product: writes trace.json (Chrome trace_event JSON, loadable in
+// Perfetto / chrome://tracing) from the traced runs, and checks the dump
+// round-trips the expected span names. CI uploads it as an artifact.
+
+#include <algorithm>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "monitor/trace.h"
+#include "workload/generators.h"
+
+namespace dc {
+namespace {
+
+using bench::Banner;
+using bench::FeedAndPump;
+using workload::SensorBatch;
+using workload::SensorConfig;
+
+constexpr uint64_t kRows = 400000;
+constexpr uint64_t kBatchRows = 512;
+constexpr int kReps = 5;
+
+// Relative + absolute slack. The absolute floor keeps sub-second smoke
+// runs from flaking on scheduler jitter a pure percentage would amplify.
+constexpr double kMaxOverheadFrac = 0.03;
+constexpr Micros kAbsSlackMicros = 75 * kMicrosPerMilli;
+
+Micros RunOnce(bool tracing, const std::vector<std::vector<BatPtr>>& batches) {
+  EngineOptions opts = bench::Sync();
+  opts.enable_tracing = tracing;
+  Engine engine(opts);
+  DC_CHECK_OK(engine.Execute(workload::SensorDdl("s")));
+  auto q = engine.SubmitContinuous(
+      "SELECT sensor, AVG(temp), COUNT(*) FROM s "
+      "[RANGE 200 MILLISECONDS SLIDE 50 MILLISECONDS] GROUP BY sensor",
+      bench::QueryOpts(ExecMode::kIncremental, "trace_probe",
+                       bench::NullSink()));
+  DC_CHECK_OK(q.status());
+  return FeedAndPump(engine, "s", batches);
+}
+
+bool DumpAndCheckTrace() {
+  const std::string json = trace::DumpJson();
+  FILE* f = fopen("trace.json", "w");
+  if (f == nullptr) {
+    printf("  !! cannot write trace.json\n");
+    return false;
+  }
+  fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  printf("wrote trace.json (%zu bytes, %llu buffered events)\n", json.size(),
+         static_cast<unsigned long long>(trace::BufferedEventsForTest()));
+  bool ok = true;
+  for (const char* span : {"traceEvents", "factory.fire", "basket.append",
+                           "emitter.drain"}) {
+    if (json.find(span) == std::string::npos) {
+      printf("  !! trace.json is missing \"%s\"\n", span);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace dc
+
+int main() {
+  using namespace dc;
+  Banner("T1", "tracing overhead: fixed workload, tracing off vs on");
+
+  SensorConfig config;
+  config.rows = kRows;
+  std::vector<std::vector<BatPtr>> batches;
+  for (uint64_t off = 0; off < kRows; off += kBatchRows) {
+    batches.push_back(
+        SensorBatch(config, off, std::min(kBatchRows, kRows - off)));
+  }
+
+  RunOnce(false, batches);  // warm-up: page in code + allocator state
+
+  Micros best_off = INT64_MAX;
+  Micros best_on = INT64_MAX;
+  printf("\n%4s | %12s %12s\n", "rep", "off", "on");
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Micros off = RunOnce(false, batches);
+    const Micros on = RunOnce(true, batches);
+    best_off = std::min(best_off, off);
+    best_on = std::min(best_on, on);
+    printf("%4d | %12s %12s\n", rep, FormatDuration(off).c_str(),
+           FormatDuration(on).c_str());
+  }
+
+  const Micros slack = std::max(
+      static_cast<Micros>(kMaxOverheadFrac * static_cast<double>(best_off)),
+      kAbsSlackMicros);
+  const Micros delta = best_on - best_off;
+  printf("\nbest off %s, best on %s, delta %+lld us (allowed +%lld us)\n",
+         FormatDuration(best_off).c_str(), FormatDuration(best_on).c_str(),
+         static_cast<long long>(delta), static_cast<long long>(slack));
+
+  const bool trace_ok = DumpAndCheckTrace();
+  if (delta > slack) {
+    printf("FAIL: tracing overhead above budget\n");
+    return 1;
+  }
+  if (!trace_ok) {
+    printf("FAIL: trace.json round-trip incomplete\n");
+    return 1;
+  }
+  printf("PASS: tracing overhead within budget\n");
+  return 0;
+}

@@ -13,6 +13,12 @@ one basket reader and do O(1) partial builds per slide, i.e.
 build_ratio (unshared builds / shared builds) >= N / 2, and both runs
 must produce the same emission count.
 
+--linear-road mode (BENCH_linear_road.json): fails when the p99
+notification response time measured on the engine's ingest->delivery
+latency path (docs/OBSERVABILITY.md) exceeds --max-p99-ms (default: the
+artifact's own scaled LRB deadline, 250 ms at 20x replay), or when any
+notification missed the deadline.
+
 Non-fatal diagnostics: the join speedup curve is expected to be
 monotonically increasing in n_bw; inversions are printed as warnings so
 noisy smoke timings do not flake CI, while the headline points stay hard
@@ -21,6 +27,8 @@ gates.
 Usage: check_bench_regression.py BENCH_incremental.json [--n-bw N]
        [--min-speedup X]
        check_bench_regression.py BENCH_multiquery.json --multiquery
+       check_bench_regression.py BENCH_linear_road.json --linear-road
+       [--max-p99-ms X]
 """
 
 import argparse
@@ -110,14 +118,56 @@ def check_multiquery(bench, args) -> int:
     return 0
 
 
+def check_linear_road(bench, args) -> int:
+    try:
+        latency = bench["latency_ms"]
+        deadline = bench["deadline_ms"]
+        misses = bench["deadline_misses"]
+        emissions = bench["emissions"]
+    except KeyError as e:
+        print(f"FAIL: {args.json_path} is missing key {e}")
+        return 1
+
+    budget = args.max_p99_ms if args.max_p99_ms is not None else deadline
+    print(f"linear road ({args.json_path}): xways={bench.get('xways')} "
+          f"rows={bench.get('rows')} emissions={emissions}")
+    print(f"  p50={latency['p50']:.3f}ms p99={latency['p99']:.3f}ms "
+          f"max={latency['max']:.3f}ms misses={misses} "
+          f"(deadline {deadline:.0f}ms)")
+
+    failed = False
+    if emissions == 0:
+        print("FAIL: no notifications were delivered — the latency path "
+              "recorded nothing")
+        failed = True
+    if latency["p99"] > budget:
+        print(f"FAIL: p99 notification latency {latency['p99']:.3f}ms "
+              f"exceeds the {budget:.0f}ms budget")
+        failed = True
+    if misses > 0:
+        print(f"FAIL: {misses} notification(s) missed the scaled LRB "
+              f"deadline")
+        failed = True
+    if failed:
+        return 1
+    print(f"OK: p99 {latency['p99']:.3f}ms within {budget:.0f}ms, "
+          f"0 deadline misses over {emissions} notifications")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path", help="path to a BENCH_*.json artifact")
     parser.add_argument("--multiquery", action="store_true",
                         help="gate BENCH_multiquery.json sharing results")
+    parser.add_argument("--linear-road", action="store_true",
+                        help="gate BENCH_linear_road.json response times")
     parser.add_argument("--scenario", default="join")
     parser.add_argument("--n-bw", type=int, default=8)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="p99 budget for --linear-road (default: the "
+                             "artifact's deadline_ms)")
     args = parser.parse_args()
 
     try:
@@ -129,6 +179,8 @@ def main() -> int:
 
     if args.multiquery:
         return check_multiquery(bench, args)
+    if args.linear_road:
+        return check_linear_road(bench, args)
     return check_join(bench, args)
 
 

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "monitor/trace.h"
 #include "util/string_util.h"
 
 namespace dc {
+
+namespace {
+/// Bound on retained watermark stamps; beyond it the oldest are trimmed
+/// and stamp lookups for trimmed boundaries fall back conservatively.
+constexpr size_t kMaxWatermarkStamps = 8192;
+}  // namespace
 
 Basket::Basket(std::string name, Schema schema, size_t ts_col,
                BasketLimits limits)
@@ -72,6 +79,8 @@ Status Basket::WaitForSpaceLocked(uint64_t n, Micros timeout_micros) {
   // (and batches larger than the bound still make progress).
   if (n == 0 || !limits_.bounded() || !AtCapacityLocked()) return Status::OK();
   ++append_stalls_;
+  trace::Span stall_span("basket.stall", "basket",
+                         static_cast<int64_t>(n));
   bool admitted;
   if (timeout_micros < 0) {  // kBlockForever
     // An unbounded wait is satisfiable only if a reader exists to free
@@ -116,19 +125,27 @@ Status Basket::WaitForSpaceLocked(uint64_t n, Micros timeout_micros) {
                 limits_.max_bytes));
 }
 
-Status Basket::Append(const std::vector<BatPtr>& cols, Micros timeout_micros) {
+Status Basket::Append(const std::vector<BatPtr>& cols, Micros timeout_micros,
+                      Micros ingest_us) {
+  // Stamp before any capacity wait: a batch stalled by backpressure is
+  // "in flight" from the producer's perspective, so the stall counts
+  // toward downstream ingest→delivery latency.
+  if (ingest_us < 0) ingest_us = SteadyMicros();
+  trace::Span span("basket.append", "basket",
+                   cols.empty() ? 0 : static_cast<int64_t>(cols[0]->size()));
   {
     MutexLock lock(mu_);
     uint64_t n = 0;
     DC_RETURN_NOT_OK(ValidateBatch(cols, &n));
     DC_RETURN_NOT_OK(WaitForSpaceLocked(n, timeout_micros));
-    DC_RETURN_NOT_OK(AppendLocked(cols));
+    DC_RETURN_NOT_OK(AppendLocked(cols, ingest_us));
   }
   NotifyAll();
   return Status::OK();
 }
 
-Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
+Status Basket::AppendLocked(const std::vector<BatPtr>& cols,
+                            Micros ingest_us) {
   const uint64_t n = cols.empty() ? 0 : cols[0]->size();
   if (n == 0) {
     // A zero-row batch carries no data but its boundary is an emission:
@@ -140,7 +157,7 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
     bool any_tracker = false;
     for (const auto& [id, st] : readers_) any_tracker |= st.tracks_batches;
     if (any_tracker) {
-      batches_.push_back(BasketBatch{append_batches_, high_, high_});
+      batches_.push_back(BasketBatch{append_batches_, high_, high_, ingest_us});
     }
     ++append_batches_;
     ++empty_batches_;
@@ -174,9 +191,10 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols) {
       cols_[i]->AppendRange(*cols[i], 0, n);
     }
   }
-  batches_.push_back(BasketBatch{append_batches_, high_, high_ + n});
+  batches_.push_back(BasketBatch{append_batches_, high_, high_ + n, ingest_us});
   ++append_batches_;
   high_ += n;
+  PushWatermarkStampLocked(watermark_, ingest_us);
   resident_hwm_rows_ = std::max(resident_hwm_rows_, high_ - base_);
   memory_hwm_bytes_ = std::max(memory_hwm_bytes_, MemoryBytesLocked());
   return Status::OK();
@@ -203,6 +221,7 @@ void Basket::Heartbeat(Micros event_ts) {
   {
     MutexLock lock(mu_);
     watermark_ = std::max(watermark_, event_ts);
+    PushWatermarkStampLocked(watermark_, SteadyMicros());
   }
   NotifyAll();
 }
@@ -210,9 +229,48 @@ void Basket::Heartbeat(Micros event_ts) {
 void Basket::Seal() {
   {
     MutexLock lock(mu_);
-    sealed_ = true;
+    if (!sealed_) {
+      sealed_ = true;
+      // Terminal stamp: sealed-flush emissions (fired although the
+      // watermark never reached their boundary) resolve their trigger
+      // time to the seal.
+      PushWatermarkStampLocked(INT64_MAX, SteadyMicros());
+    }
   }
   NotifyAll();
+}
+
+void Basket::PushWatermarkStampLocked(Micros watermark, Micros at_us) {
+  if (!wm_stamps_.empty() && wm_stamps_.back().watermark >= watermark) return;
+  wm_stamps_.push_back(WatermarkStamp{watermark, at_us});
+  if (wm_stamps_.size() > kMaxWatermarkStamps) wm_stamps_.pop_front();
+}
+
+Micros Basket::IngestStampForSeq(uint64_t end_seq) const {
+  MutexLock lock(mu_);
+  // batches_ is ascending in end_seq; find the first entry whose end_seq
+  // reaches `end_seq` (zero-row entries share an end_seq with the data
+  // batch before them, and lower_bound lands on the earlier — data —
+  // entry, which carries the arrival time we want).
+  auto it = std::lower_bound(
+      batches_.begin(), batches_.end(), end_seq,
+      [](const BasketBatch& b, uint64_t seq) { return b.end_seq < seq; });
+  if (it != batches_.end()) return it->ingest_us;
+  // The entry was trimmed (all surviving entries end below end_seq can't
+  // happen for a due emission, so this is the already-shrunk case): fall
+  // back to the oldest survivor — later than the truth, i.e. latency is
+  // underestimated, never inflated.
+  if (!batches_.empty()) return batches_.front().ingest_us;
+  return -1;
+}
+
+Micros Basket::IngestStampForWatermark(Micros ts) const {
+  MutexLock lock(mu_);
+  auto it = std::lower_bound(
+      wm_stamps_.begin(), wm_stamps_.end(), ts,
+      [](const WatermarkStamp& s, Micros t) { return s.watermark < t; });
+  if (it != wm_stamps_.end()) return it->at_us;
+  return -1;
 }
 
 bool Basket::sealed() const {

@@ -100,6 +100,13 @@ struct BasketBatch {
   uint64_t ordinal = 0;
   uint64_t begin_seq = 0;
   uint64_t end_seq = 0;
+  /// Ingest stamp (SteadyMicros) of the append that created this batch.
+  /// On stream baskets this is the arrival time; on factory output
+  /// baskets the factory passes through the *trigger* stamp of the input
+  /// batch that made the emission due, so an emitter's
+  /// `SteadyMicros() - ingest_us` is end-to-end ingest→delivery latency
+  /// (docs/OBSERVABILITY.md). < 0 when unknown.
+  Micros ingest_us = -1;
 };
 
 /// Thread-safe columnar stream buffer.
@@ -130,8 +137,15 @@ class Basket {
   /// `timeout_micros` for readers to free space (kBlockForever = wait
   /// indefinitely, 0 = fail immediately) and returns
   /// Status::ResourceExhausted when the wait expires.
+  ///
+  /// `ingest_us` is the batch's ingest stamp: < 0 (the default) stamps
+  /// the batch with SteadyMicros() at entry — *before* any capacity
+  /// wait, so backpressure stalls count toward downstream latency; a
+  /// caller relaying tuples it ingested earlier (receptor retry slices,
+  /// factories appending emissions to output baskets) passes the
+  /// original source stamp through instead.
   Status Append(const std::vector<BatPtr>& cols,
-                Micros timeout_micros = kBlockForever);
+                Micros timeout_micros = kBlockForever, Micros ingest_us = -1);
 
   /// Appends one row of values (type-coerced to the schema). Capacity
   /// semantics as Append.
@@ -215,6 +229,23 @@ class Basket {
   /// batch-tracking reader exists to deliver them.
   std::vector<BasketBatch> BatchesAfter(uint64_t from_ordinal) const;
 
+  // --- Latency stamps (docs/OBSERVABILITY.md) -------------------------------
+
+  /// Ingest stamp of the batch that brought the row count to `end_seq`
+  /// (i.e. the batch containing row end_seq-1) — the arrival time a
+  /// ROWS-window emission covering [.., end_seq) became due. Falls back
+  /// to the oldest surviving batch's stamp when the exact entry was
+  /// already trimmed; -1 when nothing is known.
+  Micros IngestStampForSeq(uint64_t end_seq) const;
+
+  /// Ingest stamp of the append/heartbeat that first advanced the event
+  /// watermark to >= `ts` — the arrival time a RANGE-window emission with
+  /// boundary `ts` became due. Seal() records a stamp at ts=+inf, so
+  /// sealed-flush emissions resolve to the seal time. Falls back to the
+  /// oldest surviving stamp when trimmed; -1 when the watermark has not
+  /// reached `ts`.
+  Micros IngestStampForWatermark(Micros ts) const;
+
   BasketStats Stats() const;
 
  private:
@@ -224,13 +255,16 @@ class Basket {
     bool tracks_batches = false;
   };
 
-  Status AppendLocked(const std::vector<BatPtr>& cols) DC_REQUIRES(mu_);
+  Status AppendLocked(const std::vector<BatPtr>& cols, Micros ingest_us)
+      DC_REQUIRES(mu_);
   Status ValidateBatch(const std::vector<BatPtr>& cols, uint64_t* n) const
       DC_REQUIRES(mu_);
   /// Blocks until the basket can admit `n` more rows; see Append.
   Status WaitForSpaceLocked(uint64_t n, Micros timeout_micros)
       DC_REQUIRES(mu_);
   bool AtCapacityLocked() const DC_REQUIRES(mu_);
+  void PushWatermarkStampLocked(Micros watermark, Micros at_us)
+      DC_REQUIRES(mu_);
   size_t MemoryBytesLocked() const DC_REQUIRES(mu_);
   void ShrinkLocked() DC_REQUIRES(mu_);
   void NotifyAll() DC_EXCLUDES(mu_);
@@ -252,6 +286,14 @@ class Basket {
   int next_reader_ DC_GUARDED_BY(mu_) = 0;
   // Batch log, trimmed in ShrinkLocked.
   std::deque<BasketBatch> batches_ DC_GUARDED_BY(mu_);
+  // Watermark-advance stamps: (watermark value, ingest stamp of the
+  // append/heartbeat that reached it), ascending in both fields; bounded
+  // (oldest trimmed). Seal() records a terminal {INT64_MAX, seal time}.
+  struct WatermarkStamp {
+    Micros watermark;
+    Micros at_us;
+  };
+  std::deque<WatermarkStamp> wm_stamps_ DC_GUARDED_BY(mu_);
   uint64_t append_batches_ DC_GUARDED_BY(mu_) = 0;  // == next batch ordinal
   uint64_t empty_batches_ DC_GUARDED_BY(mu_) = 0;
   bool sealed_ DC_GUARDED_BY(mu_) = false;

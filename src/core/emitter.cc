@@ -1,13 +1,17 @@
 #include "core/emitter.h"
 
+#include "monitor/trace.h"
+
 namespace dc {
 
 Emitter::Emitter(std::string name, std::shared_ptr<Basket> basket,
-                 std::vector<std::string> column_names, Sink sink)
+                 std::vector<std::string> column_names, Sink sink,
+                 std::shared_ptr<monitor::HistogramMetric> latency)
     : name_(std::move(name)),
       basket_(std::move(basket)),
       column_names_(std::move(column_names)),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)),
+      latency_(std::move(latency)) {
   reader_id_ =
       basket_->RegisterReader(/*from_start=*/true, /*track_batches=*/true);
   cursor_ = basket_->ReaderCursor(reader_id_);
@@ -31,6 +35,7 @@ Emitter::~Emitter() {
 
 int Emitter::Drain() {
   MutexLock lock(drain_mu_);
+  trace::Span span("emitter.drain", "emitter");
   int delivered = 0;
   for (const BasketBatch& b : basket_->BatchesAfter(batch_cursor_)) {
     // A zero-row batch reads back as typed empty columns, so the sink sees
@@ -43,10 +48,20 @@ int Emitter::Drain() {
     rows_.fetch_add(view.rows);
     emissions_.fetch_add(1);
     if (view.rows == 0) empty_emissions_.fetch_add(1);
+    // Delivery closes the latency clock the batch's ingest stamp opened
+    // (for factory outputs: the trigger stamp of the source input).
+    if (latency_ != nullptr && b.ingest_us >= 0) {
+      latency_->Record(SteadyMicros() - b.ingest_us);
+    }
     cursor_ = b.end_seq;
     batch_cursor_ = b.ordinal + 1;
     basket_->AdvanceReaderBatches(reader_id_, cursor_, batch_cursor_);
     ++delivered;
+  }
+  if (delivered == 0) {
+    span.Cancel();  // idle tick, not worth a trace event
+  } else {
+    span.set_arg(delivered);
   }
   return delivered;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/basket.h"
+#include "monitor/metrics.h"
 #include "util/sync.h"
 
 namespace dc {
@@ -36,8 +37,13 @@ class Emitter {
  public:
   using Sink = std::function<void(const ColumnSet& emission)>;
 
+  /// `latency` (optional): per-query ingest→delivery histogram; every
+  /// delivered emission whose batch carries an ingest stamp records
+  /// `now - stamp` into it (docs/OBSERVABILITY.md). The handle is shared
+  /// so it outlives registry removal during query teardown.
   Emitter(std::string name, std::shared_ptr<Basket> basket,
-          std::vector<std::string> column_names, Sink sink);
+          std::vector<std::string> column_names, Sink sink,
+          std::shared_ptr<monitor::HistogramMetric> latency = nullptr);
   ~Emitter();
 
   const std::string& name() const { return name_; }
@@ -57,6 +63,7 @@ class Emitter {
   std::shared_ptr<Basket> basket_;
   const std::vector<std::string> column_names_;
   Sink sink_;
+  const std::shared_ptr<monitor::HistogramMetric> latency_;
   int reader_id_;
   int listener_id_ = -1;  // wake listener on basket_ (removed in dtor)
 

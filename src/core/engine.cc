@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "monitor/trace.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
 #include "sql/parser.h"
@@ -42,6 +43,7 @@ Engine::Engine(EngineOptions options)
       scheduler_(Scheduler::Options{options.scheduler_workers,
                                     options.scheduler_shards,
                                     options.scheduler_work_stealing}) {
+  if (options_.enable_tracing) trace::AddEnableRef();
   if (options_.scheduler_workers > 0) scheduler_.Start();
 }
 
@@ -62,6 +64,8 @@ Engine::~Engine() {
   }
   for (auto& [id, r] : receptors) r->Stop();
   for (auto& e : emitters) e->Stop();
+  // After everything that might record spans has stopped.
+  if (options_.enable_tracing) trace::ReleaseEnableRef();
 }
 
 Status Engine::Execute(std::string_view sql) {
@@ -208,6 +212,19 @@ Result<std::string> Engine::ExplainSql(std::string_view sql,
       }
     }
   }
+  // Observed ingest→delivery latency of standing queries with this exact
+  // compiled identity (merged across duplicates submitted under different
+  // names). mu_ after share_mu_ matches the engine lock order.
+  {
+    MutexLock lock(mu_);
+    Histogram merged;
+    for (const auto& [id, qe] : queries_) {
+      if (qe.identity_key == full_key && qe.latency != nullptr) {
+        merged.Merge(qe.latency->Snapshot());
+      }
+    }
+    if (merged.count() > 0) note.latency = merged.Summary();
+  }
   return plan::Explain(cq, mode, &report, &note);
 }
 
@@ -247,6 +264,10 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
 
   std::string prefix_key, full_key;
   SharingKeys(executor->compiled(), options.mode, &prefix_key, &full_key);
+  // Full compiled identity, recorded even with sharing off so EXPLAIN can
+  // find standing queries with the same plan (entry.full_key stays empty
+  // unless the query actually joined the sharing registry).
+  entry.identity_key = full_key;
 
   // Held across all sharing decisions AND the engine/scheduler wiring
   // they produce, so a concurrent submit/remove of a matching query
@@ -271,8 +292,11 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
         entry.collector = std::make_shared<ResultCollector>();
         sink = entry.collector->AsSink();
       }
+      entry.latency =
+          metrics_.GetHistogram("query." + name + ".latency_us");
       entry.emitter = std::make_shared<Emitter>(
-          name + ".emit", entry.out_basket, fe.out_names, std::move(sink));
+          name + ".emit", entry.out_basket, fe.out_names, std::move(sink),
+          entry.latency);
       if (options_.scheduler_workers > 0) entry.emitter->Start();
       const int id = entry.id;
       {
@@ -393,8 +417,10 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
     entry.collector = std::make_shared<ResultCollector>();
     sink = entry.collector->AsSink();
   }
+  entry.latency = metrics_.GetHistogram("query." + name + ".latency_us");
   entry.emitter = std::make_shared<Emitter>(name + ".emit", entry.out_basket,
-                                            out_names, std::move(sink));
+                                            out_names, std::move(sink),
+                                            entry.latency);
   if (options_.scheduler_workers > 0) entry.emitter->Start();
 
   // Arcs before registration so no pulse lands in the gap; the targeted
@@ -447,6 +473,10 @@ Status Engine::RemoveContinuous(int query_id) {
   // Outside both locks: Stop() joins a thread whose sink may re-enter
   // the engine.
   if (entry.emitter) entry.emitter->Stop();
+  // Unregister the query's latency series so a later query reusing the
+  // name starts from a fresh histogram. Holders of the old shared_ptr
+  // (none, after the emitter stopped) would keep recording harmlessly.
+  metrics_.Remove("query." + entry.name + ".latency_us");
   return Status::OK();
 }
 
@@ -661,6 +691,7 @@ std::vector<ContinuousQueryInfo> Engine::Queries() const {
       if (fit != full_entries_.end()) {
         info.shared_with = fit->second.refs;
         if (fit->second.node != nullptr) {
+          info.shared_node = fit->second.node->label();
           info.sharing = StrFormat("node %s x%d",
                                    fit->second.node->label().c_str(),
                                    fit->second.node->subscribers());
@@ -669,6 +700,7 @@ std::vector<ContinuousQueryInfo> Engine::Queries() const {
         }
       }
     }
+    if (q.latency != nullptr) info.latency = q.latency->Snapshot();
     if (q.emitter) info.emitter = q.emitter->Stats();
     if (q.out_basket) info.out_basket = q.out_basket->Stats();
     for (const FactoryInput& in : q.factory->inputs()) {

@@ -31,6 +31,7 @@
 #include "core/receptor.h"
 #include "core/scheduler.h"
 #include "core/sharing.h"
+#include "monitor/metrics.h"
 #include "plan/explain.h"
 #include "storage/catalog.h"
 #include "util/result.h"
@@ -71,6 +72,14 @@ struct EngineOptions {
   /// Off restores one private factory chain per query — the differential
   /// equivalence suite runs both and asserts identical emissions.
   bool enable_sharing = true;
+
+  /// Event tracing (docs/OBSERVABILITY.md): record scoped spans (factory
+  /// fires, basket appends/stalls, emitter drains, steals) into
+  /// per-thread ring buffers, dumped via trace::DumpJson() as Chrome
+  /// trace_event JSON. Process-wide and refcounted across engines; off
+  /// (the default) costs one relaxed atomic load per span site — the
+  /// trace_overhead_guard CTest keeps the enabled cost within ~3%.
+  bool enable_tracing = false;
 };
 
 /// One registered continuous query (introspection snapshot).
@@ -89,6 +98,12 @@ struct ContinuousQueryInfo {
   /// monitor pane: "factory x3", "node pkts#1 x8", or "".
   int shared_with = 1;
   std::string sharing;
+  /// Label of the SharedWindowNode serving this query's partials
+  /// ("<stream>#<ordinal>"), or "" for non-shared-tail queries.
+  std::string shared_node;
+  /// Ingest→delivery latency snapshot (p50/p95/p99 via Percentile);
+  /// empty until the first delivered emission (docs/OBSERVABILITY.md).
+  Histogram latency;
 };
 
 /// The DataCell engine.
@@ -175,6 +190,11 @@ class Engine {
   std::vector<std::string> StreamNames() const {
     return catalog_.StreamNames();
   }
+  /// This engine's metrics registry (docs/OBSERVABILITY.md): per-query
+  /// `query.<name>.latency_us` histograms are registered at submit; the
+  /// AnalysisPane publishes its sampled series here as gauges. Expose via
+  /// metrics().ToJson() / metrics().ToPrometheus().
+  monitor::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct QueryEntry {
@@ -194,6 +214,15 @@ class Engine {
     /// "" when the factory is privately owned (sharing disabled).
     /// Teardown is refcounted through full_entries_[full_key].
     std::string full_key;
+    /// Full compiled identity, always set (unlike full_key, which is ""
+    /// with sharing disabled). EXPLAIN matches standing queries on it to
+    /// report live latency for an equivalent plan.
+    std::string identity_key;
+    /// Per-query ingest→delivery histogram (registry name
+    /// "query.<name>.latency_us"); the emitter records into it on every
+    /// delivery. Kept here so Queries()/EXPLAIN can snapshot it and so
+    /// teardown can Remove() it from the registry.
+    std::shared_ptr<monitor::HistogramMetric> latency;
   };
 
   /// One refcounted shared factory (tier F, docs/SHARING.md): every
@@ -227,6 +256,10 @@ class Engine {
 
   const EngineOptions options_;
   Catalog catalog_;
+  /// Internally synchronized (kMetrics/kMetricsHistogram, both leaf-side
+  /// ranks), hence usable under any engine lock; mutable so const
+  /// introspection can resolve handles.
+  mutable monitor::MetricsRegistry metrics_;
 
   mutable Mutex mu_{LockRank::kEngine};
   std::map<std::string, std::shared_ptr<Basket>> baskets_ DC_GUARDED_BY(mu_);

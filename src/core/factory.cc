@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bat/ops_join.h"
+#include "monitor/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -334,11 +335,34 @@ exec::StageInput Factory::TableInput(int rel) const {
   return exec::StageInput{snap->cols, snap->NumRows()};
 }
 
-Status Factory::EmitResult(const ColumnSet& result) {
+Micros Factory::TriggerStampLocked(int64_t emission) const {
+  Micros stamp = -1;
+  for (int s = 0; s < 2; ++s) {
+    const int rel = stream_rels_[s];
+    if (rel < 0) continue;
+    const FactoryInput& in = inputs_[rel];
+    if (!in.is_stream || in.basket == nullptr || !in.window.has_value()) {
+      continue;
+    }
+    const WindowMath wm(*in.window);
+    Micros t;
+    if (in.window->rows) {
+      t = in.basket->IngestStampForSeq(
+          origin_seq_[rel] + static_cast<uint64_t>(wm.RowsWindowEnd(emission)));
+    } else {
+      t = in.basket->IngestStampForWatermark(wm.RangeBoundary(emission));
+    }
+    stamp = std::max(stamp, t);
+  }
+  return stamp;
+}
+
+Status Factory::EmitResult(const ColumnSet& result, Micros trigger_us) {
   // Zero-row results are appended too: the basket records their batch
   // boundary, so the emitter delivers the empty result set and `emissions`
   // stays equal to emitter-delivered emissions.
-  DC_RETURN_NOT_OK(output_->Append(result.cols));
+  DC_RETURN_NOT_OK(
+      output_->Append(result.cols, Basket::kBlockForever, trigger_us));
   stats_.tuples_out += result.NumRows();
   stats_.emissions++;
   if (result.NumRows() == 0) stats_.empty_emissions++;
@@ -348,6 +372,7 @@ Status Factory::EmitResult(const ColumnSet& result) {
 Status Factory::Fire() {
   MutexLock lock(mu_);
   if (!CheckReadyLocked()) return Status::OK();
+  trace::Span span("factory.fire", "factory", id_);
   Stopwatch watch;
   Status st = FireLocked();
   const Micros elapsed = watch.ElapsedMicros();
@@ -382,13 +407,16 @@ Status Factory::FirePerBatch() {
   const FactoryInput& in = inputs_[rel];
   const uint64_t high = in.basket->HighSeq();
   if (high <= batch_cursor_) return Status::OK();
+  // The emission's response clock started when its oldest pending row
+  // arrived (worst case across the consumed batches).
+  const Micros trigger = in.basket->IngestStampForSeq(batch_cursor_ + 1);
   BasketView view = in.basket->Read(batch_cursor_, high - batch_cursor_);
   std::vector<exec::StageInput> raw(inputs_.size());
   raw[rel] = exec::StageInput{std::move(view.cols), view.rows};
   if (table_rel_ >= 0) raw[table_rel_] = TableInput(table_rel_);
   stats_.tuples_in += raw[rel].rows;
   DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
-  DC_RETURN_NOT_OK(EmitResult(result));
+  DC_RETURN_NOT_OK(EmitResult(result, trigger));
   batch_cursor_ = view.first_seq + view.rows;
   in.basket->AdvanceReader(in.reader_id, batch_cursor_);
   return Status::OK();
@@ -469,6 +497,7 @@ Status Factory::FireSingleWindow() {
   } else {
     std::tie(ext_lo, ext_hi) = wm.RangeExtent(k);
   }
+  const Micros trigger = TriggerStampLocked(k);
 
   if (!incremental_active_) {
     std::vector<exec::StageInput> raw(inputs_.size());
@@ -477,7 +506,7 @@ Status Factory::FireSingleWindow() {
     if (table_rel_ >= 0) raw[table_rel_] = TableInput(table_rel_);
     stats_.tuples_in += raw[rel].rows;
     DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
-    DC_RETURN_NOT_OK(EmitResult(result));
+    DC_RETURN_NOT_OK(EmitResult(result, trigger));
   } else {
     const uint64_t version =
         table_rel_ >= 0 ? inputs_[table_rel_].table->Snapshot()->version : 0;
@@ -490,7 +519,7 @@ Status Factory::FireSingleWindow() {
       ps.push_back(p);
     }
     DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
-    DC_RETURN_NOT_OK(EmitResult(result));
+    DC_RETURN_NOT_OK(EmitResult(result, trigger));
     // Evict state that the next emission can no longer use.
     const int64_t keep_from = first + 1;
     std::erase_if(partials_,
@@ -530,6 +559,7 @@ Status Factory::FireSharedTail() {
   } else {
     std::tie(ext_lo, ext_hi) = wm.RangeExtent(k);
   }
+  const Micros trigger = TriggerStampLocked(k);
 
   // The node serves (and caches) the grid partials covering this window;
   // whichever subscriber fires first pays for a build, everyone else hits.
@@ -544,7 +574,7 @@ Status Factory::FireSharedTail() {
   ps.reserve(parts.size());
   for (const PartialPtr& p : parts) ps.push_back(p.get());
   DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
-  DC_RETURN_NOT_OK(EmitResult(result));
+  DC_RETURN_NOT_OK(EmitResult(result, trigger));
 
   // Release everything before the next window's start; the node advances
   // its reader / evicts at the minimum mark across subscribers.
@@ -572,7 +602,7 @@ Status Factory::FireDualWindow() {
     DC_ASSIGN_OR_RETURN(raw[r], ReadStreamExtent(r, false, rlo, rhi));
     stats_.tuples_in += raw[l].rows + raw[r].rows;
     DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->ExecuteFull(raw));
-    DC_RETURN_NOT_OK(EmitResult(result));
+    DC_RETURN_NOT_OK(EmitResult(result, TriggerStampLocked(m)));
   } else {
     DC_RETURN_NOT_OK(FireDualWindowDelta(m, wl, wr));
   }
@@ -866,7 +896,7 @@ Status Factory::FireDualWindowDelta(int64_t m, const WindowMath& wl,
   ps.reserve(partials_.size());
   for (const auto& [key, p] : partials_) ps.push_back(&p);
   DC_ASSIGN_OR_RETURN(ColumnSet result, executor_->Finish(ps));
-  DC_RETURN_NOT_OK(EmitResult(result));
+  DC_RETURN_NOT_OK(EmitResult(result, TriggerStampLocked(m)));
 
   // Evict pairs gone by the next emission.
   std::erase_if(partials_,

@@ -173,7 +173,19 @@ class Factory {
 
   exec::StageInput TableInput(int rel) const DC_REQUIRES(mu_);
 
-  Status EmitResult(const ColumnSet& result) DC_REQUIRES(mu_);
+  /// Arrival stamp of the input that made windowed emission `emission`
+  /// due (docs/OBSERVABILITY.md): the ingest time of a ROWS window's last
+  /// row, or of the append/heartbeat that pushed the watermark across a
+  /// RANGE boundary (the seal, for sealed-flush emissions). Dual-window
+  /// emissions become due when the *later* side crosses, hence the max
+  /// across sides. -1 when unknown.
+  Micros TriggerStampLocked(int64_t emission) const DC_REQUIRES(mu_);
+
+  /// Appends `result` to the output basket carrying `trigger_us` as the
+  /// batch's ingest stamp, so the emitter measures ingest→delivery
+  /// latency end to end (-1: the output append stamps itself).
+  Status EmitResult(const ColumnSet& result, Micros trigger_us)
+      DC_REQUIRES(mu_);
 
   /// Incremental caches. `compact_` holds per-(rel, basic-window) prejoin
   /// outputs (kept when a second relation needs re-joining); `partials_`

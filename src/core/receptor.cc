@@ -110,6 +110,10 @@ void Receptor::Run() {
   auto flush = [&]() {
     if (in_batch == 0) return;
     bool counted_park = false;
+    // One ingest stamp per batch, taken before the first append attempt:
+    // park slices retry with the same stamp, so time spent parked on a
+    // full basket counts toward downstream ingest→delivery latency.
+    const Micros ingest_us = SteadyMicros();
     while (true) {
       // During a Stop() the pause gate is bypassed (matching the pre-
       // backpressure final flush): the batch gets one bounded append
@@ -119,7 +123,7 @@ void Receptor::Run() {
         continue;
       }
       const Micros slice_start = SteadyMicros();
-      const Status st = basket_->Append(batch, kParkSliceMicros);
+      const Status st = basket_->Append(batch, kParkSliceMicros, ingest_us);
       if (st.ok()) {
         rows_.fetch_add(in_batch);
         batches_.fetch_add(1);

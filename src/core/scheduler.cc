@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "monitor/trace.h"
 #include "util/clock.h"
 
 #include "util/logging.h"
@@ -215,7 +216,10 @@ bool Scheduler::ClaimNext(int worker_index, Claimed* out) {
         Entry& e = *it->second;
         if (e.state != EntryState::kQueued) continue;       // defensive
         e.state = EntryState::kRunning;
-        if (pass == 1) ++s.stats.steals;
+        if (pass == 1) {
+          ++s.stats.steals;
+          trace::Instant("sched.steal", "sched", id);
+        }
         out->id = id;
         out->factory = e.factory;
         return true;

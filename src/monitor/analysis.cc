@@ -13,21 +13,33 @@ void AnalysisPane::Record(const std::string& metric, Micros t, double value) {
   auto& dq = series_[metric];
   dq.push_back(SamplePoint{t, value});
   if (dq.size() > capacity_) dq.pop_front();
+  // Mirror every sampled point into the engine's metrics registry so the
+  // pane's series are also visible through ToJson()/ToPrometheus().
+  // Registry locks rank above kMonitor, so this is legal under mu_.
+  if (registry_ != nullptr) registry_->GetGauge(metric)->Set(value);
 }
 
 void AnalysisPane::Sample(Engine& engine) {
   const Micros now = SteadyMicros();
   MutexLock lock(mu_);
+  registry_ = &engine.metrics();
 
-  auto rate = [&](const std::string& metric, double cumulative) {
-    auto it = prev_counter_.find(metric);
-    double r = 0;
-    if (it != prev_counter_.end() && now > it->second.first) {
-      r = (cumulative - it->second.second) /
-          (static_cast<double>(now - it->second.first) / kMicrosPerSecond);
+  // Rate against the previous sample's cumulative value. The first sample
+  // of a counter — and any sample where the counter went backwards (query
+  // resubmitted under the same name, counter reset) — only re-baselines:
+  // recording a fabricated 0-rate point there would drag the period
+  // aggregates (mean/min) of a healthy rate series down.
+  auto rate = [&](const std::string& metric, const std::string& counter,
+                  double cumulative) {
+    auto it = prev_counter_.find(counter);
+    if (it != prev_counter_.end() && now > it->second.first &&
+        cumulative >= it->second.second) {
+      Record(metric, now,
+             (cumulative - it->second.second) /
+                 (static_cast<double>(now - it->second.first) /
+                  kMicrosPerSecond));
     }
-    prev_counter_[metric] = {now, cumulative};
-    return r;
+    prev_counter_[counter] = {now, cumulative};
   };
 
   double net_in = 0, net_out = 0;
@@ -38,9 +50,8 @@ void AnalysisPane::Sample(Engine& engine) {
            static_cast<double>(stats->resident_rows));
     Record("stream." + s + ".memory_bytes", now,
            static_cast<double>(stats->memory_bytes));
-    Record("stream." + s + ".rate_rows_per_s", now,
-           rate("stream." + s + ".appended",
-                static_cast<double>(stats->appended_total)));
+    rate("stream." + s + ".rate_rows_per_s", "stream." + s + ".appended",
+         static_cast<double>(stats->appended_total));
     // Backpressure pane: occupancy high watermark and producer stalls.
     Record("stream." + s + ".resident_hwm_rows", now,
            static_cast<double>(stats->resident_hwm_rows));
@@ -64,13 +75,23 @@ void AnalysisPane::Sample(Engine& engine) {
                ? 0
                : static_cast<double>(q.factory.total_exec_micros) /
                      static_cast<double>(q.factory.invocations));
-    Record(p + ".emission_rate_per_s", now,
-           rate(p + ".emissions_counter",
-                static_cast<double>(q.factory.emissions)));
+    rate(p + ".emission_rate_per_s", p + ".emissions_counter",
+         static_cast<double>(q.factory.emissions));
     Record(p + ".empty_emissions", now,
            static_cast<double>(q.factory.empty_emissions));
     Record(p + ".out_resident_rows", now,
            static_cast<double>(q.out_basket.resident_rows));
+    // Ingest→delivery latency pane (docs/OBSERVABILITY.md): percentiles
+    // of the query's end-to-end histogram. No point until the first
+    // delivery — a 0 µs p99 would read as "infinitely fast", not "idle".
+    if (q.latency.count() > 0) {
+      Record(p + ".latency_p50_us", now,
+             static_cast<double>(q.latency.Percentile(0.50)));
+      Record(p + ".latency_p95_us", now,
+             static_cast<double>(q.latency.Percentile(0.95)));
+      Record(p + ".latency_p99_us", now,
+             static_cast<double>(q.latency.Percentile(0.99)));
+    }
     net_out += static_cast<double>(q.factory.tuples_out);
   }
   Record("net.total_tuples_in", now, net_in);
@@ -85,9 +106,8 @@ void AnalysisPane::Sample(Engine& engine) {
          static_cast<double>(sharing.shared_factories));
   Record("sharing.sharing_hits", now,
          static_cast<double>(sharing.sharing_hits));
-  Record("sharing.hit_rate_per_s", now,
-         rate("sharing.hits_counter",
-              static_cast<double>(sharing.sharing_hits)));
+  rate("sharing.hit_rate_per_s", "sharing.hits_counter",
+       static_cast<double>(sharing.sharing_hits));
   for (const SharedNodeStats& n : sharing.nodes) {
     const std::string p = "sharing.node." + n.label;
     Record(p + ".subscribers", now, static_cast<double>(n.subscribers));
@@ -101,8 +121,8 @@ void AnalysisPane::Sample(Engine& engine) {
   // picture (fires, steals, depths) of the sharded scheduler.
   const SchedulerStats sched = engine.SchedStats();
   Record("sched.fires", now, static_cast<double>(sched.fires));
-  Record("sched.fire_rate_per_s", now,
-         rate("sched.fires_counter", static_cast<double>(sched.fires)));
+  rate("sched.fire_rate_per_s", "sched.fires_counter",
+       static_cast<double>(sched.fires));
   Record("sched.notifications", now,
          static_cast<double>(sched.notifications));
   Record("sched.enqueues", now, static_cast<double>(sched.enqueues));

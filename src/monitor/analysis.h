@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "monitor/metrics.h"
 #include "util/clock.h"
 #include "util/sync.h"
 
@@ -72,6 +73,9 @@ class AnalysisPane {
   // kMonitor is the outermost rank: Sample() holds mu_ while calling into
   // the engine's introspection surface (engine/basket/factory locks).
   mutable Mutex mu_{LockRank::kMonitor};
+  // The sampled engine's metrics registry (set on each Sample); Record
+  // mirrors points here as gauges. Registry locks rank above kMonitor.
+  MetricsRegistry* registry_ DC_GUARDED_BY(mu_) = nullptr;
   std::map<std::string, std::deque<SamplePoint>> series_ DC_GUARDED_BY(mu_);
   // Previous cumulative counters for rate computation.
   std::map<std::string, std::pair<Micros, double>> prev_counter_

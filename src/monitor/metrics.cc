@@ -1,0 +1,207 @@
+#include "monitor/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace dc::monitor {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PromName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// %g-style formatting that never produces locale surprises.
+std::string Num(double v) {
+  std::string s = StrFormat("%.6g", v);
+  return s;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_shared<Counter>();
+  return slot;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_shared<Gauge>();
+  return slot;
+}
+
+std::shared_ptr<HistogramMetric> MetricsRegistry::GetHistogram(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_shared<HistogramMetric>();
+  return slot;
+}
+
+bool MetricsRegistry::Remove(const std::string& name) {
+  MutexLock lock(mu_);
+  bool removed = counters_.erase(name) > 0;
+  removed = gauges_.erase(name) > 0 || removed;
+  removed = hists_.erase(name) > 0 || removed;
+  return removed;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Collect() const {
+  // Copy the handle maps under mu_ (kMetrics), then read values outside
+  // it — histogram snapshots take kMetricsHistogram, which would also be
+  // legal under mu_ (150 < 160) but this keeps the registry lock short.
+  std::map<std::string, std::shared_ptr<Counter>> counters;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges;
+  std::map<std::string, std::shared_ptr<HistogramMetric>> hists;
+  {
+    MutexLock lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    hists = hists_;
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters.size() + gauges.size() + hists.size());
+  for (const auto& [name, c] : counters) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = static_cast<double>(c->Value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = g->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : hists) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.hist = h->Snapshot();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricSnapshot> snap = Collect();
+  std::string counters, gauges, hists;
+  for (const MetricSnapshot& s : snap) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += StrFormat("\"%s\":%llu", JsonEscape(s.name).c_str(),
+                              static_cast<unsigned long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += StrFormat("\"%s\":%s", JsonEscape(s.name).c_str(),
+                            Num(s.value).c_str());
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        if (!hists.empty()) hists += ",";
+        hists += StrFormat(
+            "\"%s\":{\"count\":%llu,\"mean\":%s,\"p50\":%lld,\"p95\":%lld,"
+            "\"p99\":%lld,\"max\":%lld}",
+            JsonEscape(s.name).c_str(),
+            static_cast<unsigned long long>(s.hist.count()),
+            Num(s.hist.Mean()).c_str(),
+            static_cast<long long>(s.hist.Percentile(0.50)),
+            static_cast<long long>(s.hist.Percentile(0.95)),
+            static_cast<long long>(s.hist.Percentile(0.99)),
+            static_cast<long long>(s.hist.max()));
+        break;
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + hists + "}}";
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  const std::vector<MetricSnapshot> snap = Collect();
+  std::string out;
+  for (const MetricSnapshot& s : snap) {
+    const std::string name = PromName(s.name);
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                         name.c_str(),
+                         static_cast<unsigned long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n%s %s\n", name.c_str(),
+                         name.c_str(), Num(s.value).c_str());
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const double sum =
+            s.hist.Mean() * static_cast<double>(s.hist.count());
+        out += StrFormat("# TYPE %s summary\n", name.c_str());
+        out += StrFormat("%s{quantile=\"0.5\"} %lld\n", name.c_str(),
+                         static_cast<long long>(s.hist.Percentile(0.50)));
+        out += StrFormat("%s{quantile=\"0.95\"} %lld\n", name.c_str(),
+                         static_cast<long long>(s.hist.Percentile(0.95)));
+        out += StrFormat("%s{quantile=\"0.99\"} %lld\n", name.c_str(),
+                         static_cast<long long>(s.hist.Percentile(0.99)));
+        out += StrFormat("%s_sum %s\n", name.c_str(), Num(sum).c_str());
+        out += StrFormat("%s_count %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(s.hist.count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dc::monitor

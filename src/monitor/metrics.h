@@ -1,0 +1,136 @@
+// Copyright 2026 The DataCell Authors.
+//
+// Process-wide metrics registry (docs/OBSERVABILITY.md): named counters,
+// gauges, and latency histograms with cheap updates on hot paths and
+// JSON / Prometheus text exposition on the slow path.
+//
+// Design:
+//  * Handles are shared_ptrs — a subsystem resolves its metric once
+//    (GetCounter/GetGauge/GetHistogram) and updates it lock-free
+//    (counters/gauges are relaxed atomics) or under a leaf-ranked
+//    per-histogram mutex. Handles outlive Remove(): an emitter may keep
+//    recording into a histogram that was already dropped from the
+//    exposition surface during teardown.
+//  * The registry map mutex ranks kMetrics (150) and each histogram's
+//    mutex ranks kMetricsHistogram (160) — both above every engine lock,
+//    so any subsystem may resolve or record a metric while holding its
+//    own locks. Nothing in this file logs or calls back into the engine
+//    while holding either lock.
+//  * Each Engine owns a registry (Engine::metrics()); MetricsRegistry::
+//    Global() serves code with no engine in reach (tools, tests).
+
+#ifndef DATACELL_MONITOR_METRICS_H_
+#define DATACELL_MONITOR_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/sync.h"
+
+namespace dc::monitor {
+
+/// Monotone counter. Relaxed atomics: exposition tolerates torn ordering
+/// between metrics, and each individual read is atomic.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Mutex-guarded Histogram (util/histogram.h is not thread-safe). The
+/// mutex is leaf-ranked (kMetricsHistogram) so Record() is legal under
+/// any engine lock; contention is per-metric, not global.
+class HistogramMetric {
+ public:
+  void Record(int64_t value) {
+    MutexLock lock(mu_);
+    h_.Record(value);
+  }
+
+  Histogram Snapshot() const {
+    MutexLock lock(mu_);
+    return h_;
+  }
+
+  void Reset() {
+    MutexLock lock(mu_);
+    h_.Reset();
+  }
+
+ private:
+  mutable Mutex mu_{LockRank::kMetricsHistogram};
+  Histogram h_ DC_GUARDED_BY(mu_);
+};
+
+/// Point-in-time copy of one named metric, for exposition.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kGauge;
+  double value = 0;  // counter / gauge
+  Histogram hist;    // histogram
+};
+
+/// Named metric registry. Get* registers on first use and returns the
+/// existing handle afterwards; names are unique per kind (the three kinds
+/// live in separate maps, but sharing one name across kinds is a bug in
+/// the caller and renders confusingly in exposition).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Fallback registry for code with no Engine in reach.
+  static MetricsRegistry& Global();
+
+  std::shared_ptr<Counter> GetCounter(const std::string& name);
+  std::shared_ptr<Gauge> GetGauge(const std::string& name);
+  std::shared_ptr<HistogramMetric> GetHistogram(const std::string& name);
+
+  /// Drops `name` (any kind) from exposition. Existing handles stay
+  /// valid. Returns true if something was removed.
+  bool Remove(const std::string& name);
+
+  /// Sorted point-in-time snapshot of every registered metric.
+  std::vector<MetricSnapshot> Collect() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,
+  /// p50,p95,p99,max}}}
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: counters/gauges verbatim, histograms as
+  /// summaries (quantile labels + _count/_sum). Metric names are
+  /// sanitized to [a-zA-Z0-9_:].
+  std::string ToPrometheus() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kMetrics};
+  std::map<std::string, std::shared_ptr<Counter>> counters_
+      DC_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_ DC_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<HistogramMetric>> hists_
+      DC_GUARDED_BY(mu_);
+};
+
+}  // namespace dc::monitor
+
+#endif  // DATACELL_MONITOR_METRICS_H_

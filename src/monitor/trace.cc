@@ -1,0 +1,187 @@
+#include "monitor/trace.h"
+
+#include <memory>
+#include <vector>
+
+#include "util/string_util.h"
+#include "util/sync.h"
+
+namespace dc::trace {
+
+namespace {
+
+/// Ring capacity per thread. 8K events ≈ 320 KiB/thread; long runs keep
+/// the most recent window, which is what a latency investigation wants.
+constexpr size_t kEventsPerThread = 8192;
+
+struct TraceEvent {
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  Micros ts = 0;
+  Micros dur = 0;
+  int64_t arg = 0;
+};
+
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(int tid) : tid_(tid) { ring_.resize(kEventsPerThread); }
+
+  void Record(const TraceEvent& ev) {
+    MutexLock lock(mu_);
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % kEventsPerThread;
+    ++total_;
+  }
+
+  /// Oldest-first copy of the buffered events.
+  std::vector<TraceEvent> Snapshot() const {
+    MutexLock lock(mu_);
+    std::vector<TraceEvent> out;
+    const size_t n = total_ < kEventsPerThread
+                         ? static_cast<size_t>(total_)
+                         : kEventsPerThread;
+    out.reserve(n);
+    const size_t start =
+        total_ < kEventsPerThread ? 0 : next_;  // oldest surviving slot
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ring_[(start + i) % kEventsPerThread]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    MutexLock lock(mu_);
+    next_ = 0;
+    total_ = 0;
+  }
+
+  uint64_t total() const {
+    MutexLock lock(mu_);
+    return total_ < kEventsPerThread ? total_ : kEventsPerThread;
+  }
+
+  int tid() const { return tid_; }
+
+ private:
+  mutable Mutex mu_{LockRank::kTraceBuffer};
+  std::vector<TraceEvent> ring_ DC_GUARDED_BY(mu_);
+  size_t next_ DC_GUARDED_BY(mu_) = 0;
+  uint64_t total_ DC_GUARDED_BY(mu_) = 0;
+  const int tid_;
+};
+
+/// Registry of every thread's buffer. Buffers are shared_ptrs held both
+/// here and in the owning thread's TLS slot, so a dump sees the events
+/// of threads that already exited.
+struct Registry {
+  Mutex mu{LockRank::kTraceRegistry};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers DC_GUARDED_BY(mu);
+  int next_tid DC_GUARDED_BY(mu) = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* g = new Registry();
+  return *g;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls_buffer;
+  if (!tls_buffer) {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    tls_buffer = std::make_shared<ThreadBuffer>(reg.next_tid++);
+    reg.buffers.push_back(tls_buffer);
+  }
+  return *tls_buffer;
+}
+
+std::atomic<int> g_enable_refs{0};
+
+}  // namespace
+
+void AddEnableRef() {
+  if (g_enable_refs.fetch_add(1, std::memory_order_relaxed) == 0) {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ReleaseEnableRef() {
+  if (g_enable_refs.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    internal::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Instant(const char* name, const char* cat, int64_t arg) {
+  if (!Enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts = SteadyMicros();
+  ev.dur = 0;
+  ev.arg = arg;
+  LocalBuffer().Record(ev);
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ts = start_;
+  ev.dur = SteadyMicros() - start_;
+  ev.arg = arg_;
+  LocalBuffer().Record(ev);
+}
+
+std::string DumpJson() {
+  // Registry (170) then each buffer (180): in rank order. Events are
+  // serialized outside both locks.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    const int tid = buf->tid();
+    for (const TraceEvent& ev : buf->Snapshot()) {
+      if (ev.name == nullptr) continue;
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+          "\"dur\":%lld,\"pid\":1,\"tid\":%d,\"args\":{\"v\":%lld}}",
+          ev.name, ev.cat, static_cast<long long>(ev.ts),
+          static_cast<long long>(ev.dur), tid,
+          static_cast<long long>(ev.arg));
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t BufferedEventsForTest() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  uint64_t n = 0;
+  for (const auto& buf : buffers) n += buf->total();
+  return n;
+}
+
+void ClearForTest() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) buf->Clear();
+}
+
+}  // namespace dc::trace

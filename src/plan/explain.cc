@@ -128,6 +128,9 @@ std::string Explain(const CompiledQuery& cq, PlanMode mode,
     } else {
       out += "sharing: not shared (no matching standing queries)\n";
     }
+    if (!sharing->latency.empty()) {
+      out += StrFormat("latency: %s\n", sharing->latency.c_str());
+    }
   }
   out += "output: (";
   for (size_t i = 0; i < cq.finish.out_names.size(); ++i) {

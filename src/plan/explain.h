@@ -26,6 +26,10 @@ struct SharingNote {
   /// node with (0: it would run alone).
   int shared_with = 0;
   std::string detail;  // e.g. "factory-level dedup", "window node pkts#1"
+  /// Merged ingest→delivery latency summary of standing queries with the
+  /// same compiled identity ("" when none have delivered yet). Rendered
+  /// as the "latency:" line.
+  std::string latency;
 };
 
 /// Human-readable plan listing for `mode`. Pass the optimizer report to

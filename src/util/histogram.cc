@@ -72,6 +72,16 @@ int64_t Histogram::Percentile(double q) const {
   return max_;
 }
 
+uint64_t Histogram::CountLessEqual(int64_t value) const {
+  if (value < 0) return 0;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (BucketUpperBound(i) > value) break;
+    seen += buckets_[static_cast<size_t>(i)];
+  }
+  return seen;
+}
+
 std::string Histogram::Summary() const {
   return StrFormat(
       "count=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",

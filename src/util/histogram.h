@@ -33,6 +33,11 @@ class Histogram {
   /// Quantile in [0,1]; returns an upper bound of the bucket containing it.
   int64_t Percentile(double q) const;
 
+  /// Samples whose bucket lies entirely at or below `value` — an
+  /// underestimate by at most one bucket (~12.5%). Used for deadline-miss
+  /// counting (misses = count() - CountLessEqual(deadline)).
+  uint64_t CountLessEqual(int64_t value) const;
+
   /// "count=... mean=... p50=... p95=... p99=... max=..."
   std::string Summary() const;
 

@@ -122,7 +122,17 @@ enum class LockRank : int {
   kTable = 110,         // Table::mu_
   kEmitterWake = 120,   // Emitter::wake_mu_ (taken from basket pulses)
   kCollector = 130,     // ResultCollector::mu_ (sink leaf)
-  kLogging = 140,       // logging.cc serialization (absolute leaf)
+  kLogging = 140,       // logging.cc serialization (engine leaf: any engine
+                        // code may log while holding any lock below 140)
+  kMetrics = 150,       // monitor::MetricsRegistry::mu_ (name -> metric map;
+                        // Get* may be called under any engine lock)
+  kMetricsHistogram = 160,  // monitor::HistogramMetric::mu_ (one histogram;
+                            // Record runs on hot paths under engine locks)
+  kTraceRegistry = 170,  // trace.cc buffer registry (thread registration
+                         // and DumpJson; taken before per-buffer locks)
+  kTraceBuffer = 180,    // trace.cc per-thread ring buffer (uncontended on
+                         // the hot path; leaf-ranked so spans may close
+                         // while holding any engine lock)
   kLeaf = 1000,         // misc user code: may be taken after any engine lock
 };
 
@@ -160,6 +170,14 @@ inline const char* LockRankName(LockRank r) {
       return "collector";
     case LockRank::kLogging:
       return "logging";
+    case LockRank::kMetrics:
+      return "metrics";
+    case LockRank::kMetricsHistogram:
+      return "metrics-histogram";
+    case LockRank::kTraceRegistry:
+      return "trace-registry";
+    case LockRank::kTraceBuffer:
+      return "trace-buffer";
     case LockRank::kLeaf:
       return "leaf";
   }

@@ -205,6 +205,23 @@ TEST_F(EngineTest, ExplainShowsPlanTransformation) {
   EXPECT_NE(incr->find("merge"), std::string::npos);
 }
 
+TEST_F(EngineTest, ExplainReportsObservedLatencyOfStandingQueries) {
+  Exec("CREATE STREAM s (v int)");
+  const std::string sql = "SELECT count(*) FROM s [ROWS 2 SLIDE 2]";
+  // No standing query with this identity yet: no latency line.
+  auto before = engine_.ExplainSql(sql, plan::PlanMode::kContinuousIncremental);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->find("latency:"), std::string::npos);
+  Submit(sql);
+  for (int i = 0; i < 4; ++i) PushPump("s", {Value::I64(i)});
+  // Two windows closed and delivered, so the query's ingest→delivery
+  // histogram has points and EXPLAIN merges them into a latency line.
+  auto after = engine_.ExplainSql(sql, plan::PlanMode::kContinuousIncremental);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->find("latency:"), std::string::npos);
+  EXPECT_NE(after->find("count=2"), std::string::npos);
+}
+
 // Regression: Pump()/WaitIdle()/TakeResults() used to hold the engine
 // registry lock across emitter drains, so a sink that re-enters the
 // engine (the monitor does exactly this) self-deadlocked. Drains now run
