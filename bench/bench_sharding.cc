@@ -1,0 +1,166 @@
+// E10 (baseline) — naive stream sharding: N independent engine shards
+// behind a trivial facade. Rows are key-partitioned (shard = g mod N),
+// but the query is REPLICATED onto every shard and every shard receives
+// every heartbeat, so each shard fires every slide and the facade merges
+// by re-emission rather than by partial-aggregate combination.
+//
+// This is deliberately the flat-lining prototype recorded in ROADMAP.md:
+// 4 shards => 4x total fires while the merged output stays at the same
+// 13 emissions a single shard produces, and ingest throughput DROPS with
+// shard count (the per-slide window work is duplicated N times and this
+// box gives it no extra cores). It is committed as the measured baseline
+// the real keyed-ingest + partial-merge design must beat; it emits
+// BENCH_sharding.json (schema in docs/BENCHMARKS.md) and is NOT gated —
+// the numbers document the anti-pattern.
+//
+// `--smoke` shrinks the row count for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/random.h"
+
+namespace dc {
+namespace {
+
+using bench::Banner;
+using bench::QueryOpts;
+using bench::Sync;
+
+constexpr uint64_t kRows = 60000;
+constexpr int64_t kSpanSec = 12;  // tape covers [0, 12) seconds
+constexpr uint64_t kSeed = 20260809;
+
+struct ShardRow {
+  int64_t ts_us;
+  int64_t g;
+  int64_t v;
+};
+
+std::vector<ShardRow> MakeTape(uint64_t n) {
+  Rng rng(kSeed);
+  std::vector<ShardRow> rows;
+  rows.reserve(n);
+  const int64_t span_us = kSpanSec * kMicrosPerSecond;
+  for (uint64_t i = 0; i < n; ++i) {
+    rows.push_back(ShardRow{
+        static_cast<int64_t>(i) * span_us / static_cast<int64_t>(n),
+        rng.UniformInt(0, 7), rng.UniformInt(-100, 100)});
+  }
+  return rows;
+}
+
+struct ShardingPoint {
+  int shards = 0;
+  Micros wall = 0;
+  uint64_t fires = 0;             // total emissions across all shards
+  uint64_t merged_emissions = 0;  // distinct window slides at the facade
+};
+
+ShardingPoint RunSharded(int nshards, const std::vector<ShardRow>& rows) {
+  std::vector<std::unique_ptr<Engine>> shards;
+  std::vector<int> qids;
+  for (int s = 0; s < nshards; ++s) {
+    shards.push_back(std::make_unique<Engine>(Sync()));
+    DC_CHECK_OK(
+        shards.back()->Execute("CREATE STREAM s (ts timestamp, g int, v int)"));
+    auto qid = shards.back()->SubmitContinuous(
+        "SELECT g, count(*), sum(v) FROM s "
+        "[RANGE 2 SECONDS SLIDE 1 SECONDS] GROUP BY g ORDER BY g",
+        QueryOpts(ExecMode::kIncremental, "agg", bench::NullSink()));
+    DC_CHECK_OK(qid.status());
+    qids.push_back(*qid);
+  }
+
+  Stopwatch watch;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    const int target = static_cast<int>(r.g % nshards);
+    DC_CHECK_OK(shards[target]->PushRow(
+        "s", {Value::Ts(r.ts_us), Value::I64(r.g), Value::I64(r.v)}));
+    if (i % 1000 == 999) {
+      // The naive facade broadcasts time to every shard, so shards with
+      // no matching keys still open, advance, and fire every window.
+      for (auto& e : shards) DC_CHECK_OK(e->Heartbeat("s", r.ts_us));
+      for (auto& e : shards) e->Pump();
+    }
+  }
+  for (auto& e : shards) DC_CHECK_OK(e->SealStream("s"));
+  for (auto& e : shards) e->Pump();
+
+  ShardingPoint p;
+  p.shards = nshards;
+  p.wall = watch.ElapsedMicros();
+  for (int s = 0; s < nshards; ++s) {
+    const uint64_t em = shards[s]->GetFactory(qids[s])->Stats().emissions;
+    p.fires += em;
+    // Replicated queries + broadcast heartbeats: every shard fires every
+    // slide, so the facade's re-emission merge dedups to one shard's
+    // emission sequence.
+    p.merged_emissions = std::max(p.merged_emissions, em);
+  }
+  return p;
+}
+
+}  // namespace
+}  // namespace dc
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const bool smoke = argc > 1 && strcmp(argv[1], "--smoke") == 0;
+  const uint64_t nrows = smoke ? 6000 : kRows;
+  const std::vector<ShardRow> rows = MakeTape(nrows);
+
+  Banner("E10", "naive sharding baseline: replicated queries, broadcast time");
+  printf("\n%llu rows over %llds, shard = g mod N, RANGE 2s SLIDE 1s\n",
+         static_cast<unsigned long long>(nrows),
+         static_cast<long long>(kSpanSec));
+  printf("\n%6s | %10s %12s | %8s %10s\n", "shards", "wall ms", "rows/s",
+         "fires", "merged");
+  printf("%s\n", std::string(58, '-').c_str());
+
+  std::vector<ShardingPoint> points;
+  for (int n : {1, 2, 4}) {
+    points.push_back(RunSharded(n, rows));
+    const ShardingPoint& p = points.back();
+    printf("%6d | %10.1f %12.0f | %8llu %10llu\n", p.shards,
+           static_cast<double>(p.wall) / 1000.0,
+           static_cast<double>(nrows) * kMicrosPerSecond /
+               static_cast<double>(p.wall),
+           static_cast<unsigned long long>(p.fires),
+           static_cast<unsigned long long>(p.merged_emissions));
+  }
+
+  FILE* f = fopen("BENCH_sharding.json", "w");
+  if (f == nullptr) {
+    printf("  !! cannot write BENCH_sharding.json\n");
+    return 1;
+  }
+  fprintf(f, "{\n  \"bench\": \"sharding\",\n");
+  fprintf(f, "  \"generated_by\": \"bench_sharding\",\n");
+  fprintf(f, "  \"design\": \"naive-replicated-baseline\",\n");
+  fprintf(f, "  \"rows\": %llu,\n  \"sweep\": [\n",
+          static_cast<unsigned long long>(nrows));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ShardingPoint& p = points[i];
+    fprintf(f,
+            "    {\"shards\": %d, \"wall_ms\": %.3f, \"rows_per_s\": %.1f, "
+            "\"fires\": %llu, \"merged_emissions\": %llu}%s\n",
+            p.shards, static_cast<double>(p.wall) / 1000.0,
+            static_cast<double>(nrows) * kMicrosPerSecond /
+                static_cast<double>(p.wall),
+            static_cast<unsigned long long>(p.fires),
+            static_cast<unsigned long long>(p.merged_emissions),
+            i + 1 < points.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("\nwrote BENCH_sharding.json (%zu sweep points) — baseline for the "
+         "keyed-ingest redesign\n",
+         points.size());
+  return 0;
+}

@@ -19,6 +19,13 @@ latency path (docs/OBSERVABILITY.md) exceeds --max-p99-ms (default: the
 artifact's own scaled LRB deadline, 250 ms at 20x replay), or when any
 notification missed the deadline.
 
+--wal mode (BENCH_wal.json): fails when WAL logging without fsync costs
+more than max(1.6x the durability-off wall time, off + 150 ms absolute
+slack) — the WAL rides the batch-ordinal log, one framed append per
+batch, so anything beyond that is a regression on the ingest hot path.
+fsync=interval is reported but not gated (its cost is the disk's, not
+the engine's).
+
 Non-fatal diagnostics: the join speedup curve is expected to be
 monotonically increasing in n_bw; inversions are printed as warnings so
 noisy smoke timings do not flake CI, while the headline points stay hard
@@ -29,6 +36,8 @@ Usage: check_bench_regression.py BENCH_incremental.json [--n-bw N]
        check_bench_regression.py BENCH_multiquery.json --multiquery
        check_bench_regression.py BENCH_linear_road.json --linear-road
        [--max-p99-ms X]
+       check_bench_regression.py BENCH_wal.json --wal
+       [--max-wal-ratio X] [--wal-slack-ms X]
 """
 
 import argparse
@@ -155,6 +164,47 @@ def check_linear_road(bench, args) -> int:
     return 0
 
 
+def check_wal(bench, args) -> int:
+    try:
+        off = bench["off"]
+        never = bench["fsync_never"]
+        interval = bench["fsync_interval"]
+    except KeyError as e:
+        print(f"FAIL: {args.json_path} is missing key {e}")
+        return 1
+
+    print(f"wal overhead ({args.json_path}): {bench.get('rows')} rows, "
+          f"best of {bench.get('reps')} interleaved reps")
+    for key, run in (("off", off), ("fsync_never", never),
+                     ("fsync_interval", interval)):
+        print(f"  {key:>14}: wall={run['wall_ms']:.1f}ms "
+              f"rows/s={run['rows_per_s']:.0f} "
+              f"records={run['wal_records']} syncs={run['wal_syncs']}")
+
+    failed = False
+    if never["wal_records"] == 0:
+        print("FAIL: fsync_never logged no WAL records — the bench "
+              "measured nothing")
+        failed = True
+    # One framed append per batch: logging without fsync must stay within
+    # the ratio gate, with absolute slack so tiny smoke walls can't flake.
+    budget = max(args.max_wal_ratio * off["wall_ms"],
+                 off["wall_ms"] + args.wal_slack_ms)
+    if never["wall_ms"] > budget:
+        print(f"FAIL: fsync_never wall {never['wall_ms']:.1f}ms exceeds "
+              f"the budget {budget:.1f}ms "
+              f"(max({args.max_wal_ratio:.1f}x off, off + "
+              f"{args.wal_slack_ms:.0f}ms))")
+        failed = True
+    if failed:
+        return 1
+    ratio = never["wall_ms"] / off["wall_ms"] if off["wall_ms"] > 0 else 0.0
+    print(f"OK: fsync_never {ratio:.2f}x of durability-off "
+          f"(budget max({args.max_wal_ratio:.1f}x, +{args.wal_slack_ms:.0f}ms)); "
+          f"fsync_interval {interval['wall_ms']:.1f}ms reported ungated")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path", help="path to a BENCH_*.json artifact")
@@ -162,6 +212,14 @@ def main() -> int:
                         help="gate BENCH_multiquery.json sharing results")
     parser.add_argument("--linear-road", action="store_true",
                         help="gate BENCH_linear_road.json response times")
+    parser.add_argument("--wal", action="store_true",
+                        help="gate BENCH_wal.json durability overhead")
+    parser.add_argument("--max-wal-ratio", type=float, default=1.6,
+                        help="fsync_never wall budget as a multiple of "
+                             "durability-off (default 1.6)")
+    parser.add_argument("--wal-slack-ms", type=float, default=150.0,
+                        help="absolute slack added to the --wal gate "
+                             "(default 150)")
     parser.add_argument("--scenario", default="join")
     parser.add_argument("--n-bw", type=int, default=8)
     parser.add_argument("--min-speedup", type=float, default=2.0)
@@ -181,6 +239,8 @@ def main() -> int:
         return check_multiquery(bench, args)
     if args.linear_road:
         return check_linear_road(bench, args)
+    if args.wal:
+        return check_wal(bench, args)
     return check_join(bench, args)
 
 

@@ -156,13 +156,14 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols,
     // gate, which zero-row batches are exempt from).
     bool any_tracker = false;
     for (const auto& [id, st] : readers_) any_tracker |= st.tracks_batches;
-    if (any_tracker) {
-      batches_.push_back(BasketBatch{append_batches_, high_, high_, ingest_us});
-    }
+    const BasketBatch boundary{append_batches_, high_, high_, ingest_us};
+    if (any_tracker) batches_.push_back(boundary);
     ++append_batches_;
     ++empty_batches_;
+    if (hooks_.on_batch) hooks_.on_batch(boundary, cols);
     return Status::OK();
   }
+  BatPtr clamped_ts;  // set iff clamping rewrote the ts column (WAL copy)
   for (size_t i = 0; i < cols.size(); ++i) {
     if (i == ts_col_) {
       // Clamp event time to be non-decreasing (documented simplification).
@@ -181,9 +182,11 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols,
         watermark_ = std::max(watermark_, ts[n - 1]);
       } else {
         Micros clamp = watermark_;
+        if (hooks_.on_batch) clamped_ts = Bat::MakeEmpty(cols[i]->type());
         for (int64_t t : ts) {
           clamp = std::max<Micros>(clamp, t);
           cols_[i]->AppendI64(clamp);
+          if (clamped_ts) clamped_ts->AppendI64(clamp);
         }
         watermark_ = clamp;
       }
@@ -191,9 +194,21 @@ Status Basket::AppendLocked(const std::vector<BatPtr>& cols,
       cols_[i]->AppendRange(*cols[i], 0, n);
     }
   }
-  batches_.push_back(BasketBatch{append_batches_, high_, high_ + n, ingest_us});
+  const BasketBatch logged{append_batches_, high_, high_ + n, ingest_us};
+  batches_.push_back(logged);
   ++append_batches_;
   high_ += n;
+  if (hooks_.on_batch) {
+    // The WAL must see the values the basket actually stored, so a
+    // replayed log re-clamps as a no-op.
+    if (clamped_ts) {
+      std::vector<BatPtr> stored = cols;
+      stored[ts_col_] = clamped_ts;
+      hooks_.on_batch(logged, stored);
+    } else {
+      hooks_.on_batch(logged, cols);
+    }
+  }
   PushWatermarkStampLocked(watermark_, ingest_us);
   resident_hwm_rows_ = std::max(resident_hwm_rows_, high_ - base_);
   memory_hwm_bytes_ = std::max(memory_hwm_bytes_, MemoryBytesLocked());
@@ -222,6 +237,7 @@ void Basket::Heartbeat(Micros event_ts) {
     MutexLock lock(mu_);
     watermark_ = std::max(watermark_, event_ts);
     PushWatermarkStampLocked(watermark_, SteadyMicros());
+    if (hooks_.on_heartbeat) hooks_.on_heartbeat(event_ts);
   }
   NotifyAll();
 }
@@ -235,9 +251,35 @@ void Basket::Seal() {
       // watermark never reached their boundary) resolve their trigger
       // time to the seal.
       PushWatermarkStampLocked(INT64_MAX, SteadyMicros());
+      if (hooks_.on_seal) hooks_.on_seal();
     }
   }
   NotifyAll();
+}
+
+void Basket::SetDurabilityHooks(DurabilityHooks hooks) {
+  MutexLock lock(mu_);
+  hooks_ = std::move(hooks);
+}
+
+Status Basket::RestoreLogPosition(uint64_t start_seq, uint64_t next_ordinal,
+                                  Micros watermark, bool sealed) {
+  MutexLock lock(mu_);
+  if (high_ != 0 || append_batches_ != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "basket %s: RestoreLogPosition on a non-empty basket", name_.c_str()));
+  }
+  base_ = high_ = start_seq;
+  append_batches_ = next_ordinal;
+  if (watermark > watermark_) {
+    watermark_ = watermark;
+    PushWatermarkStampLocked(watermark_, SteadyMicros());
+  }
+  if (sealed) {
+    sealed_ = true;
+    PushWatermarkStampLocked(INT64_MAX, SteadyMicros());
+  }
+  return Status::OK();
 }
 
 void Basket::PushWatermarkStampLocked(Micros watermark, Micros at_us) {

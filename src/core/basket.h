@@ -162,6 +162,32 @@ class Basket {
   void Seal();
   bool sealed() const;
 
+  // --- Durability (docs/DURABILITY.md) --------------------------------------
+
+  /// WAL hooks, invoked *inside* the basket lock so records land in the
+  /// log in exactly the order batches/watermarks were admitted (the
+  /// pulse-listener mechanism runs outside the lock and could reorder
+  /// concurrent appends). A hook may only take locks ranked above
+  /// kBasket — the engine's hooks take the WAL writer's kWal mutex.
+  /// `on_batch` receives the batch-log entry plus the stored (post-clamp)
+  /// column values, so replaying the log reproduces the basket exactly.
+  struct DurabilityHooks {
+    std::function<void(const BasketBatch& batch,
+                       const std::vector<BatPtr>& cols)>
+        on_batch;
+    std::function<void(Micros event_ts)> on_heartbeat;
+    std::function<void()> on_seal;
+  };
+  void SetDurabilityHooks(DurabilityHooks hooks);
+
+  /// Recovery: positions an empty basket at the point its WAL starts —
+  /// sequence numbers resume at `start_seq`, batch ordinals at
+  /// `next_ordinal`, with the watermark/seal state accumulated by
+  /// everything the log truncated away. Must run before any rows are
+  /// appended (and, in practice, before readers register).
+  Status RestoreLogPosition(uint64_t start_seq, uint64_t next_ordinal,
+                            Micros watermark, bool sealed);
+
   /// Registers a callback pulsed after every append/heartbeat/seal — the
   /// scheduler subscribes one pulse listener per basket and fans the pulse
   /// out to exactly the factories with an attached arc (targeted
@@ -297,6 +323,7 @@ class Basket {
   uint64_t append_batches_ DC_GUARDED_BY(mu_) = 0;  // == next batch ordinal
   uint64_t empty_batches_ DC_GUARDED_BY(mu_) = 0;
   bool sealed_ DC_GUARDED_BY(mu_) = false;
+  DurabilityHooks hooks_ DC_GUARDED_BY(mu_);
 
   // Backpressure statistics.
   uint64_t resident_hwm_rows_ DC_GUARDED_BY(mu_) = 0;

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/basket.h"
@@ -34,6 +35,8 @@
 #include "monitor/metrics.h"
 #include "plan/explain.h"
 #include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "util/result.h"
 #include "util/sync.h"
 
@@ -72,6 +75,29 @@ struct EngineOptions {
   /// Off restores one private factory chain per query — the differential
   /// equivalence suite runs both and asserts identical emissions.
   bool enable_sharing = true;
+
+  /// Durability (docs/DURABILITY.md): with a non-empty `dir`, every
+  /// stream basket appends its batch log to `<dir>/<stream>.wal`, DDL and
+  /// continuous-query submissions go to `<dir>/catalog.wal`, and
+  /// Checkpoint() writes consistent factory-progress snapshots. A fresh
+  /// Engine pointed at a populated `dir` recovers: last snapshot + WAL
+  /// tail replayed through the normal append path. Empty `dir` (the
+  /// default) keeps the engine fully transient.
+  struct DurabilityOptions {
+    std::string dir;
+    /// When basket-WAL appends become durable. The catalog log is always
+    /// synced (DDL/submits are rare); checkpoints force-sync everything.
+    storage::FsyncPolicy fsync = storage::FsyncPolicy::kInterval;
+    int fsync_interval_batches = 64;
+    /// > 0: a background thread checkpoints this often (threaded engines
+    /// only — synchronous mode stays thread-free; call Checkpoint()
+    /// directly). 0 = manual checkpoints only.
+    int checkpoint_interval_ms = 0;
+    /// File-system abstraction override (crash-injection tests); null
+    /// uses the real filesystem. Recovery always reads the real files.
+    storage::WalEnv* env = nullptr;
+  };
+  DurabilityOptions durability;
 
   /// Event tracing (docs/OBSERVABILITY.md): record scoped spans (factory
   /// fires, basket appends/stalls, emitter drains, steals) into
@@ -168,6 +194,23 @@ class Engine {
   /// Blocks until the receptor's source is exhausted.
   Status WaitReceptor(int receptor_id);
 
+  // --- Durability (docs/DURABILITY.md) ----------------------------------------
+
+  /// Writes a consistent snapshot of factory progress and truncates each
+  /// basket WAL to the *previous* checkpoint's horizon (so the rotated
+  /// snapshot.prev.dc always pairs with a sufficient WAL tail). Serialized
+  /// on dur_mu_; safe to call concurrently with ingest and fires.
+  /// InvalidArgument when durability is off.
+  Status Checkpoint();
+
+  /// What the constructor's recovery pass concluded. OK after a cold
+  /// start or a successful replay; an error (and the engine left
+  /// transient, with logging disabled) when the on-disk state was
+  /// unusable — e.g. every snapshot corrupt after a checkpoint truncated
+  /// the WALs. The constructor cannot return a Status; check this after
+  /// constructing an engine with durability enabled.
+  Status recovery_status() const { return recovery_status_; }
+
   // --- Driving / introspection -------------------------------------------------
 
   /// Synchronous mode: fires ready factories and drains emitters until
@@ -223,6 +266,9 @@ class Engine {
     /// delivery. Kept here so Queries()/EXPLAIN can snapshot it and so
     /// teardown can Remove() it from the registry.
     std::shared_ptr<monitor::HistogramMetric> latency;
+    /// Catalog-log submit token (kSubmit/kRemove pairing and the key of
+    /// this query's progress in snapshots). 0 = durability off.
+    uint64_t dur_token = 0;
   };
 
   /// One refcounted shared factory (tier F, docs/SHARING.md): every
@@ -243,6 +289,32 @@ class Engine {
 
   Status ExecuteOne(const sql::Statement& stmt);
   Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
+  /// SubmitContinuous body. `restore`/`progress` are non-null only during
+  /// recovery replay: the submit token is taken from the log instead of
+  /// allocated, nothing is re-logged, a founded shared node is re-anchored
+  /// at its original origin, and `progress` is applied to the new factory
+  /// BEFORE it reaches the scheduler (so it can never fire from
+  /// pre-restore origins).
+  Result<int> SubmitInternal(std::string_view sql, ContinuousOptions options,
+                             const storage::WalSubmit* restore,
+                             const storage::FactoryProgress* progress);
+  /// Appends a kSubmit record (token, sql, initial factory progress,
+  /// founded-node identity) to the catalog log. Append failures are
+  /// logged, not propagated — the query is already live.
+  void LogSubmit(uint64_t token, std::string_view sql,
+                 const ContinuousOptions& options, const FactoryPtr& factory,
+                 const SharedWindowNodePtr& node);
+  /// Constructor-time durability bring-up: creates the directory,
+  /// recovers snapshot + WAL tails if present (replaying through the
+  /// normal append path), then attaches WAL writers/hooks to every
+  /// stream basket and opens the catalog log.
+  Status InitDurability();
+  /// Opens `<dir>/<name>.wal` (writing a head kReset on a fresh log) and
+  /// installs the basket's durability hooks.
+  Status AttachStreamWal(const std::string& name,
+                         const std::shared_ptr<Basket>& basket);
+  /// Background checkpoint thread body (checkpoint_interval_ms > 0).
+  void CheckpointLoop();
   /// Drops zero-subscriber shared nodes from the registry (their basket
   /// readers unregister with them).
   void PruneIdleNodesLocked() DC_REQUIRES(share_mu_);
@@ -261,12 +333,62 @@ class Engine {
   /// introspection can resolve handles.
   mutable monitor::MetricsRegistry metrics_;
 
+  // --- Durability state (docs/DURABILITY.md) ---
+  /// Non-null iff durability is on AND usable (bring-up failures leave
+  /// the engine transient rather than appending to logs it could not
+  /// read). Set once in the constructor.
+  storage::WalEnv* wal_env_ = nullptr;
+  /// True only while the constructor replays logs: logging sites skip
+  /// (replay must not re-log) and statement replay skips INSERTs into
+  /// streams (their rows replay from the basket WALs instead).
+  bool recovering_ = false;
+  Status recovery_status_;
+  storage::WalCounters wal_counters_;
+  std::shared_ptr<monitor::Counter> snapshot_writes_;
+  std::shared_ptr<monitor::Counter> snapshot_bytes_;
+  std::shared_ptr<monitor::Counter> replayed_records_;
+  std::shared_ptr<monitor::Counter> replayed_rows_;
+  std::shared_ptr<monitor::Counter> recovery_runs_;
+  /// Internally synchronized (kWal); the pointer is set once in the
+  /// constructor. Always opened with FsyncPolicy::kAlways.
+  std::unique_ptr<storage::WalWriter> catalog_wal_;
+  /// label -> origin_seq of shared nodes from the loaded snapshot;
+  /// consulted (then discarded) when recovery replay re-founds a node.
+  std::map<std::string, uint64_t> restore_node_origins_;
+
+  /// Serializes checkpoints. Ranks below kEmitterDrain (and everything
+  /// else a checkpoint touches): Checkpoint() drains emitters and walks
+  /// the sharing registry, engine maps, and factories while holding it.
+  mutable Mutex dur_mu_{LockRank::kDurability};
+  /// Horizons captured at the previous checkpoint — what the NEXT
+  /// checkpoint may truncate each basket WAL to, so snapshot.prev.dc
+  /// always pairs with a sufficient WAL tail.
+  std::map<std::string, uint64_t> last_horizons_ DC_GUARDED_BY(dur_mu_);
+  uint64_t next_checkpoint_id_ DC_GUARDED_BY(dur_mu_) = 1;
+
+  /// Background checkpoint thread. Its wait mutex is a leaf (nothing is
+  /// ever acquired under it); the thread is stopped FIRST in the
+  /// destructor, before any subsystem it checkpoints.
+  Mutex ckpt_mu_{LockRank::kLeaf};
+  CondVar ckpt_cv_;
+  bool ckpt_stop_ DC_GUARDED_BY(ckpt_mu_) = false;
+  std::thread ckpt_thread_;
+
   mutable Mutex mu_{LockRank::kEngine};
+  /// Declared before baskets_ so writers outlive the baskets whose hooks
+  /// hold raw pointers to them. Writers are internally synchronized
+  /// (kWal > kBasket: hooks append under the basket lock); the map itself
+  /// is guarded by mu_.
+  std::map<std::string, std::unique_ptr<storage::WalWriter>> basket_wals_
+      DC_GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<Basket>> baskets_ DC_GUARDED_BY(mu_);
   std::map<int, QueryEntry> queries_ DC_GUARDED_BY(mu_);
   std::map<int, std::unique_ptr<Receptor>> receptors_ DC_GUARDED_BY(mu_);
+  /// Submit token -> query id, for kRemove replay and Remove logging.
+  std::map<uint64_t, int> token_to_query_ DC_GUARDED_BY(mu_);
   int next_query_id_ DC_GUARDED_BY(mu_) = 1;
   int next_receptor_id_ DC_GUARDED_BY(mu_) = 1;
+  uint64_t next_submit_token_ DC_GUARDED_BY(mu_) = 1;
 
   // Multi-query sharing registry (docs/SHARING.md). share_mu_ ranks
   // BELOW mu_ (kSharingRegistry < kEngine) because Submit/Remove hold it

@@ -234,6 +234,44 @@ FactoryStats Factory::Stats() const {
   return s;
 }
 
+storage::FactoryProgress Factory::SnapshotProgress() const {
+  MutexLock lock(mu_);
+  storage::FactoryProgress p;
+  p.origins = origin_seq_;
+  p.has_next_emission = next_emission_.has_value();
+  p.next_emission = next_emission_.value_or(0);
+  p.batch_cursor = batch_cursor_;
+  p.emissions = stats_.emissions;
+  return p;
+}
+
+Status Factory::RestoreProgress(const storage::FactoryProgress& p) {
+  MutexLock lock(mu_);
+  if (stats_.invocations > 0) {
+    return Status::InvalidArgument(StrFormat(
+        "factory %s: RestoreProgress after it already fired", name_.c_str()));
+  }
+  if (p.origins.size() != origin_seq_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("factory %s: progress has %zu origins, factory has %zu "
+                  "inputs",
+                  name_.c_str(), p.origins.size(), origin_seq_.size()));
+  }
+  // Only cursors are restored. Reader cursors self-heal (each fire
+  // re-advances them), and window/partial/join state rebuilds from the
+  // replayed rows — delta_seeded_ stays false so the first dual-window
+  // emission re-joins the whole initial window.
+  origin_seq_ = p.origins;
+  if (p.has_next_emission) {
+    next_emission_ = p.next_emission;
+  } else {
+    next_emission_.reset();
+  }
+  batch_cursor_ = p.batch_cursor;
+  stats_.emissions = p.emissions;
+  return Status::OK();
+}
+
 bool Factory::CheckReady() const {
   MutexLock lock(mu_);
   return CheckReadyLocked();

@@ -26,6 +26,7 @@
 #include "core/sharing.h"
 #include "core/window.h"
 #include "exec/executor.h"
+#include "storage/snapshot.h"
 #include "storage/table.h"
 #include "util/result.h"
 #include "util/sync.h"
@@ -136,6 +137,20 @@ class Factory {
   bool paused() const;
 
   FactoryStats Stats() const;
+
+  // --- Durability (docs/DURABILITY.md) --------------------------------------
+
+  /// Captures the recomputation-free progress of this factory: input
+  /// origins, the next due emission, the per-batch cursor and the
+  /// emission count. Everything else (windows, partial caches, join
+  /// indexes, retained delta sides) is rebuilt from replayed basket rows.
+  storage::FactoryProgress SnapshotProgress() const;
+
+  /// Recovery: re-applies captured progress to a freshly created factory.
+  /// Valid only before the first Fire — the caller (Engine recovery)
+  /// restores progress before registering the factory with the scheduler,
+  /// so a worker can never fire it against pre-restore origins.
+  Status RestoreProgress(const storage::FactoryProgress& p);
 
  private:
   enum class Shape { kPerBatch, kSingleWindow, kDualWindow, kSharedTail };

@@ -23,6 +23,20 @@ SharedWindowNode::~SharedWindowNode() {
   if (reader_id_ >= 0) basket_->UnregisterReader(reader_id_);
 }
 
+Status SharedWindowNode::RestoreOrigin(uint64_t origin_seq) {
+  MutexLock lock(mu_);
+  if (builds_ != 0 || !cache_.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "shared node %s: RestoreOrigin after partials were built",
+        label_.c_str()));
+  }
+  // The reader cursor stays where registration put it (at or below the
+  // restored origin after a WAL replay); it only pins retention and
+  // advances through Release like any other cursor.
+  origin_seq_ = origin_seq;
+  return Status::OK();
+}
+
 int SharedWindowNode::Subscribe() {
   MutexLock lock(mu_);
   const int id = next_sub_++;

@@ -111,6 +111,12 @@ class SharedWindowNode {
     return rows == rows_mode_ && slide % grid_slide_ == 0;
   }
 
+  /// Recovery (docs/DURABILITY.md): re-anchors the grid at the node's
+  /// original origin. Valid only on a fresh node (nothing built or
+  /// cached) — Engine recovery applies it right after recreating the
+  /// node, before any tail fires.
+  Status RestoreOrigin(uint64_t origin_seq);
+
   /// Adds a subscriber; returns its id (pass to Release/Unsubscribe).
   int Subscribe();
   /// Drops a subscriber; re-evaluates eviction for the remaining ones.
@@ -154,8 +160,10 @@ class SharedWindowNode {
   const std::shared_ptr<exec::QueryExecutor> executor_;
   const bool rows_mode_;
   const int64_t grid_slide_;
-  int reader_id_ = -1;       // immutable after construction
-  uint64_t origin_seq_ = 0;  // immutable after construction
+  int reader_id_ = -1;  // immutable after construction
+  /// Immutable after construction, except for a single RestoreOrigin
+  /// call during recovery (before any tail fires).
+  uint64_t origin_seq_ = 0;
 
   /// Sentinel release mark: subscriber has not released anything yet.
   static constexpr int64_t kUnreleased = INT64_MIN;

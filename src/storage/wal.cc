@@ -1,0 +1,667 @@
+// Copyright 2026 The DataCell Authors.
+
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace dc {
+namespace storage {
+
+namespace {
+
+/// Records larger than this are treated as corruption (a torn length
+/// field must not trigger a gigabyte allocation).
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --------------------------------------------------------------------------
+// Default (real filesystem) environment.
+// --------------------------------------------------------------------------
+
+namespace {
+
+class PosixWalFile : public WalFile {
+ public:
+  explicit PosixWalFile(int fd) : fd_(fd) {}
+  ~PosixWalFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(
+            StrFormat("wal write failed: %s", std::strerror(errno)));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(
+          StrFormat("wal fsync failed: %s", std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::Internal(
+          StrFormat("wal close failed: %s", std::strerror(errno)));
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixWalEnv : public WalEnv {
+ public:
+  Result<std::unique_ptr<WalFile>> Open(const std::string& path,
+                                        bool truncate) override {
+    int flags = O_CREAT | O_WRONLY | O_APPEND;
+    if (truncate) flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::Internal(
+          StrFormat("open %s failed: %s", path.c_str(), std::strerror(errno)));
+    }
+    return {std::make_unique<PosixWalFile>(fd)};
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(StrFormat("rename %s -> %s failed: %s",
+                                        from.c_str(), to.c_str(),
+                                        std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal(StrFormat("unlink %s failed: %s", path.c_str(),
+                                        std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t len) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+      return Status::Internal(StrFormat("truncate %s failed: %s", path.c_str(),
+                                        std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::string partial;
+    for (size_t i = 0; i <= path.size(); ++i) {
+      if (i < path.size() && path[i] != '/') continue;
+      partial = path.substr(0, i == path.size() ? i : i + 1);
+      if (partial.empty() || partial == "/") continue;
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::Internal(StrFormat("mkdir %s failed: %s",
+                                          partial.c_str(),
+                                          std::strerror(errno)));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+WalEnv* WalEnv::Default() {
+  static PosixWalEnv* env = new PosixWalEnv();
+  return env;
+}
+
+// --------------------------------------------------------------------------
+// Encoder / decoder.
+// --------------------------------------------------------------------------
+
+void WalEncoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WalEncoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WalEncoder::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WalEncoder::PutStr(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void WalEncoder::PutBytes(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+uint8_t WalDecoder::GetU8() {
+  if (!ok_ || pos_ + 1 > data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t WalDecoder::GetU32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(GetU8()) << (8 * i);
+  return ok_ ? v : 0;
+}
+
+uint64_t WalDecoder::GetU64() {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(GetU8()) << (8 * i);
+  return ok_ ? v : 0;
+}
+
+double WalDecoder::GetF64() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string WalDecoder::GetStr() {
+  const uint32_t n = GetU32();
+  return std::string(GetBytes(n));
+}
+
+std::string_view WalDecoder::GetBytes(size_t n) {
+  if (!ok_ || pos_ + n > data_.size()) {
+    ok_ = false;
+    return {};
+  }
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Column codec.
+// --------------------------------------------------------------------------
+
+void EncodeBat(WalEncoder& enc, const Bat& b) {
+  const uint64_t n = b.size();
+  enc.PutU8(static_cast<uint8_t>(b.type()));
+  enc.PutU64(n);
+  const bool nulls = b.has_nulls();
+  enc.PutU8(nulls ? 1 : 0);
+  if (nulls) {
+    for (uint64_t i = 0; i < n; ++i) enc.PutU8(b.IsNull(i) ? 1 : 0);
+  }
+  switch (b.type()) {
+    case TypeId::kBool:
+      enc.PutBytes(b.BoolData().data(), n);
+      break;
+    case TypeId::kI64:
+    case TypeId::kTs:
+      for (int64_t v : b.I64Data()) enc.PutI64(v);
+      break;
+    case TypeId::kF64:
+      for (double v : b.F64Data()) enc.PutF64(v);
+      break;
+    case TypeId::kStr:
+      for (uint64_t i = 0; i < n; ++i) enc.PutStr(b.StrAt(i));
+      break;
+  }
+}
+
+Result<BatPtr> DecodeBat(WalDecoder& dec) {
+  const uint8_t type_raw = dec.GetU8();
+  const uint64_t n = dec.GetU64();
+  const bool nulls = dec.GetU8() != 0;
+  if (!dec.ok() || type_raw > static_cast<uint8_t>(TypeId::kTs)) {
+    return Status::ParseError("wal: malformed column header");
+  }
+  if (n > kMaxRecordBytes) {
+    return Status::ParseError("wal: implausible column length");
+  }
+  const TypeId type = static_cast<TypeId>(type_raw);
+  std::vector<uint8_t> null_flags;
+  if (nulls) {
+    null_flags.resize(n);
+    for (uint64_t i = 0; i < n; ++i) null_flags[i] = dec.GetU8();
+  }
+  BatPtr out = Bat::MakeEmpty(type);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (nulls && null_flags[i]) {
+      // Consume the zero payload the encoder wrote, then append NULL.
+      switch (type) {
+        case TypeId::kBool:
+          dec.GetU8();
+          break;
+        case TypeId::kI64:
+        case TypeId::kTs:
+          dec.GetI64();
+          break;
+        case TypeId::kF64:
+          dec.GetF64();
+          break;
+        case TypeId::kStr:
+          dec.GetStr();
+          break;
+      }
+      out->AppendNull();
+      continue;
+    }
+    switch (type) {
+      case TypeId::kBool:
+        out->AppendBool(dec.GetU8() != 0);
+        break;
+      case TypeId::kI64:
+      case TypeId::kTs:
+        out->AppendI64(dec.GetI64());
+        break;
+      case TypeId::kF64:
+        out->AppendF64(dec.GetF64());
+        break;
+      case TypeId::kStr:
+        out->AppendStr(dec.GetStr());
+        break;
+    }
+  }
+  if (!dec.ok()) return Status::ParseError("wal: truncated column payload");
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Record codecs.
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string WithType(WalRecordType t, WalEncoder enc) {
+  WalEncoder out;
+  out.PutU8(static_cast<uint8_t>(t));
+  const std::string body = enc.Take();
+  out.PutBytes(body.data(), body.size());
+  return out.Take();
+}
+
+Result<WalDecoder> BodyDecoder(const WalRecord& rec, WalRecordType want) {
+  if (rec.type != want) return Status::ParseError("wal: record type mismatch");
+  return WalDecoder(rec.body);
+}
+
+}  // namespace
+
+std::string EncodeReset(const WalReset& r) {
+  WalEncoder enc;
+  enc.PutU64(r.start_seq);
+  enc.PutU64(r.next_ordinal);
+  enc.PutI64(r.watermark);
+  enc.PutU8(r.sealed ? 1 : 0);
+  return WithType(WalRecordType::kReset, std::move(enc));
+}
+
+std::string EncodeBatch(uint64_t ordinal, uint64_t begin_seq, uint64_t rows,
+                        const std::vector<BatPtr>& cols) {
+  WalEncoder enc;
+  enc.PutU64(ordinal);
+  enc.PutU64(begin_seq);
+  enc.PutU64(rows);
+  enc.PutU32(static_cast<uint32_t>(cols.size()));
+  for (const BatPtr& c : cols) EncodeBat(enc, *c);
+  return WithType(WalRecordType::kBatch, std::move(enc));
+}
+
+std::string EncodeHeartbeat(int64_t ts) {
+  WalEncoder enc;
+  enc.PutI64(ts);
+  return WithType(WalRecordType::kHeartbeat, std::move(enc));
+}
+
+std::string EncodeSeal() {
+  return WithType(WalRecordType::kSeal, WalEncoder());
+}
+
+std::string EncodeStatement(std::string_view sql) {
+  WalEncoder enc;
+  enc.PutStr(sql);
+  return WithType(WalRecordType::kStatement, std::move(enc));
+}
+
+std::string EncodeSubmit(const WalSubmit& s) {
+  WalEncoder enc;
+  enc.PutU64(s.token);
+  enc.PutStr(s.sql);
+  enc.PutU8(s.mode);
+  enc.PutStr(s.name);
+  enc.PutU32(static_cast<uint32_t>(s.origins.size()));
+  for (uint64_t o : s.origins) enc.PutU64(o);
+  enc.PutU64(s.batch_cursor);
+  enc.PutStr(s.node_label);
+  enc.PutU64(s.node_origin);
+  return WithType(WalRecordType::kSubmit, std::move(enc));
+}
+
+std::string EncodeRemove(uint64_t token) {
+  WalEncoder enc;
+  enc.PutU64(token);
+  return WithType(WalRecordType::kRemove, std::move(enc));
+}
+
+Result<WalReset> DecodeReset(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec, BodyDecoder(rec, WalRecordType::kReset));
+  WalReset r;
+  r.start_seq = dec.GetU64();
+  r.next_ordinal = dec.GetU64();
+  r.watermark = dec.GetI64();
+  r.sealed = dec.GetU8() != 0;
+  if (!dec.ok()) return Status::ParseError("wal: malformed reset record");
+  return r;
+}
+
+Result<WalBatch> DecodeBatch(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec, BodyDecoder(rec, WalRecordType::kBatch));
+  WalBatch b;
+  b.ordinal = dec.GetU64();
+  b.begin_seq = dec.GetU64();
+  b.rows = dec.GetU64();
+  const uint32_t ncols = dec.GetU32();
+  if (!dec.ok() || ncols > 4096) {
+    return Status::ParseError("wal: malformed batch header");
+  }
+  b.cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    DC_ASSIGN_OR_RETURN(BatPtr col, DecodeBat(dec));
+    if (col->size() != b.rows) {
+      return Status::ParseError("wal: batch column row-count mismatch");
+    }
+    b.cols.push_back(std::move(col));
+  }
+  if (!dec.Done()) return Status::ParseError("wal: trailing batch bytes");
+  return b;
+}
+
+Result<int64_t> DecodeHeartbeat(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec,
+                      BodyDecoder(rec, WalRecordType::kHeartbeat));
+  const int64_t ts = dec.GetI64();
+  if (!dec.ok()) return Status::ParseError("wal: malformed heartbeat");
+  return ts;
+}
+
+Result<std::string> DecodeStatement(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec,
+                      BodyDecoder(rec, WalRecordType::kStatement));
+  std::string sql = dec.GetStr();
+  if (!dec.ok()) return Status::ParseError("wal: malformed statement record");
+  return sql;
+}
+
+Result<WalSubmit> DecodeSubmit(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec, BodyDecoder(rec, WalRecordType::kSubmit));
+  WalSubmit s;
+  s.token = dec.GetU64();
+  s.sql = dec.GetStr();
+  s.mode = dec.GetU8();
+  s.name = dec.GetStr();
+  const uint32_t n = dec.GetU32();
+  if (!dec.ok() || n > 4096) {
+    return Status::ParseError("wal: malformed submit record");
+  }
+  s.origins.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) s.origins.push_back(dec.GetU64());
+  s.batch_cursor = dec.GetU64();
+  s.node_label = dec.GetStr();
+  s.node_origin = dec.GetU64();
+  if (!dec.ok()) return Status::ParseError("wal: malformed submit record");
+  return s;
+}
+
+Result<uint64_t> DecodeRemove(const WalRecord& rec) {
+  DC_ASSIGN_OR_RETURN(WalDecoder dec, BodyDecoder(rec, WalRecordType::kRemove));
+  const uint64_t token = dec.GetU64();
+  if (!dec.ok()) return Status::ParseError("wal: malformed remove record");
+  return token;
+}
+
+// --------------------------------------------------------------------------
+// File scan.
+// --------------------------------------------------------------------------
+
+std::string FrameRecord(std::string_view payload) {
+  WalEncoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload.data(), payload.size()));
+  enc.PutBytes(payload.data(), payload.size());
+  return enc.Take();
+}
+
+Result<WalScan> ReadWalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrFormat("wal file %s not found", path.c_str()));
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  WalScan scan;
+  if (data.size() < sizeof(kWalMagic) ||
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    scan.valid_bytes = 0;
+    scan.clean_tail = data.empty();
+    return scan;
+  }
+  size_t pos = sizeof(kWalMagic);
+  scan.valid_bytes = pos;
+  while (pos < data.size()) {
+    if (pos + 8 > data.size()) break;
+    WalDecoder hdr(std::string_view(data).substr(pos, 8));
+    const uint32_t len = hdr.GetU32();
+    const uint32_t crc = hdr.GetU32();
+    if (len == 0 || len > kMaxRecordBytes || pos + 8 + len > data.size()) break;
+    const std::string_view payload = std::string_view(data).substr(pos + 8, len);
+    if (Crc32(payload.data(), payload.size()) != crc) break;
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(static_cast<uint8_t>(payload[0]));
+    rec.body = std::string(payload.substr(1));
+    scan.records.push_back(std::move(rec));
+    pos += 8 + len;
+    scan.valid_bytes = pos;
+  }
+  scan.clean_tail = scan.valid_bytes == data.size();
+  return scan;
+}
+
+// --------------------------------------------------------------------------
+// WalWriter.
+// --------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalEnv* env,
+                                                   std::string path,
+                                                   FsyncPolicy policy,
+                                                   int fsync_interval,
+                                                   WalCounters counters) {
+  bool fresh = !env->FileExists(path);
+  if (!fresh) {
+    // Drop a corrupt tail so new records extend the valid prefix. The
+    // scan reads the real file: anything a simulated crash never
+    // persisted is (correctly) not there.
+    Result<WalScan> scan = ReadWalFile(path);
+    if (scan.ok()) {
+      if (scan.value().valid_bytes == 0) {
+        fresh = true;  // no valid magic — rewrite from scratch
+      } else if (!scan.value().clean_tail) {
+        DC_RETURN_NOT_OK(env->TruncateFile(path, scan.value().valid_bytes));
+      }
+    } else {
+      fresh = true;
+    }
+  }
+  std::unique_ptr<WalWriter> w(new WalWriter(
+      env, std::move(path), policy, fsync_interval, std::move(counters)));
+  DC_ASSIGN_OR_RETURN(std::unique_ptr<WalFile> file,
+                      env->Open(w->path_, /*truncate=*/fresh));
+  {
+    MutexLock lock(w->mu_);
+    w->file_ = std::move(file);
+    if (fresh) {
+      DC_RETURN_NOT_OK(
+          w->file_->Append(std::string_view(kWalMagic, sizeof(kWalMagic))));
+    }
+  }
+  return w;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  const std::string framed = FrameRecord(payload);
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::Internal("wal writer closed");
+  DC_RETURN_NOT_OK(file_->Append(framed));
+  if (counters_.records) counters_.records->Add(1);
+  if (counters_.bytes) counters_.bytes->Add(framed.size());
+  switch (policy_) {
+    case FsyncPolicy::kNever:
+      break;
+    case FsyncPolicy::kAlways:
+      DC_RETURN_NOT_OK(SyncLocked());
+      break;
+    case FsyncPolicy::kInterval:
+      if (++unsynced_ >= fsync_interval_) DC_RETURN_NOT_OK(SyncLocked());
+      break;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::Internal("wal writer closed");
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
+  DC_RETURN_NOT_OK(file_->Sync());
+  unsynced_ = 0;
+  if (counters_.syncs) counters_.syncs->Add(1);
+  return Status::OK();
+}
+
+Status WalWriter::TruncateTo(uint64_t horizon) {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::Internal("wal writer closed");
+  // Flush so the rewrite below sees every record appended so far.
+  DC_RETURN_NOT_OK(SyncLocked());
+  DC_ASSIGN_OR_RETURN(WalScan scan, ReadWalFile(path_));
+
+  // Fold the dropped prefix into a fresh reset record. Heartbeat
+  // watermarks fold exactly; dropped batch timestamps need no folding
+  // because the basket clamps appends to be globally non-decreasing, so
+  // any surviving row revives at least the dropped rows' watermark (see
+  // docs/DURABILITY.md, "Truncation").
+  WalReset reset;
+  size_t keep_from = scan.records.size();
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    if (rec.type == WalRecordType::kReset) {
+      DC_ASSIGN_OR_RETURN(reset, DecodeReset(rec));
+      continue;
+    }
+    if (rec.type == WalRecordType::kHeartbeat) {
+      DC_ASSIGN_OR_RETURN(const int64_t ts, DecodeHeartbeat(rec));
+      if (ts > reset.watermark) reset.watermark = ts;
+      continue;
+    }
+    if (rec.type == WalRecordType::kSeal) {
+      reset.sealed = true;
+      continue;
+    }
+    if (rec.type == WalRecordType::kBatch) {
+      DC_ASSIGN_OR_RETURN(WalBatch b, DecodeBatch(rec));
+      const uint64_t end_seq = b.begin_seq + b.rows;
+      const bool droppable =
+          b.rows > 0 ? end_seq <= horizon : b.begin_seq < horizon;
+      if (!droppable) {
+        keep_from = i;
+        break;
+      }
+      reset.start_seq = end_seq;
+      reset.next_ordinal = b.ordinal + 1;
+      continue;
+    }
+    // Unknown record type in a basket log: keep it and everything after.
+    keep_from = i;
+    break;
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  DC_ASSIGN_OR_RETURN(std::unique_ptr<WalFile> out,
+                      env_->Open(tmp, /*truncate=*/true));
+  DC_RETURN_NOT_OK(out->Append(std::string_view(kWalMagic, sizeof(kWalMagic))));
+  DC_RETURN_NOT_OK(out->Append(FrameRecord(EncodeReset(reset))));
+  for (size_t i = keep_from; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    std::string payload;
+    payload.push_back(static_cast<char>(rec.type));
+    payload.append(rec.body);
+    DC_RETURN_NOT_OK(out->Append(FrameRecord(payload)));
+  }
+  DC_RETURN_NOT_OK(out->Sync());
+  DC_RETURN_NOT_OK(out->Close());
+  DC_RETURN_NOT_OK(file_->Close());
+  file_ = nullptr;
+  DC_RETURN_NOT_OK(env_->Rename(tmp, path_));
+  DC_ASSIGN_OR_RETURN(file_, env_->Open(path_, /*truncate=*/false));
+  unsynced_ = 0;
+  if (counters_.truncations) counters_.truncations->Add(1);
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace dc

@@ -102,6 +102,11 @@ namespace dc {
 enum class LockRank : int {
   kMonitor = 10,        // monitor::AnalysisPane::mu_ (holds while sampling
                         // the whole engine, so it is the outermost rank)
+  kDurability = 15,     // Engine::dur_mu_ (checkpoint serialization; a
+                        // checkpoint drains emitters (20) and walks the
+                        // sharing registry (25), engine (30), factory and
+                        // basket locks underneath, so it sits just below
+                        // kEmitterDrain)
   kEmitterDrain = 20,   // Emitter::drain_mu_ (sinks run under it and may
                         // re-enter Engine, so it precedes kEngine)
   kSharingRegistry = 25,  // Engine::share_mu_ (multi-query sharing registry;
@@ -119,6 +124,8 @@ enum class LockRank : int {
   kSchedShard = 80,     // Scheduler::Shard::mu
   kSchedIdle = 90,      // Scheduler::idle_mu_
   kBasket = 100,        // Basket::mu_ (listeners run outside it)
+  kWal = 105,           // storage::WalWriter::mu_ (per-basket log file;
+                        // appends run under kBasket via the WAL hook)
   kTable = 110,         // Table::mu_
   kEmitterWake = 120,   // Emitter::wake_mu_ (taken from basket pulses)
   kCollector = 130,     // ResultCollector::mu_ (sink leaf)
@@ -144,6 +151,8 @@ inline const char* LockRankName(LockRank r) {
       return "emitter-drain";
     case LockRank::kSharingRegistry:
       return "sharing-registry";
+    case LockRank::kDurability:
+      return "durability";
     case LockRank::kEngine:
       return "engine";
     case LockRank::kCatalog:
@@ -162,6 +171,8 @@ inline const char* LockRankName(LockRank r) {
       return "sched-idle";
     case LockRank::kBasket:
       return "basket";
+    case LockRank::kWal:
+      return "wal";
     case LockRank::kTable:
       return "table";
     case LockRank::kEmitterWake:
