@@ -127,8 +127,14 @@ Status Engine::Execute(std::string_view sql) {
   // multi-statement script that fails midway logs nothing, so statements
   // that DID apply before the failure are not replayed — submit scripts
   // one statement at a time if partial-failure durability matters.
+  // Append failures are logged, not propagated (same treatment as
+  // kSubmit/kRemove): every statement already applied, and failing the
+  // call would report an error for DDL that is live.
   if (wal_env_ != nullptr && !recovering_) {
-    DC_RETURN_NOT_OK(catalog_wal_->Append(storage::EncodeStatement(sql)));
+    const Status s = catalog_wal_->Append(storage::EncodeStatement(sql));
+    if (!s.ok()) {
+      DC_LOG(kWarn) << "catalog WAL append failed: " << s.ToString();
+    }
   }
   return Status::OK();
 }
@@ -304,7 +310,7 @@ Result<int> Engine::SubmitContinuous(std::string_view sql,
 Result<int> Engine::SubmitInternal(std::string_view sql,
                                    ContinuousOptions options,
                                    const storage::WalSubmit* restore,
-                                   const storage::FactoryProgress* progress) {
+                                   const storage::FactoryProgress* snap_progress) {
   DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   if (!std::holds_alternative<sql::SelectStmt>(stmt)) {
     return Status::InvalidArgument("SubmitContinuous() expects a SELECT");
@@ -353,6 +359,17 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
     auto it = full_entries_.find(full_key);
     if (it != full_entries_.end()) {
       SharedFullEntry& fe = it->second;
+      // Recovery: the founding replay restored the shared factory from
+      // ITS record, which is stale submit-time origins whenever the
+      // founder was removed before the last checkpoint (a removed token
+      // has no snapshot entry) — possibly below the WAL truncation
+      // floor. An aliasing token that IS in the snapshot re-applies the
+      // checkpoint cut here. Safe: nothing fires during catalog replay,
+      // so the factory has zero invocations. Done before any refcount or
+      // emitter bookkeeping so a failure aborts the replay cleanly.
+      if (restore != nullptr && snap_progress != nullptr) {
+        DC_RETURN_NOT_OK(fe.factory->RestoreProgress(*snap_progress));
+      }
       ++fe.refs;
       ++full_hits_;
       entry.factory = fe.factory;
@@ -383,10 +400,13 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
         }
         queries_.emplace(id, std::move(entry));
       }
-      // An aliasing replay applies no progress: the founding submit
-      // already restored the shared factory.
+      // The logged progress of an aliasing submit is informational: the
+      // factory is already live, so its cursors may sit past undrained
+      // emissions — replay therefore never restores from an alias's
+      // record, only from the snapshot (above) or the founder's record.
       if (wal_env_ != nullptr && !recovering_) {
-        LogSubmit(token, sql, options, aliased, alias_node);
+        LogSubmit(token, sql, options, aliased->SnapshotProgress(),
+                  alias_node);
       }
       return id;
     }
@@ -501,9 +521,18 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
 
   // Recovery: position the factory at its logged progress BEFORE the
   // scheduler can see it — a worker firing against pre-restore origins
-  // would consume replayed rows the restored cursors still need.
-  if (progress != nullptr) {
-    DC_RETURN_NOT_OK(entry.factory->RestoreProgress(*progress));
+  // would consume replayed rows the restored cursors still need. The
+  // snapshot's progress (when its checkpoint covered this token) wins
+  // over the submit-time cursors in the kSubmit record.
+  if (restore != nullptr) {
+    storage::FactoryProgress p;
+    if (snap_progress != nullptr) {
+      p = *snap_progress;
+    } else {
+      p.origins = restore->origins;
+      p.batch_cursor = restore->batch_cursor;
+    }
+    DC_RETURN_NOT_OK(entry.factory->RestoreProgress(p));
   }
 
   // Publish the factory for tier-F aliasing by later identical queries.
@@ -531,6 +560,16 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
                                             entry.latency);
   if (options_.scheduler_workers > 0) entry.emitter->Start();
 
+  // Capture the progress to log BEFORE the factory reaches the
+  // scheduler: once AddFactory runs, a threaded worker may fire and
+  // advance the cursors, and a post-fire cursor in the kSubmit record
+  // would make replay resume past emissions that were still undrained
+  // in the output basket at the crash — a permanent output gap.
+  storage::FactoryProgress logged_progress;
+  if (wal_env_ != nullptr && !recovering_) {
+    logged_progress = entry.factory->SnapshotProgress();
+  }
+
   // Arcs before registration so no pulse lands in the gap; the targeted
   // kick inside AddFactory covers anything that arrived before the arcs.
   for (Basket* basket : entry.factory->InputBaskets()) {
@@ -538,7 +577,6 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
   }
   scheduler_.AddFactory(entry.factory);
   const int id = entry.id;
-  const FactoryPtr factory = entry.factory;
   uint64_t token = 0;
   {
     MutexLock lock(mu_);
@@ -551,27 +589,26 @@ Result<int> Engine::SubmitInternal(std::string_view sql,
     queries_.emplace(id, std::move(entry));
   }
   if (wal_env_ != nullptr && !recovering_) {
-    LogSubmit(token, sql, options, factory, node);
+    LogSubmit(token, sql, options, logged_progress, node);
   }
   return id;
 }
 
 void Engine::LogSubmit(uint64_t token, std::string_view sql,
                        const ContinuousOptions& options,
-                       const FactoryPtr& factory,
+                       const storage::FactoryProgress& progress,
                        const SharedWindowNodePtr& node) {
   storage::WalSubmit sub;
   sub.token = token;
   sub.sql = std::string(sql);
   sub.mode = static_cast<uint8_t>(options.mode);
   sub.name = options.name;
-  // The factory's progress right after submit (origins in particular):
+  // The factory's progress at submit, captured before it could fire:
   // replay restores it before the factory can fire, and any advance past
   // this point is replayed from the basket WALs (or overridden by a later
   // snapshot's progress).
-  const storage::FactoryProgress p = factory->SnapshotProgress();
-  sub.origins = p.origins;
-  sub.batch_cursor = p.batch_cursor;
+  sub.origins = progress.origins;
+  sub.batch_cursor = progress.batch_cursor;
   if (node != nullptr) {
     sub.node_label = node->label();
     sub.node_origin = node->origin_seq();
@@ -836,6 +873,9 @@ Status Engine::InitDurability() {
   // WALs with exact batch boundaries and post-clamp timestamps.
   std::vector<std::string> stream_order;
   std::map<std::string, storage::WalScan> basket_scans;
+  // Each basket WAL's kReset start_seq: the truncation floor. Restored
+  // cursors below it would read rows the log no longer has (step 5).
+  std::map<std::string, uint64_t> replay_base;
   for (const storage::WalRecord& rec : cat.records) {
     switch (rec.type) {
       case storage::WalRecordType::kStatement: {
@@ -867,6 +907,7 @@ Status Engine::InitDurability() {
           }
           DC_ASSIGN_OR_RETURN(storage::WalReset reset,
                               storage::DecodeReset(scan->records[0]));
+          replay_base[create.name] = reset.start_seq;
           Basket* basket = GetBasket(create.name);
           if (basket == nullptr) return Status::Internal("basket missing");
           DC_RETURN_NOT_OK(basket->RestoreLogPosition(
@@ -885,18 +926,17 @@ Status Engine::InitDurability() {
         co.name = sub.name;
         // Original sinks are process-local and cannot be persisted;
         // recovered queries get buffered collectors (TakeResults).
-        storage::FactoryProgress progress;
+        // The snapshot's progress for this token (null when the
+        // checkpoint predates the submit) supersedes the submit-time
+        // cursors in the record — and is the only progress applied when
+        // the submit turns out to alias an already-replayed factory.
+        const storage::FactoryProgress* sp = nullptr;
         if (auto it = snap_progress.find(sub.token);
             it != snap_progress.end()) {
-          progress = it->second;  // a later checkpoint superseded the
-                                  // submit-time progress
-        } else {
-          progress.origins = sub.origins;
-          progress.batch_cursor = sub.batch_cursor;
+          sp = &it->second;
         }
         DC_RETURN_NOT_OK(
-            SubmitInternal(sub.sql, std::move(co), &sub, &progress)
-                .status());
+            SubmitInternal(sub.sql, std::move(co), &sub, sp).status());
         replayed_records_->Add(1);
         break;
       }
@@ -978,23 +1018,58 @@ Status Engine::InitDurability() {
   }
   Pump();
 
-  // 5. The replayed data must cover every restored cursor — a WAL that
-  // scanned shorter than the progress a snapshot promised is unusable
-  // (refuse partial recovery rather than silently mis-emit).
+  // 5. The replayed data must bracket every restored cursor — a WAL that
+  // scanned shorter than the progress a snapshot promised is unusable,
+  // and a cursor below a WAL's kReset floor references rows truncation
+  // already dropped (refuse partial recovery rather than silently
+  // mis-emit either way).
   {
     MutexLock lock(mu_);
     for (const auto& [id, q] : queries_) {
       const storage::FactoryProgress p = q.factory->SnapshotProgress();
       const std::vector<FactoryInput>& inputs = q.factory->inputs();
       for (size_t r = 0; r < inputs.size() && r < p.origins.size(); ++r) {
-        if (inputs[r].is_stream &&
-            p.origins[r] > inputs[r].basket->HighSeq()) {
+        if (!inputs[r].is_stream) continue;
+        if (p.origins[r] > inputs[r].basket->HighSeq()) {
           return Status::Internal(StrFormat(
               "query %s: restored origin %llu beyond replayed data %llu "
               "on %s",
               q.name.c_str(),
               static_cast<unsigned long long>(p.origins[r]),
               static_cast<unsigned long long>(inputs[r].basket->HighSeq()),
+              inputs[r].basket->name().c_str()));
+        }
+        // Origins are window *anchors*, not live cursors — a long-lived
+        // query keeps its submit-time anchor while truncation advances,
+        // so the anchor itself may sit far below the floor. What must
+        // stay above the floor is the next sequence the cursor will
+        // actually read: origin + RowsWindowStart(next_emission) for
+        // ROWS windows, batch_cursor for per-batch factories. RANGE
+        // windows resolve reads by timestamp (clamped at the anchor from
+        // below), so the floor does not constrain them.
+        uint64_t base = 0;
+        if (auto bit = replay_base.find(inputs[r].basket->name());
+            bit != replay_base.end()) {
+          base = bit->second;
+        }
+        uint64_t next_read = 0;
+        if (!inputs[r].window.has_value()) {
+          next_read = p.batch_cursor;
+        } else if (inputs[r].window->rows) {
+          const WindowMath wm(*inputs[r].window);
+          const int64_t k = p.has_next_emission ? p.next_emission : 0;
+          next_read =
+              p.origins[r] + static_cast<uint64_t>(wm.RowsWindowStart(k));
+        } else {
+          continue;
+        }
+        if (next_read < base) {
+          return Status::Internal(StrFormat(
+              "query %s: restored cursor %llu below the WAL truncation "
+              "floor %llu on %s",
+              q.name.c_str(),
+              static_cast<unsigned long long>(next_read),
+              static_cast<unsigned long long>(base),
               inputs[r].basket->name().c_str()));
         }
       }

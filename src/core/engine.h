@@ -289,20 +289,28 @@ class Engine {
 
   Status ExecuteOne(const sql::Statement& stmt);
   Result<ColumnSet> RunSelect(const sql::SelectStmt& stmt);
-  /// SubmitContinuous body. `restore`/`progress` are non-null only during
-  /// recovery replay: the submit token is taken from the log instead of
-  /// allocated, nothing is re-logged, a founded shared node is re-anchored
-  /// at its original origin, and `progress` is applied to the new factory
-  /// BEFORE it reaches the scheduler (so it can never fire from
-  /// pre-restore origins).
+  /// SubmitContinuous body. `restore` is non-null only during recovery
+  /// replay: the submit token is taken from the log instead of allocated,
+  /// nothing is re-logged, a founded shared node is re-anchored at its
+  /// original origin, and progress is applied to the factory BEFORE it
+  /// reaches the scheduler (so it can never fire from pre-restore
+  /// origins). `snap_progress` is the loaded snapshot's entry for this
+  /// token (null when the snapshot predates the submit); it wins over the
+  /// kSubmit record's submit-time cursors, and is the ONLY progress an
+  /// aliasing replay applies — the founder's own record can be stale when
+  /// the founder was removed before the checkpoint.
   Result<int> SubmitInternal(std::string_view sql, ContinuousOptions options,
                              const storage::WalSubmit* restore,
-                             const storage::FactoryProgress* progress);
-  /// Appends a kSubmit record (token, sql, initial factory progress,
-  /// founded-node identity) to the catalog log. Append failures are
-  /// logged, not propagated — the query is already live.
+                             const storage::FactoryProgress* snap_progress);
+  /// Appends a kSubmit record (token, sql, the given factory progress,
+  /// founded-node identity) to the catalog log. `progress` must be
+  /// captured before the factory could first fire (pre-AddFactory): a
+  /// post-fire cursor would make replay resume past emissions that were
+  /// still undrained at the crash. Append failures are logged, not
+  /// propagated — the query is already live.
   void LogSubmit(uint64_t token, std::string_view sql,
-                 const ContinuousOptions& options, const FactoryPtr& factory,
+                 const ContinuousOptions& options,
+                 const storage::FactoryProgress& progress,
                  const SharedWindowNodePtr& node);
   /// Constructor-time durability bring-up: creates the directory,
   /// recovers snapshot + WAL tails if present (replaying through the

@@ -161,11 +161,15 @@ Status WriteSnapshot(WalEnv* env, const std::string& dir,
   }
   // Rotate: the old current becomes the fallback, then the new snapshot
   // lands atomically. A crash between the renames leaves current absent
-  // but prev complete; LoadSnapshot handles both orders.
+  // but prev complete; LoadSnapshot handles both orders. The rotation is
+  // durable only once the directory entries are fsynced — without the
+  // SyncDir, power loss can roll both renames back even though the
+  // snapshot contents hit disk.
   if (env->FileExists(current)) {
     DC_RETURN_NOT_OK(env->Rename(current, prev));
   }
   DC_RETURN_NOT_OK(env->Rename(tmp, current));
+  DC_RETURN_NOT_OK(env->SyncDir(dir));
   if (bytes_counter != nullptr) bytes_counter->Add(blob.size());
   return Status::OK();
 }

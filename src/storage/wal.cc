@@ -22,6 +22,14 @@ namespace {
 /// field must not trigger a gigabyte allocation).
 constexpr uint32_t kMaxRecordBytes = 1u << 30;
 
+/// Parent directory of `path` ("." when there is no separator), for the
+/// directory fsyncs that make renames and file creations durable.
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
 const uint32_t* Crc32Table() {
   static const uint32_t* table = [] {
     static uint32_t t[256];
@@ -127,6 +135,21 @@ class PosixWalEnv : public WalEnv {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::Internal(StrFormat("open dir %s failed: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      return Status::Internal(StrFormat("fsync dir %s failed: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
   Status TruncateFile(const std::string& path, uint64_t len) override {
     if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
       return Status::Internal(StrFormat("truncate %s failed: %s", path.c_str(),
@@ -141,12 +164,15 @@ class PosixWalEnv : public WalEnv {
   }
 
   Status CreateDirs(const std::string& path) override {
-    std::string partial;
-    for (size_t i = 0; i <= path.size(); ++i) {
+    for (size_t i = 1; i <= path.size(); ++i) {
       if (i < path.size() && path[i] != '/') continue;
-      partial = path.substr(0, i == path.size() ? i : i + 1);
+      const std::string partial = path.substr(0, i);
       if (partial.empty() || partial == "/") continue;
-      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (::mkdir(partial.c_str(), 0755) == 0) {
+        // The new entry lives in the parent; fsync it so the directory
+        // itself survives power loss.
+        DC_RETURN_NOT_OK(SyncDir(DirName(partial)));
+      } else if (errno != EEXIST) {
         return Status::Internal(StrFormat("mkdir %s failed: %s",
                                           partial.c_str(),
                                           std::strerror(errno)));
@@ -557,6 +583,11 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalEnv* env,
           w->file_->Append(std::string_view(kWalMagic, sizeof(kWalMagic))));
     }
   }
+  if (fresh) {
+    // A freshly created log is durable only once its directory ENTRY is:
+    // fsyncing the file alone does not survive power loss of the parent.
+    DC_RETURN_NOT_OK(env->SyncDir(DirName(w->path_)));
+  }
   return w;
 }
 
@@ -657,6 +688,8 @@ Status WalWriter::TruncateTo(uint64_t horizon) {
   DC_RETURN_NOT_OK(file_->Close());
   file_ = nullptr;
   DC_RETURN_NOT_OK(env_->Rename(tmp, path_));
+  // Make the rename durable before appending to the rewritten file.
+  DC_RETURN_NOT_OK(env_->SyncDir(DirName(path_)));
   DC_ASSIGN_OR_RETURN(file_, env_->Open(path_, /*truncate=*/false));
   unsynced_ = 0;
   if (counters_.truncations) counters_.truncations->Add(1);

@@ -67,6 +67,13 @@ class WalEnv {
   /// Atomically replaces `to` with `from` (POSIX rename semantics).
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
+  /// Makes directory-entry updates under `path` durable (fsync of the
+  /// directory itself). Without it, a rename or file creation whose
+  /// CONTENTS were fsynced can still vanish on power loss — the entry
+  /// lives in the parent directory, not the file. Called after the
+  /// snapshot rotation renames, after a log rewrite's rename, and after
+  /// creating a fresh log file.
+  virtual Status SyncDir(const std::string& path) = 0;
   /// Truncates `path` to exactly `len` bytes (drops a corrupt tail).
   virtual Status TruncateFile(const std::string& path, uint64_t len) = 0;
   virtual bool FileExists(const std::string& path) = 0;

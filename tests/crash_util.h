@@ -105,6 +105,15 @@ class CrashEnv : public storage::WalEnv {
     return Status::OK();
   }
 
+  /// Directory fsync is a counted crash point like any other op. (The
+  /// env executes renames eagerly, so it does not model losing an
+  /// un-SyncDir'd rename — the op is counted so the enumeration still
+  /// kills before/at/after it.)
+  Status SyncDir(const std::string& path) override {
+    if (NextOp(nullptr) != Action::kExecute) return Status::OK();
+    return storage::WalEnv::Default()->SyncDir(path);
+  }
+
   Status TruncateFile(const std::string& path, uint64_t len) override {
     if (NextOp(nullptr) != Action::kExecute) return Status::OK();
     if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {

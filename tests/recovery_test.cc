@@ -510,6 +510,73 @@ TEST_F(RecoveryTest, RemoveContinuousSurvivesRestart) {
   }
 }
 
+// A tier-F alias whose FOUNDING query was removed before the last
+// checkpoint: the founder's token has no snapshot entry, so its replay
+// restores stale submit-time origins — below the WAL truncation floor
+// once a second checkpoint cut the logs. The surviving alias's snapshot
+// progress must be re-applied when its kSubmit replays, or recovery
+// re-reads rows that no longer exist / re-emits delivered output.
+TEST_F(RecoveryTest, AliasRestoresSnapshotProgressAfterFounderRemoval) {
+  const std::vector<WRow> rows = WorkloadRows(36);
+  // The stream-stream join: not tier-P eligible, so the alias shares the
+  // factory directly (tier F) and the restored FACTORY origins — not a
+  // shared node's snapshot-restored origin — are what recovery must fix.
+  const std::string sql = WorkloadQueries()[4];
+
+  // Oracle: same submit/remove schedule on a transient engine.
+  std::vector<std::string> oracle;
+  {
+    Engine e(testutil::SyncOptions());
+    WorkloadDdl(e);
+    auto a = e.SubmitContinuous(sql, testutil::WithMode(ExecMode::kIncremental));
+    auto b = e.SubmitContinuous(sql, testutil::WithMode(ExecMode::kIncremental));
+    ASSERT_TRUE(a.ok() && b.ok());
+    WorkloadFeed(e, rows, 0, 0, 12);
+    ASSERT_TRUE(e.RemoveContinuous(*a).ok());
+    WorkloadFeed(e, rows, 12, 12, rows.size());
+    WorkloadSeal(e);
+    auto r = e.TakeResults(*b);
+    ASSERT_TRUE(r.ok());
+    oracle = testutil::EmissionStrings(*r);
+    ASSERT_GT(oracle.size(), 3u);
+  }
+
+  uint64_t at_ckpt = 0;  // alias emissions already counted at checkpoint
+  {
+    Engine e(DurableSyncOptions(dir_, nullptr, FsyncPolicy::kAlways));
+    ASSERT_TRUE(e.recovery_status().ok());
+    WorkloadDdl(e);
+    auto a = e.SubmitContinuous(sql, testutil::WithMode(ExecMode::kIncremental));
+    auto b = e.SubmitContinuous(sql, testutil::WithMode(ExecMode::kIncremental));
+    ASSERT_TRUE(a.ok() && b.ok());
+    WorkloadFeed(e, rows, 0, 0, 12);
+    ASSERT_TRUE(e.RemoveContinuous(*a).ok());
+    at_ckpt = e.GetFactory(*b)->Stats().emissions;
+    // Two checkpoints: the second truncates the WALs to the first's
+    // horizon, making the founder's submit-time origins unreplayable.
+    ASSERT_TRUE(e.Checkpoint().ok());
+    ASSERT_TRUE(e.Checkpoint().ok());
+    WorkloadFeed(e, rows, 12, 12, 24);
+  }
+
+  Engine rec(DurableSyncOptions(dir_, nullptr, FsyncPolicy::kAlways));
+  ASSERT_TRUE(rec.recovery_status().ok())
+      << rec.recovery_status().ToString();
+  std::map<std::string, int> by_sql;
+  for (const ContinuousQueryInfo& q : rec.Queries()) by_sql[q.sql] = q.id;
+  ASSERT_EQ(by_sql.size(), 1u) << "only the alias should survive";
+  const uint64_t lo = rec.GetBasket("s")->HighSeq();
+  ASSERT_LE(lo, rows.size());
+  WorkloadFeed(rec, rows, lo, lo, rows.size());
+  WorkloadSeal(rec);
+  auto r = rec.TakeResults(by_sql[sql]);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<std::string> got = testutil::EmissionStrings(*r);
+  ASSERT_TRUE(IsSuffixOf(got, oracle));
+  EXPECT_LE(oracle.size() - got.size(), at_ckpt)
+      << "recovery lost emissions the checkpoint never covered";
+}
+
 // The tentpole: enumerate every crash point of the scripted run (two
 // checkpoints, fsync=interval) under both loss styles and hold recovery
 // to the suffix + checkpoint-bound contract.
